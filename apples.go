@@ -1,0 +1,364 @@
+// Package apples is a Go reproduction of "Scheduling from the Perspective
+// of the Application" (Berman & Wolski, HPDC 1996): AppLeS
+// application-level scheduling agents, the Network Weather Service they
+// draw forecasts from, and the simulated heterogeneous metacomputer the
+// experiments run on.
+//
+// The package is a facade over the implementation in internal/; it
+// re-exports the supported surface:
+//
+//   - a deterministic discrete-event engine (NewEngine) and the paper's
+//     testbeds (SDSCPCL, CASA);
+//   - ambient load generators for non-dedicated resources;
+//   - the Network Weather Service (NewNWS) with its forecaster bank;
+//   - Heterogeneous Application Templates for the three applications the
+//     paper discusses (JacobiTemplate, ReactTemplate, NileTemplate);
+//   - the AppLeS agent itself (NewAgent) with NWS, oracle, and static
+//     information sources;
+//   - the applications: distributed Jacobi2D execution (RunJacobi), the
+//     3D-REACT pipeline (react functions), and CLEO/NILE event analysis
+//     (nile functions).
+//
+// See README.md for a walkthrough and DESIGN.md / EXPERIMENTS.md for the
+// experiment inventory.
+package apples
+
+import (
+	"io"
+
+	"apples/internal/core"
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/jacobi"
+	"apples/internal/load"
+	"apples/internal/nile"
+	"apples/internal/nws"
+	"apples/internal/partition"
+	"apples/internal/react"
+	"apples/internal/rms"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+// Simulation engine and load generation.
+type (
+	// Engine is the deterministic discrete-event simulator all components
+	// run on.
+	Engine = sim.Engine
+	// Rand is the seeded random source used by load generators.
+	Rand = sim.Rand
+	// LoadSource is a piecewise-constant ambient load process.
+	LoadSource = load.Source
+	// LoadStep is one segment of an explicit load trace.
+	LoadStep = load.Step
+)
+
+// NewEngine returns a fresh simulation engine with the clock at zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewRand returns a deterministic random stream.
+func NewRand(seed int64) *Rand { return sim.NewRand(seed) }
+
+// Load trace file I/O (import measured contention, export generated
+// scenarios).
+var (
+	// ParseLoadTrace reads a "time value" text trace.
+	ParseLoadTrace = load.ParseTrace
+	// WriteLoadTrace writes a trace in the same format.
+	WriteLoadTrace = load.WriteTrace
+	// RecordLoadSource samples a generator into an explicit trace.
+	RecordLoadSource = load.RecordSource
+)
+
+// Load generators for non-dedicated resources.
+var (
+	// NewOnOffLoad alternates idle and busy periods (interactive users).
+	NewOnOffLoad = load.NewOnOff
+	// NewAR1Load is autocorrelated wandering load (Unix run queues).
+	NewAR1Load = load.NewAR1
+	// NewPeriodicLoad is diurnal-style sinusoidal load.
+	NewPeriodicLoad = load.NewPeriodic
+	// NewSpikeLoad adds batch-job spikes over a baseline.
+	NewSpikeLoad = load.NewSpikes
+	// NewTraceLoad replays an explicit piecewise-constant trace.
+	NewTraceLoad = load.NewTrace
+	// ConstantLoad is a fixed level forever.
+	ConstantLoad = func(v float64) LoadSource { return load.Constant(v) }
+)
+
+// Metacomputer model.
+type (
+	// Topology is the wired metacomputer: hosts, links, routes.
+	Topology = grid.Topology
+	// Host is one machine with speed, memory, and ambient load.
+	Host = grid.Host
+	// Link is one shared network segment.
+	Link = grid.Link
+	// HostSpec declares a host for Topology.AddHost.
+	HostSpec = grid.HostSpec
+	// LinkSpec declares a link for Topology.AddLink.
+	LinkSpec = grid.LinkSpec
+	// TestbedOptions configures the paper testbed builders.
+	TestbedOptions = grid.TestbedOptions
+)
+
+// NewTopology returns an empty metacomputer on the engine.
+func NewTopology(eng *Engine) *Topology { return grid.NewTopology(eng) }
+
+// SDSCPCL builds the Figure 2 testbed (with options for dedicated mode and
+// the Figure 6 SP-2 extension).
+func SDSCPCL(eng *Engine, opt TestbedOptions) *Topology { return grid.SDSCPCL(eng, opt) }
+
+// CASA builds the dedicated C90 + Paragon pair 3D-REACT ran on.
+func CASA(eng *Engine) *Topology { return grid.CASA(eng) }
+
+// Network Weather Service.
+type (
+	// NWS is a Network Weather Service instance: sensors plus forecasts.
+	NWS = nws.Service
+	// Forecaster is one online predictor in a bank.
+	Forecaster = nws.Forecaster
+	// ForecasterBank performs dynamic MSE-based predictor selection.
+	ForecasterBank = nws.Bank
+)
+
+// NewNWS creates a service sampling every period seconds of virtual time.
+func NewNWS(eng *Engine, period float64) *NWS { return nws.NewService(eng, period) }
+
+// NewForecasterBank builds a predictor bank (the standard NWS set when
+// called with no arguments).
+func NewForecasterBank(fcs ...Forecaster) *ForecasterBank { return nws.NewBank(fcs...) }
+
+// NWSSnapshot is the serializable sensor history of an NWS instance.
+type NWSSnapshot = nws.Snapshot
+
+// ReadNWSSnapshot deserializes a snapshot written by Snapshot.WriteTo.
+func ReadNWSSnapshot(r io.Reader) (*NWSSnapshot, error) { return nws.ReadSnapshot(r) }
+
+// Application templates (HAT) and user specifications (US).
+type (
+	// Template is a Heterogeneous Application Template.
+	Template = hat.Template
+	// UserSpec carries the user's metric, access rights, and preferences.
+	UserSpec = userspec.Spec
+)
+
+// Performance metrics for UserSpec.Metric.
+const (
+	MinExecutionTime = userspec.MinExecutionTime
+	MaxSpeedup       = userspec.MaxSpeedup
+	MinCost          = userspec.MinCost
+)
+
+// JacobiTemplate is the HAT for the n x n Jacobi2D code.
+func JacobiTemplate(n, iterations int) *Template { return hat.Jacobi2D(n, iterations) }
+
+// ReactTemplate is the HAT for 3D-REACT with the given surface-function
+// count.
+func ReactTemplate(surfaceFunctions int) *Template { return hat.React3D(surfaceFunctions) }
+
+// NileTemplate is the HAT for CLEO/NILE event analysis.
+func NileTemplate(events int) *Template { return hat.Nile(events) }
+
+// The AppLeS agent.
+type (
+	// Agent is an application-level scheduler for one application.
+	Agent = core.Agent
+	// AgentSchedule is the coordinator's chosen schedule.
+	AgentSchedule = core.Schedule
+	// Information is the agent's dynamic-information source.
+	Information = core.Information
+	// Actuator implements a schedule on the target system.
+	Actuator = core.Actuator
+	// ActuatorFunc adapts a function to Actuator.
+	ActuatorFunc = core.ActuatorFunc
+	// Placement is a data decomposition over hosts.
+	Placement = partition.Placement
+)
+
+// NewAgent assembles an AppLeS from its information pool.
+func NewAgent(tp *Topology, tpl *Template, spec *UserSpec, info Information) (*Agent, error) {
+	return core.NewAgent(tp, tpl, spec, info)
+}
+
+// Pipeline blueprint (the Section 4.2 agent for 3D-REACT-shaped codes).
+type (
+	// PipelineAgent schedules two-task pipelined applications.
+	PipelineAgent = core.PipelineAgent
+	// PipelineSchedule is its chosen mapping + pipeline unit.
+	PipelineSchedule = core.PipelineSchedule
+)
+
+// NewPipelineAgent assembles a pipeline-blueprint AppLeS.
+func NewPipelineAgent(tp *Topology, tpl *Template, spec *UserSpec, info Information, opt ReactOptions) (*PipelineAgent, error) {
+	return core.NewPipelineAgent(tp, tpl, spec, info, opt)
+}
+
+// Information sources for the agent.
+var (
+	// NWSInformation backs the agent with NWS forecasts (production).
+	NWSInformation = core.NWSInformation
+	// OracleInformation backs it with perfect knowledge (ablation).
+	OracleInformation = core.OracleInformation
+	// StaticInformation backs it with compile-time assumptions (ablation).
+	StaticInformation = core.StaticInformation
+)
+
+// Decompositions (the baselines of Figures 4-6).
+var (
+	// UniformStrip splits the domain into equal row bands.
+	UniformStrip = partition.UniformStrip
+	// WeightedStrip assigns bands proportional to weights (static
+	// non-uniform strip, Figure 4).
+	WeightedStrip = partition.WeightedStrip
+	// BlockedPartition is the HPF-style uniform 2D decomposition.
+	BlockedPartition = partition.Blocked
+	// BlockCyclicPartition is the HPF CYCLIC(k) row distribution.
+	BlockCyclicPartition = partition.BlockCyclic
+	// ReadPlacement loads a placement serialized with Placement.WriteTo.
+	ReadPlacement = partition.ReadPlacement
+)
+
+// Jacobi2D execution.
+type (
+	// JacobiConfig parameterizes a simulated Jacobi2D run.
+	JacobiConfig = jacobi.Config
+	// JacobiResult reports a completed run.
+	JacobiResult = jacobi.Result
+	// JacobiAdaptiveConfig adds rescheduling points to a run.
+	JacobiAdaptiveConfig = jacobi.AdaptiveConfig
+	// JacobiAdaptiveResult adds redistribution accounting.
+	JacobiAdaptiveResult = jacobi.AdaptiveResult
+	// ReplanFunc is consulted at rescheduling points; Agent.Rescheduler
+	// returns the paper's Section 3.2 policy.
+	ReplanFunc = jacobi.ReplanFunc
+)
+
+// RunJacobi executes a placement on the topology.
+func RunJacobi(tp *Topology, p *Placement, cfg JacobiConfig) (*JacobiResult, error) {
+	return jacobi.Run(tp, p, cfg)
+}
+
+// StartJacobi begins a run asynchronously (several applications can share
+// the metacomputer; whenDone fires at completion).
+func StartJacobi(tp *Topology, p *Placement, cfg JacobiConfig, whenDone func(*JacobiResult)) error {
+	return jacobi.Start(tp, p, cfg, whenDone)
+}
+
+// Wait-or-run (Section 3.2's dedicated-access decision).
+type (
+	// DedicatedOffer is a batch-queue offer of dedicated hosts after a
+	// forecast wait.
+	DedicatedOffer = core.DedicatedOffer
+	// WaitOrRunDecision compares waiting for dedicated access against
+	// running shared now.
+	WaitOrRunDecision = core.WaitOrRunDecision
+)
+
+// RunJacobiAdaptive executes a placement with mid-run redistribution: the
+// Replan hook is consulted every CheckEvery iterations, and accepted
+// placements pay their migration traffic through the simulated network.
+func RunJacobiAdaptive(tp *Topology, p *Placement, cfg JacobiAdaptiveConfig) (*JacobiAdaptiveResult, error) {
+	return jacobi.RunAdaptive(tp, p, cfg)
+}
+
+// JacobiActuator adapts RunJacobi to the agent's Actuator interface.
+func JacobiActuator(tp *Topology, cfg JacobiConfig) Actuator {
+	return core.ActuatorFromJacobi(tp, cfg)
+}
+
+// RMSActuator actuates schedules through the PVM-style rms substrate
+// (message-passing borders, explicit barrier protocol).
+func RMSActuator(tp *Topology, cfg JacobiConfig) Actuator {
+	return core.ActuatorFromRMS(tp, cfg)
+}
+
+// RunJacobiViaRMS executes a placement through the rms substrate.
+func RunJacobiViaRMS(tp *Topology, p *Placement, cfg JacobiConfig) (*JacobiResult, error) {
+	return jacobi.RunViaRMS(tp, p, cfg)
+}
+
+// 3D-REACT (task-parallel pipeline).
+type (
+	// ReactOptions tunes the pipeline model.
+	ReactOptions = react.Options
+	// ReactResult reports an executed pipeline run.
+	ReactResult = react.Result
+	// ReactModel is the analytic pipeline performance model.
+	ReactModel = react.Model
+)
+
+// React pipeline entry points.
+var (
+	// RunReactPipeline executes the two-task pipeline.
+	RunReactPipeline = react.RunPipeline
+	// RunReactSingleSite executes the sequential single-machine variant.
+	RunReactSingleSite = react.RunSingleSite
+	// NewReactModel builds the analytic model for a mapping.
+	NewReactModel = react.NewModel
+	// ChooseReactMapping picks the better task-to-machine mapping.
+	ChooseReactMapping = react.ChooseMapping
+	// PredictChain models an N-stage heterogeneous pipeline.
+	PredictChain = react.PredictChain
+	// RunChain executes an N-stage pipeline on the metacomputer.
+	RunChain = react.RunChain
+)
+
+// ChainStage is one stage of an N-stage pipeline (instrument ->
+// preprocessor -> supercomputer couplings, per the paper's introduction).
+type ChainStage = react.ChainStage
+
+// CLEO/NILE event analysis.
+type (
+	// NileDataset is an event collection at a data site.
+	NileDataset = nile.Dataset
+	// NileJob is a physicist's repeated analysis.
+	NileJob = nile.Job
+	// NileStrategy selects remote, skim, or at-data execution.
+	NileStrategy = nile.Strategy
+	// NileResult reports an executed analysis.
+	NileResult = nile.Result
+	// SiteManager predicts and picks analysis strategies.
+	SiteManager = nile.SiteManager
+)
+
+// NILE strategies.
+const (
+	NileRemote = nile.Remote
+	NileSkim   = nile.Skim
+	NileAtData = nile.AtData
+)
+
+// PVM-style resource-management substrate (what AppLeS actuates through).
+type (
+	// RMSMachine is a PVM-style virtual machine over the metacomputer.
+	RMSMachine = rms.Machine
+	// RMSTask is one spawned task.
+	RMSTask = rms.Task
+	// RMSMessage is one delivered message.
+	RMSMessage = rms.Message
+)
+
+// RMS entry points.
+var (
+	// NewRMS builds a virtual machine over a topology.
+	NewRMS = rms.New
+	// RunMasterWorker farms self-scheduled chunks over workers.
+	RunMasterWorker = rms.RunMasterWorker
+	// RunRing passes a token around a host ring (a network microbench).
+	RunRing = rms.RunRing
+)
+
+// NILE entry points.
+var (
+	// RunNile executes one strategy for a job.
+	RunNile = nile.Execute
+	// NewSiteManager builds the strategy-choosing site manager.
+	NewSiteManager = nile.NewSiteManager
+	// RunNileDistributed analyzes a sharded catalog in place, in parallel.
+	RunNileDistributed = nile.ExecuteDistributed
+	// NileCentralizedBaseline streams everything to one host instead.
+	NileCentralizedBaseline = nile.CentralizedBaseline
+	// NileJobFromTemplate derives a job from the CLEO/NILE HAT.
+	NileJobFromTemplate = nile.JobFromTemplate
+)

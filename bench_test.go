@@ -1,0 +1,178 @@
+package apples_test
+
+// Benchmark harness: one benchmark per paper table/figure plus the
+// DESIGN.md ablations. Each benchmark regenerates its experiment end to
+// end (testbed construction, NWS warmup, scheduling, simulated execution)
+// and reports the reproduced headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` doubles as the reproduction driver.
+// cmd/expt prints the same experiments as full paper-style tables.
+
+import (
+	"testing"
+
+	"apples/internal/expt"
+)
+
+// BenchmarkFig3ApplesPartition regenerates Figure 3: the AppLeS partition
+// of Jacobi2D on the loaded SDSC/PCL network.
+func BenchmarkFig3ApplesPartition(b *testing.B) {
+	b.ReportAllocs()
+	var hosts int
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Fig3(2000, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hosts = len(res.Hosts)
+	}
+	b.ReportMetric(float64(hosts), "hosts_used")
+}
+
+// BenchmarkFig4NonuniformStrip regenerates Figure 4: the compile-time
+// speed-weighted strip partition.
+func BenchmarkFig4NonuniformStrip(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig4(2000, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5JacobiComparison regenerates Figure 5: AppLeS vs static
+// Strip vs HPF Blocked execution times (reduced sweep; cmd/expt runs the
+// full one). The reported metrics are the mean speedups over the sweep —
+// the paper's headline is 2-8x.
+func BenchmarkFig5JacobiComparison(b *testing.B) {
+	var vsStrip, vsBlocked float64
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Fig5(expt.Fig5Config{
+			Sizes: []int{1000, 2000}, Trials: 1, Iterations: 50, Seed: 17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsStrip, vsBlocked = 0, 0
+		for _, r := range rows {
+			vsStrip += r.SpeedupVsStrip() / float64(len(rows))
+			vsBlocked += r.SpeedupVsBlocked() / float64(len(rows))
+		}
+	}
+	b.ReportMetric(vsStrip, "speedup_vs_strip")
+	b.ReportMetric(vsBlocked, "speedup_vs_blocked")
+}
+
+// BenchmarkFig6MemoryAware regenerates Figure 6: AppLeS vs SP-2-only
+// Blocked around the ~3700^2 memory crossover.
+func BenchmarkFig6MemoryAware(b *testing.B) {
+	var collapse float64
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Fig6(expt.Fig6Config{
+			Sizes: []int{3200, 4000}, Trials: 1, Iterations: 20, Seed: 23,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		collapse = rows[1].BlockedSP2 / rows[1].AppLeS
+	}
+	b.ReportMetric(collapse, "post_spill_blocked_over_apples")
+}
+
+// BenchmarkReactPipeline regenerates the Section 2.3 numbers: >16 h
+// single-site, <5 h distributed, pipeline-unit sweep.
+func BenchmarkReactPipeline(b *testing.B) {
+	var single, dist float64
+	for i := 0; i < b.N; i++ {
+		res, err := expt.React(600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		single, dist = res.SingleC90Hours, res.DistributedHours
+	}
+	b.ReportMetric(single, "single_site_hours")
+	b.ReportMetric(dist, "distributed_hours")
+}
+
+// BenchmarkNileSkimDecision regenerates the Section 2.1 site-manager
+// decision curve: skim vs remote access vs compute-at-data.
+func BenchmarkNileSkimDecision(b *testing.B) {
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Nile(30000, 6, 31)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossover = float64(res.SkimCrossover)
+	}
+	b.ReportMetric(crossover, "skim_crossover_passes")
+}
+
+// BenchmarkAblationForecast regenerates ablation A1: oracle vs NWS vs
+// static information sources.
+func BenchmarkAblationForecast(b *testing.B) {
+	var staticOverNWS float64
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.AblationForecast([]int{1500}, 1, 41)
+		if err != nil {
+			b.Fatal(err)
+		}
+		staticOverNWS = rows[0].Static / rows[0].NWS
+	}
+	b.ReportMetric(staticOverNWS, "static_over_nws")
+}
+
+// BenchmarkAblationRisk regenerates ablation A4: risk posture sweep.
+func BenchmarkAblationRisk(b *testing.B) {
+	var hostsShrink float64
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.AblationRisk(1000, []float64{0, 2}, []int64{101, 202})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hostsShrink = rows[0].MeanHosts - rows[1].MeanHosts
+	}
+	b.ReportMetric(hostsShrink, "hosts_dropped_at_k2")
+}
+
+// BenchmarkMultiApp regenerates the Section 3 uncoordinated-agents
+// interference experiment.
+func BenchmarkMultiApp(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		res, err := expt.MultiApp(1000, 60, 61)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = res.SlowdownA()
+	}
+	b.ReportMetric(slowdown, "mutual_slowdown")
+}
+
+// BenchmarkAdaptation regenerates the Section 3.2 redistribution
+// experiment: a mid-run load shift on the Alpha farm, static vs adaptive
+// AppLeS.
+func BenchmarkAdaptation(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Adaptation(1500, 200, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Rows[0].Time / res.Rows[1].Time
+	}
+	b.ReportMetric(speedup, "adaptive_speedup")
+}
+
+// BenchmarkAblationSelection regenerates ablation A3: resource-selection
+// search budget vs schedule quality.
+func BenchmarkAblationSelection(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.AblationSelection(1500, []int{0, 4}, 43)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = rows[1].Measured / rows[0].Measured
+	}
+	b.ReportMetric(ratio, "budget4_over_exhaustive")
+}

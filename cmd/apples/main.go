@@ -1,0 +1,145 @@
+// Command apples schedules and executes one distributed Jacobi2D run on
+// the simulated Figure 2 metacomputer, printing the chosen schedule, its
+// prediction, and the measured execution time.
+//
+// Usage:
+//
+//	apples -n 2000 -iters 100 -seed 11 -info nws
+//	apples -n 4000 -sp2 -info oracle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apples"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "problem size (n x n grid)")
+	iters := flag.Int("iters", 100, "Jacobi iterations")
+	seed := flag.Int64("seed", 11, "ambient-load seed")
+	info := flag.String("info", "nws", "information source: nws, oracle, static")
+	sp2 := flag.Bool("sp2", false, "add the two SP-2 nodes (Figure 6 testbed)")
+	quiet := flag.Bool("quiet", false, "dedicated testbed (no ambient load)")
+	warm := flag.Float64("warmup", 600, "seconds of virtual time to warm sensors")
+	topo := flag.Bool("topology", false, "print the testbed (Figure 2) and exit")
+	viaRMS := flag.Bool("rms", false, "actuate through the PVM-style rms substrate")
+	explain := flag.Int("explain", 0, "also print the top-K candidate schedules the agent weighed")
+	saveSched := flag.String("save-schedule", "", "write the chosen placement as JSON to this file")
+	loadSched := flag.String("load-schedule", "", "skip scheduling; execute the placement JSON from this file")
+	flag.Parse()
+
+	eng := apples.NewEngine()
+	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: *seed, Quiet: *quiet, WithSP2: *sp2})
+
+	if *topo {
+		fmt.Print(tp.Describe())
+		return
+	}
+
+	if *loadSched != "" {
+		f, err := os.Open(*loadSched)
+		if err != nil {
+			fail(err)
+		}
+		p, err := apples.ReadPlacement(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if err := eng.RunUntil(*warm); err != nil {
+			fail(err)
+		}
+		res, err := apples.RunJacobi(tp, p, apples.JacobiConfig{Iterations: *iters})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("replayed %s placement from %s: %d iterations in %.2f s\n",
+			p.Kind, *loadSched, *iters, res.Time)
+		return
+	}
+
+	var source apples.Information
+	switch *info {
+	case "nws":
+		svc := apples.NewNWS(eng, 10)
+		svc.WatchTopology(tp)
+		if err := eng.RunUntil(*warm); err != nil {
+			fail(err)
+		}
+		svc.Stop()
+		source = apples.NWSInformation(svc, tp)
+	case "oracle":
+		if err := eng.RunUntil(*warm); err != nil {
+			fail(err)
+		}
+		source = apples.OracleInformation(tp)
+	case "static":
+		if err := eng.RunUntil(*warm); err != nil {
+			fail(err)
+		}
+		source = apples.StaticInformation(tp)
+	default:
+		fail(fmt.Errorf("unknown -info %q", *info))
+	}
+
+	tpl := apples.JacobiTemplate(*n, *iters)
+	agent, err := apples.NewAgent(tp, tpl, &apples.UserSpec{Decomposition: "strip"}, source)
+	if err != nil {
+		fail(err)
+	}
+	if *explain > 0 {
+		_, top, err := agent.ScheduleExplained(*n, *explain)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("top %d of the agent's candidate schedules:\n", len(top))
+		for i, c := range top {
+			fmt.Printf("  #%d  predicted %8.2f s  hosts=%v\n", i+1, c.PredictedTotal, c.Hosts)
+		}
+		fmt.Println()
+	}
+
+	actuator := apples.JacobiActuator(tp, apples.JacobiConfig{Iterations: *iters})
+	if *viaRMS {
+		actuator = apples.RMSActuator(tp, apples.JacobiConfig{Iterations: *iters})
+	}
+	sched, measured, err := agent.Run(*n, actuator)
+	if err != nil {
+		fail(err)
+	}
+	if *saveSched != "" {
+		f, err := os.Create(*saveSched)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := sched.Placement.WriteTo(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("placement written to %s\n", *saveSched)
+	}
+
+	fmt.Printf("AppLeS schedule for Jacobi2D %dx%d (%d iterations, info=%s)\n", *n, *n, *iters, *info)
+	fmt.Printf("  candidate resource sets considered: %d (planned: %d)\n",
+		sched.CandidatesConsidered, sched.CandidatesPlanned)
+	fmt.Println("  partition:")
+	for _, a := range sched.Placement.Assignments {
+		if a.Points == 0 {
+			continue
+		}
+		fmt.Printf("    %-10s %7.2f%%  (%d rows)\n", a.Host, 100*sched.Placement.Fraction(a.Host), a.Rows)
+	}
+	fmt.Printf("  predicted: %8.2f s  (%.4f s/iter)\n", sched.PredictedTotal, sched.PredictedIterTime)
+	fmt.Printf("  measured:  %8.2f s  (%.4f s/iter)\n", measured, measured/float64(*iters))
+	fmt.Printf("  model error: %+.1f%%\n", 100*(sched.PredictedTotal-measured)/measured)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "apples:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command nws demonstrates the Network Weather Service on the simulated
+// Figure 2 testbed: it runs the sensors for a stretch of virtual time,
+// then prints the per-resource forecasts, the forecaster each series
+// selected, and the per-forecaster error table for one host.
+//
+// Usage:
+//
+//	nws -seed 11 -horizon 3600 -period 10 -detail sparc2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"apples"
+)
+
+func main() {
+	seed := flag.Int64("seed", 11, "ambient-load seed")
+	horizon := flag.Float64("horizon", 3600, "virtual seconds to sense")
+	period := flag.Float64("period", 10, "sensor period (virtual seconds)")
+	detail := flag.String("detail", "sparc2", "host whose forecaster error table to print")
+	save := flag.String("save", "", "write the sensor history snapshot to this file")
+	restore := flag.String("restore", "", "seed the forecaster banks from a snapshot file")
+	flag.Parse()
+
+	eng := apples.NewEngine()
+	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: *seed})
+	svc := apples.NewNWS(eng, *period)
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fail(err)
+		}
+		snap, err := apples.ReadNWSSnapshot(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if err := svc.Restore(snap); err != nil {
+			fail(err)
+		}
+		fmt.Printf("restored %d host and %d link series from %s\n\n", len(snap.CPU), len(snap.Links), *restore)
+	}
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(*horizon); err != nil {
+		fail(err)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := svc.Snapshot().WriteTo(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("snapshot written to %s\n\n", *save)
+	}
+
+	fmt.Printf("Network Weather Service after %.0f s of virtual time (period %.0f s)\n\n", *horizon, *period)
+	fmt.Print(svc.Report())
+
+	bank := svc.CPUBank(*detail)
+	if bank == nil {
+		fail(fmt.Errorf("unknown host %q", *detail))
+	}
+	fmt.Printf("\nforecaster bank for CPU availability of %s (%d samples):\n", *detail, bank.Len())
+	mse := bank.MSE()
+	mae := bank.MAE()
+	names := make([]string, 0, len(mse))
+	for n := range mse {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return mse[names[i]] < mse[names[j]] })
+	fmt.Println("  forecaster     MSE        MAE")
+	for _, n := range names {
+		fmt.Printf("  %-12s %9.6f  %9.6f\n", n, mse[n], mae[n])
+	}
+	v, by, _ := bank.Forecast()
+	fmt.Printf("  selected: %s -> forecast %.3f (truth now: %.3f)\n",
+		by, v, tp.Host(*detail).Availability())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nws:", err)
+	os.Exit(1)
+}

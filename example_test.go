@@ -1,0 +1,75 @@
+package apples_test
+
+import (
+	"fmt"
+
+	"apples"
+)
+
+// ExampleNewAgent schedules a Jacobi2D run on a dedicated testbed, where
+// the outcome is deterministic enough to assert.
+func ExampleNewAgent() {
+	eng := apples.NewEngine()
+	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: 1, Quiet: true})
+
+	agent, err := apples.NewAgent(tp, apples.JacobiTemplate(1000, 50),
+		&apples.UserSpec{Decomposition: "strip"}, apples.OracleInformation(tp))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sched, err := agent.Schedule(1000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("candidate sets: %d\n", sched.CandidatesConsidered)
+	fmt.Printf("placement covers the domain: %v\n", sched.Placement.TotalPoints() == 1000*1000)
+	// Output:
+	// candidate sets: 255
+	// placement covers the domain: true
+}
+
+// ExampleWeightedStrip builds the paper's static non-uniform strip
+// partition directly.
+func ExampleWeightedStrip() {
+	p, err := apples.WeightedStrip(100, []string{"fast", "slow"}, []float64{3, 1}, 8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("fast share: %.0f%%\n", 100*p.Fraction("fast"))
+	// Output:
+	// fast share: 75%
+}
+
+// ExampleNewReactModel evaluates the 3D-REACT pipeline model for the
+// paper's mapping.
+func ExampleNewReactModel() {
+	tp := apples.CASA(apples.NewEngine())
+	tpl := apples.ReactTemplate(600)
+	m, err := apples.NewReactModel(tp, tpl, "c90", "paragon", apples.ReactOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	u, t := m.BestUnit(5, 20)
+	fmt.Printf("unit in range: %v\n", u >= 5 && u <= 20)
+	fmt.Printf("under 5.5 hours: %v\n", t/3600 < 5.5)
+	// Output:
+	// unit in range: true
+	// under 5.5 hours: true
+}
+
+// ExampleNewForecasterBank shows dynamic predictor selection converging
+// on a constant series.
+func ExampleNewForecasterBank() {
+	bank := apples.NewForecasterBank()
+	for i := 0; i < 30; i++ {
+		bank.Update(0.5)
+	}
+	v, _, ok := bank.Forecast()
+	fmt.Printf("forecast %.1f ok=%v\n", v, ok)
+	// Output:
+	// forecast 0.5 ok=true
+}

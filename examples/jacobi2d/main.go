@@ -1,0 +1,95 @@
+// Jacobi2D partition shoot-out: execute the AppLeS schedule and the two
+// static baselines (speed-weighted strip, HPF uniform/blocked) back to
+// back under identical ambient load, the way the paper's Figure 5
+// experiment ran.
+//
+//	go run ./examples/jacobi2d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apples"
+)
+
+const (
+	n     = 1200
+	iters = 60
+	seed  = 7
+)
+
+// freshTestbed builds an identically loaded testbed; same seed means the
+// ambient contention replays exactly, so the comparison is fair.
+func freshTestbed() (*apples.Engine, *apples.Topology) {
+	eng := apples.NewEngine()
+	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: seed})
+	return eng, tp
+}
+
+func runPlacement(eng *apples.Engine, tp *apples.Topology, p *apples.Placement) float64 {
+	res, err := apples.RunJacobi(tp, p, apples.JacobiConfig{Iterations: iters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Time
+}
+
+func main() {
+	// --- AppLeS, scheduled from NWS forecasts ---
+	eng, tp := freshTestbed()
+	nws := apples.NewNWS(eng, 10)
+	nws.WatchTopology(tp)
+	if err := eng.RunUntil(600); err != nil {
+		log.Fatal(err)
+	}
+	nws.Stop()
+	agent, err := apples.NewAgent(tp, apples.JacobiTemplate(n, iters),
+		&apples.UserSpec{Decomposition: "strip"}, apples.NWSInformation(nws, tp))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := agent.Schedule(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	applesTime := runPlacement(eng, tp, sched.Placement)
+
+	// --- Static non-uniform strip (Figure 4): dedicated speeds only ---
+	eng2, tp2 := freshTestbed()
+	if err := eng2.RunUntil(600); err != nil {
+		log.Fatal(err)
+	}
+	hosts := tp2.HostNames()
+	weights := make([]float64, len(hosts))
+	for i, h := range hosts {
+		weights[i] = tp2.Host(h).Speed
+	}
+	strip, err := apples.WeightedStrip(n, hosts, weights, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stripTime := runPlacement(eng2, tp2, strip)
+
+	// --- HPF Uniform/Blocked ---
+	eng3, tp3 := freshTestbed()
+	if err := eng3.RunUntil(600); err != nil {
+		log.Fatal(err)
+	}
+	blocked, err := apples.BlockedPartition(n, tp3.HostNames(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blockedTime := runPlacement(eng3, tp3, blocked)
+
+	fmt.Printf("Jacobi2D %dx%d, %d iterations, identical ambient load (seed %d)\n\n", n, n, iters, seed)
+	fmt.Printf("  AppLeS (NWS)          %8.2f s\n", applesTime)
+	fmt.Printf("  Non-uniform Strip     %8.2f s   (%.2fx slower)\n", stripTime, stripTime/applesTime)
+	fmt.Printf("  HPF Uniform/Blocked   %8.2f s   (%.2fx slower)\n", blockedTime, blockedTime/applesTime)
+	fmt.Println("\nAppLeS partition:")
+	for _, a := range sched.Placement.Assignments {
+		if a.Points > 0 {
+			fmt.Printf("  %-10s %6.2f%%\n", a.Host, 100*sched.Placement.Fraction(a.Host))
+		}
+	}
+}

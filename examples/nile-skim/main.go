@@ -1,0 +1,65 @@
+// CLEO/NILE site-manager decision: should a physicist's repeated event
+// analysis stream records from the data site, skim a private local copy
+// first, or move the computation to the data (Section 2.1)?
+//
+//	go run ./examples/nile-skim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apples"
+)
+
+func main() {
+	const events = 30000
+	eng := apples.NewEngine()
+	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: 5})
+	if err := eng.RunUntil(300); err != nil {
+		log.Fatal(err)
+	}
+
+	// pass2 records live on alpha1; the physicist works on alpha2 (the
+	// CORBA-capable farm nodes) and keeps half the events after the skim.
+	ds := apples.NileDataset{Name: "roar", Site: "alpha1", Events: events, RecordBytes: 20480}
+	job, err := apples.NileJobFromTemplate(apples.NileTemplate(events), "alpha2", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job.SkimSelectivity = 0.5
+
+	sm := apples.NewSiteManager(tp, apples.OracleInformation(tp))
+
+	fmt.Printf("CLEO/NILE analysis of %d events (20 KB pass2 records)\n\n", events)
+	fmt.Println("passes  predicted remote  predicted skim  predicted at-data  site-manager pick")
+	for passes := 1; passes <= 8; passes++ {
+		job.Passes = passes
+		var pred [3]float64
+		for i, s := range []apples.NileStrategy{apples.NileRemote, apples.NileSkim, apples.NileAtData} {
+			p, err := sm.Predict(ds, job, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred[i] = p
+		}
+		choice, _, err := sm.Choose(ds, job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %16.1f  %14.1f  %17.1f  %s\n", passes, pred[0], pred[1], pred[2], choice)
+	}
+
+	// Execute the chosen strategy for a 4-pass analysis and report.
+	job.Passes = 4
+	choice, predicted, err := sm.Choose(ds, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := apples.RunNile(tp, ds, job, choice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecuted %v for 4 passes: predicted %.1f s, measured %.1f s, moved %.1f MB\n",
+		choice, predicted, res.Time, res.BytesMoved/1e6)
+}

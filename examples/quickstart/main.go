@@ -1,0 +1,66 @@
+// Quickstart: schedule and run a distributed Jacobi2D application with an
+// AppLeS agent on the paper's SDSC/PCL testbed.
+//
+//	go run ./examples/quickstart
+//
+// The walkthrough mirrors Section 4.2 of the paper: the user supplies the
+// application template (HAT) and user specification (US); the Network
+// Weather Service supplies dynamic forecasts; the agent's Coordinator
+// selects resources, plans strip schedules, estimates their performance,
+// and actuates the best one on the (simulated) metacomputer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apples"
+)
+
+func main() {
+	// A deterministic simulated metacomputer: Figure 2's workstations and
+	// networks, under ambient load from other users (seed-controlled).
+	eng := apples.NewEngine()
+	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: 42})
+
+	// Start the Network Weather Service and let it sense for ten virtual
+	// minutes so its forecaster banks have history.
+	nws := apples.NewNWS(eng, 10)
+	nws.WatchTopology(tp)
+	if err := eng.RunUntil(600); err != nil {
+		log.Fatal(err)
+	}
+
+	// The application: a 1500x1500 Jacobi iteration, 100 sweeps.
+	const n, iters = 1500, 100
+	tpl := apples.JacobiTemplate(n, iters)
+
+	// The user: wants minimum execution time, prefers strip partitions.
+	spec := &apples.UserSpec{
+		Metric:        apples.MinExecutionTime,
+		Decomposition: "strip",
+	}
+
+	agent, err := apples.NewAgent(tp, tpl, spec, apples.NWSInformation(nws, tp))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Schedule and actuate in one step.
+	sched, measured, err := agent.Run(n, apples.JacobiActuator(tp, apples.JacobiConfig{Iterations: iters}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("AppLeS schedule for Jacobi2D %dx%d on the SDSC/PCL metacomputer\n", n, n)
+	fmt.Printf("considered %d candidate resource sets; selected:\n", sched.CandidatesConsidered)
+	for _, a := range sched.Placement.Assignments {
+		if a.Points == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %6.2f%% of the grid (%4d rows)\n",
+			a.Host, 100*sched.Placement.Fraction(a.Host), a.Rows)
+	}
+	fmt.Printf("predicted execution time: %8.2f s\n", sched.PredictedTotal)
+	fmt.Printf("measured  execution time: %8.2f s\n", measured)
+}

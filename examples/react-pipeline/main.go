@@ -1,0 +1,77 @@
+// 3D-REACT pipeline tuning: reproduce the task-parallel CASA application
+// of Sections 2.2-2.3 — pick the task-to-machine mapping with the analytic
+// performance model, sweep the pipeline unit, and compare against the
+// single-site runs.
+//
+//	go run ./examples/react-pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apples"
+)
+
+func main() {
+	const surfaceFunctions = 600
+	tpl := apples.ReactTemplate(surfaceFunctions)
+
+	// Single-site baselines: both machines exceed 16 hours.
+	for _, machine := range []string{"c90", "paragon"} {
+		tp := apples.CASA(apples.NewEngine())
+		res, err := apples.RunReactSingleSite(tp, tpl, machine, apples.ReactOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("single-site %-8s %6.2f h\n", machine, res.Time/3600)
+	}
+
+	// The model picks the mapping (LHSF on the vector C90, Log-D on the
+	// Paragon) and the pipeline unit within the 5-20 range.
+	tp := apples.CASA(apples.NewEngine())
+	prod, cons, unit, predicted, err := apples.ChooseReactMapping(tp, tpl, "c90", "paragon", apples.ReactOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel-selected mapping: LHSF on %s, Log-D/ASY on %s, pipeline unit %d (predicted %.2f h)\n",
+		prod, cons, unit, predicted/3600)
+
+	// Execute the pipeline across the unit range to see the tradeoff:
+	// small units pay per-subdomain conversion overhead, large units pay
+	// fill/drain.
+	fmt.Println("\npipeline unit sweep (simulated):")
+	for u := tpl.PipelineUnitMin; u <= tpl.PipelineUnitMax; u += 3 {
+		tp := apples.CASA(apples.NewEngine())
+		res, err := apples.RunReactPipeline(tp, tpl, prod, cons, u, apples.ReactOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  u=%2d  %6.3f h   (consumer stalled %5.0f s, peak %d batches buffered)\n",
+			u, res.Time/3600, res.ConsumerStallSec, res.PeakQueuedBatches)
+	}
+
+	// The second-phase variant: after the last surface function, both
+	// machines compute an extra Log-D set with no communication.
+	tp2 := apples.CASA(apples.NewEngine())
+	res, err := apples.RunReactPipeline(tp2, tpl, prod, cons, unit, apples.ReactOptions{ExtraLogDSets: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith one extra Log-D set computed on both machines: %.2f h\n", res.Time/3600)
+
+	// The same decision, made by the Section 4.2 pipeline-blueprint agent
+	// in one call: filter machines through the user specification, derive
+	// the mapping and unit, actuate, measure.
+	tp3 := apples.CASA(apples.NewEngine())
+	agent, err := apples.NewPipelineAgent(tp3, tpl, &apples.UserSpec{},
+		apples.OracleInformation(tp3), apples.ReactOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, measured, err := agent.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPipelineAgent: %v -> measured %.2f h\n", sched, measured/3600)
+}

@@ -1,0 +1,3 @@
+module apples
+
+go 1.22

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/partition"
+	"apples/internal/userspec"
+)
+
+// Schedule is the Coordinator's chosen schedule for one run, plus the
+// bookkeeping the Actuator and the experiments need.
+type Schedule struct {
+	// Placement is the data decomposition to actuate.
+	Placement *partition.Placement
+	// PredictedIterTime and PredictedTotal are the Performance Estimator's
+	// expectations for one sweep and the full run.
+	PredictedIterTime float64
+	PredictedTotal    float64
+	// Hosts lists the selected resources in strip-chain order.
+	Hosts []string
+	// CandidatesConsidered counts resource sets evaluated, and
+	// CandidatesPlanned those that produced a feasible plan.
+	CandidatesConsidered int
+	CandidatesPlanned    int
+	// InfoSource names the information pool variant used.
+	InfoSource string
+}
+
+// String summarizes the schedule.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule{hosts=%s predIter=%.4fs predTotal=%.2fs info=%s}",
+		strings.Join(s.Hosts, ","), s.PredictedIterTime, s.PredictedTotal, s.InfoSource)
+}
+
+// Actuator implements a schedule on the target resource management
+// system and reports the measured execution time. In this repository the
+// target is the simulated metacomputer (the jacobi package provides the
+// implementation); in the paper it was KeLP.
+type Actuator interface {
+	Actuate(p *partition.Placement) (measuredSeconds float64, err error)
+}
+
+// ActuatorFunc adapts a function to the Actuator interface.
+type ActuatorFunc func(p *partition.Placement) (float64, error)
+
+// Actuate implements Actuator.
+func (f ActuatorFunc) Actuate(p *partition.Placement) (float64, error) { return f(p) }
+
+// Agent is an AppLeS: an application-level scheduling agent for one
+// application instance (here, the Jacobi2D blueprint of Section 5).
+type Agent struct {
+	tp   *grid.Topology
+	tpl  *hat.Template
+	spec *userspec.Spec
+	info Information
+
+	// SpillFactor mirrors the execution substrate's out-of-memory penalty
+	// so the estimator prices spills honestly (default 25, matching
+	// jacobi.Config).
+	SpillFactor float64
+}
+
+// NewAgent assembles an agent from its information pool: the application
+// template (HAT), the user specification (US), and a dynamic information
+// source (NWS, oracle, or static).
+func NewAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info Information) (*Agent, error) {
+	if err := tpl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if tpl.Paradigm != hat.DataParallel || len(tpl.Tasks) != 1 {
+		return nil, fmt.Errorf("core: the Jacobi blueprint schedules single-task data-parallel templates, got %s with %d tasks",
+			tpl.Paradigm, len(tpl.Tasks))
+	}
+	if spec.Decomposition != "" && spec.Decomposition != "strip" {
+		return nil, fmt.Errorf("core: planner supports strip decompositions, user requested %q", spec.Decomposition)
+	}
+	return &Agent{tp: tp, tpl: tpl, spec: spec, info: info, SpillFactor: 25}, nil
+}
+
+// Candidate is one evaluated resource set, exposed by ScheduleExplained
+// so users can see what the Coordinator weighed.
+type Candidate struct {
+	Hosts             []string
+	PredictedIterTime float64
+	PredictedTotal    float64
+	// Score is the user-metric objective (lower is better).
+	Score float64
+	// Placement is the planned decomposition for this set.
+	Placement *partition.Placement
+}
+
+// evaluate runs select -> plan -> estimate over every candidate set and
+// returns the scored candidates plus bookkeeping.
+func (a *Agent) evaluate(n int) ([]Candidate, int, error) {
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("core: non-positive problem size %d", n)
+	}
+	pool := a.spec.Filter(a.tp.Hosts())
+	if len(pool) == 0 {
+		return nil, 0, fmt.Errorf("core: user specification filters out every host")
+	}
+	rs := &resourceSelector{tp: a.tp, info: a.info}
+	pl := &planner{tp: a.tp, tpl: a.tpl, info: a.info}
+	es := &estimator{
+		tp:            a.tp,
+		spec:          a.spec,
+		bytesPerPoint: a.tpl.Tasks[0].BytesPerUnit,
+		spillFactor:   a.SpillFactor,
+		iterations:    max(a.tpl.Iterations, 1),
+	}
+
+	sets := rs.candidates(pool, a.spec.MaxResourceSets)
+
+	// Solo baseline for the speedup metric: best predicted single-host
+	// total.
+	solo := math.Inf(1)
+	if a.spec.Metric == userspec.MaxSpeedup {
+		for _, h := range pool {
+			p, costs, _, err := pl.plan(n, []*grid.Host{h})
+			if err != nil {
+				continue
+			}
+			if t := es.iterTime(p, costs) * float64(es.iterations); t < solo {
+				solo = t
+			}
+		}
+	}
+
+	var cands []Candidate
+	for _, set := range sets {
+		p, costs, _, err := pl.plan(n, set)
+		if err != nil {
+			continue
+		}
+		iterT := es.iterTime(p, costs)
+		hosts := make([]string, len(set))
+		for i, h := range set {
+			hosts[i] = h.Name
+		}
+		cands = append(cands, Candidate{
+			Hosts:             hosts,
+			PredictedIterTime: iterT,
+			PredictedTotal:    iterT * float64(es.iterations),
+			Score:             es.score(p, costs, solo),
+			Placement:         p,
+		})
+	}
+	return cands, len(sets), nil
+}
+
+// Schedule runs the Coordinator blueprint for an n x n problem:
+//
+//  1. select candidate resource sets S_i (Resource Selector),
+//  2. plan a strip schedule for each S_i (Planner),
+//  3. estimate each schedule's cost under the user's metric (Performance
+//     Estimator),
+//  4. return the schedule with the best predicted performance.
+//
+// The returned schedule is not yet actuated; pass it to Run or an
+// Actuator.
+func (a *Agent) Schedule(n int) (*Schedule, error) {
+	cands, considered, err := a.evaluate(n)
+	if err != nil {
+		return nil, err
+	}
+	return a.pickBest(cands, considered)
+}
+
+func (a *Agent) pickBest(cands []Candidate, considered int) (*Schedule, error) {
+	bestIdx, bestScore := -1, math.Inf(1)
+	for i, c := range cands {
+		if c.Score < bestScore {
+			bestIdx, bestScore = i, c.Score
+		}
+	}
+	if bestIdx < 0 {
+		return nil, fmt.Errorf("core: no feasible schedule among %d candidate sets", considered)
+	}
+	c := cands[bestIdx]
+	best := &Schedule{
+		Placement:            c.Placement,
+		PredictedIterTime:    c.PredictedIterTime,
+		PredictedTotal:       c.PredictedTotal,
+		Hosts:                append([]string(nil), c.Hosts...),
+		InfoSource:           a.info.Source(),
+		CandidatesConsidered: considered,
+		CandidatesPlanned:    len(cands),
+	}
+	// Normalize host list order for reporting: the placement order is the
+	// chain; keep hosts that actually received work first.
+	sort.SliceStable(best.Hosts, func(i, j int) bool {
+		return best.Placement.Fraction(best.Hosts[i]) > best.Placement.Fraction(best.Hosts[j])
+	})
+	return best, nil
+}
+
+// ScheduleExplained runs the blueprint and additionally returns the top-k
+// candidates by predicted score, so the user can inspect what the agent
+// considered (the paper: the agent works "at machine speeds and with more
+// comprehensive information" — this is the comprehension made visible).
+func (a *Agent) ScheduleExplained(n, topK int) (*Schedule, []Candidate, error) {
+	cands, considered, err := a.evaluate(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	best, err := a.pickBest(cands, considered)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranked := append([]Candidate(nil), cands...)
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score < ranked[j].Score })
+	if topK > 0 && len(ranked) > topK {
+		ranked = ranked[:topK]
+	}
+	return best, ranked, nil
+}
+
+// Run schedules the problem and immediately actuates the best schedule,
+// returning both the schedule and the measured execution time.
+func (a *Agent) Run(n int, act Actuator) (*Schedule, float64, error) {
+	s, err := a.Schedule(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	measured, err := act.Actuate(s.Placement)
+	if err != nil {
+		return s, 0, fmt.Errorf("core: actuation failed: %w", err)
+	}
+	return s, measured, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/jacobi"
+	"apples/internal/load"
+	"apples/internal/nws"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+func quietAgent(t *testing.T, opt grid.TestbedOptions, spec *userspec.Spec) (*Agent, *grid.Topology) {
+	t.Helper()
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, opt)
+	if spec == nil {
+		spec = &userspec.Spec{Decomposition: "strip"}
+	}
+	a, err := NewAgent(tp, hat.Jacobi2D(1000, 50), spec, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, tp
+}
+
+func TestScheduleOnQuietTestbed(t *testing.T) {
+	a, _ := quietAgent(t, grid.TestbedOptions{Seed: 1, Quiet: true}, nil)
+	s, err := a.Schedule(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.PredictedIterTime <= 0 || s.PredictedTotal <= 0 {
+		t.Fatalf("predictions %v / %v not positive", s.PredictedIterTime, s.PredictedTotal)
+	}
+	if s.CandidatesConsidered != 255 {
+		t.Fatalf("considered %d sets, want 255 (all subsets of 8 hosts)", s.CandidatesConsidered)
+	}
+	if s.CandidatesPlanned == 0 {
+		t.Fatal("no candidate produced a plan")
+	}
+	if !strings.Contains(s.String(), "oracle") {
+		t.Fatalf("schedule string %q missing info source", s.String())
+	}
+}
+
+func TestScheduleFavorsFastHosts(t *testing.T) {
+	a, _ := quietAgent(t, grid.TestbedOptions{Seed: 1, Quiet: true}, nil)
+	s, err := a.Schedule(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the quiet testbed the four 40-Mflop alphas dominate the 4-Mflop
+	// sparc2; if the sparc2 appears at all its share must be small.
+	alphaShare := 0.0
+	for _, h := range []string{"alpha1", "alpha2", "alpha3", "alpha4"} {
+		alphaShare += s.Placement.Fraction(h)
+	}
+	if alphaShare < 0.5 {
+		t.Fatalf("alphas got %.2f of the domain, want majority", alphaShare)
+	}
+	if f := s.Placement.Fraction("sparc2"); f > 0.05 {
+		t.Fatalf("sparc2 share %.3f, want < 0.05", f)
+	}
+}
+
+func TestScheduleShiftsWorkOffLoadedHost(t *testing.T) {
+	// Two identical hosts, one crushed by load: the oracle-informed agent
+	// must shift work to the free one.
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "busy", Speed: 40, MemoryMB: 512, Load: load.Constant(4)})
+	tp.AddHost(grid.HostSpec{Name: "free", Speed: 40, MemoryMB: 512})
+	l := tp.AddLink(grid.LinkSpec{Name: "wire", Latency: 0.001, Bandwidth: 10, Dedicated: true})
+	tp.Attach("busy", l)
+	tp.Attach("free", l)
+	tp.Finalize()
+
+	a, err := NewAgent(tp, hat.Jacobi2D(500, 50), &userspec.Spec{}, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Schedule(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, ff := s.Placement.Fraction("busy"), s.Placement.Fraction("free")
+	if ff < 3*fb {
+		t.Fatalf("free=%.2f busy=%.2f: agent did not shift work off the loaded host", ff, fb)
+	}
+}
+
+func TestScheduleRespectsExclusion(t *testing.T) {
+	spec := &userspec.Spec{Excluded: []string{"alpha1", "alpha2", "alpha3", "alpha4"}}
+	a, _ := quietAgent(t, grid.TestbedOptions{Seed: 1, Quiet: true}, spec)
+	s, err := a.Schedule(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range s.Placement.Hosts() {
+		if strings.HasPrefix(h, "alpha") {
+			t.Fatalf("excluded host %s received work", h)
+		}
+	}
+}
+
+func TestScheduleRespectsMaxResourceSets(t *testing.T) {
+	spec := &userspec.Spec{MaxResourceSets: 10}
+	a, _ := quietAgent(t, grid.TestbedOptions{Seed: 1, Quiet: true}, spec)
+	s, err := a.Schedule(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CandidatesConsidered != 10 {
+		t.Fatalf("considered %d, want 10", s.CandidatesConsidered)
+	}
+}
+
+func TestScheduleAvoidsMemorySpill(t *testing.T) {
+	// SP-2 nodes are fastest but bounded; past their joint capacity the
+	// agent must bring in other memory instead of spilling (Figure 6).
+	a, _ := quietAgent(t, grid.TestbedOptions{Seed: 1, Quiet: true, WithSP2: true}, nil)
+
+	// Small problem: the SP-2 pair carries the dominant share (on a fully
+	// quiet testbed the agent legitimately adds the alphas for their extra
+	// aggregate speed, so "dominant" rather than "exclusive").
+	small, err := a.Schedule(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2Share := small.Placement.Fraction("sp2a") + small.Placement.Fraction("sp2b")
+	if sp2Share < 0.5 {
+		t.Fatalf("small problem SP-2 share %.2f, want majority", sp2Share)
+	}
+	for _, h := range small.Placement.Hosts() {
+		if small.Placement.Fraction(h) > small.Placement.Fraction("sp2a") && !strings.HasPrefix(h, "sp2") {
+			t.Fatalf("host %s outranks an SP-2 node on the quiet testbed", h)
+		}
+	}
+
+	// Large problem: 4000^2 * 16 B = 256 MB > 220 MB of SP-2 memory.
+	big, err := a.Schedule(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	others := 0.0
+	for _, h := range big.Placement.Hosts() {
+		if !strings.HasPrefix(h, "sp2") {
+			others += big.Placement.Fraction(h)
+		}
+	}
+	if others <= 0 {
+		t.Fatal("large problem stayed on SP-2 despite memory cap")
+	}
+	// And no strip may exceed its host memory by more than rounding.
+	for _, asg := range big.Placement.Assignments {
+		h := a.tp.Host(asg.Host)
+		needMB := float64(asg.Points) * 16 / 1e6
+		if needMB > h.MemoryMB*1.02 {
+			t.Fatalf("%s assigned %.1f MB with %.1f MB real", asg.Host, needMB, h.MemoryMB)
+		}
+	}
+}
+
+func TestNWSInformedScheduleEndToEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 7})
+	svc := nws.NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(600); err != nil { // warm the sensors
+		t.Fatal(err)
+	}
+	a, err := NewAgent(tp, hat.Jacobi2D(1000, 30), &userspec.Spec{Decomposition: "strip"}, NWSInformation(svc, tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, measured, err := a.Run(1000, ActuatorFromJacobi(tp, jacobi.Config{Iterations: 30}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.InfoSource != "nws" {
+		t.Fatalf("info source %q, want nws", s.InfoSource)
+	}
+	if measured <= 0 {
+		t.Fatalf("measured time %v", measured)
+	}
+}
+
+func TestAgentRejectsBadInputs(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 1, Quiet: true})
+	if _, err := NewAgent(tp, hat.React3D(100), &userspec.Spec{}, OracleInformation(tp)); err == nil {
+		t.Fatal("task-parallel template accepted by Jacobi blueprint")
+	}
+	if _, err := NewAgent(tp, hat.Jacobi2D(100, 10), &userspec.Spec{Decomposition: "block-cyclic"}, OracleInformation(tp)); err == nil {
+		t.Fatal("unsupported decomposition accepted")
+	}
+	a, err := NewAgent(tp, hat.Jacobi2D(100, 10), &userspec.Spec{Accessible: []string{"ghost"}}, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Schedule(100); err == nil {
+		t.Fatal("empty resource pool accepted")
+	}
+	if _, err := a.Schedule(0); err == nil {
+		t.Fatal("zero problem size accepted")
+	}
+}
+
+func TestSpeedupMetricPrefersParallel(t *testing.T) {
+	spec := &userspec.Spec{Metric: userspec.MaxSpeedup}
+	a, _ := quietAgent(t, grid.TestbedOptions{Seed: 1, Quiet: true}, spec)
+	s, err := a.Schedule(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Placement.Hosts()) < 2 {
+		t.Fatalf("speedup metric chose %v, want a parallel schedule", s.Placement.Hosts())
+	}
+}
+
+func TestActuateViaJacobi(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 4, Quiet: true})
+	a, err := NewAgent(tp, hat.Jacobi2D(600, 20), &userspec.Spec{}, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := ActuatorFromJacobi(tp, jacobi.Config{Iterations: 20})
+	s, measured, err := a.Run(600, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured <= 0 {
+		t.Fatalf("measured time %v", measured)
+	}
+	// On a quiet testbed the model should predict within a factor ~2.
+	ratio := measured / s.PredictedTotal
+	if ratio > 2.5 || ratio < 0.4 {
+		t.Fatalf("measured %v vs predicted %v: model error ratio %v", measured, s.PredictedTotal, ratio)
+	}
+}

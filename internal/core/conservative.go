@@ -1,0 +1,73 @@
+package core
+
+import (
+	"apples/internal/grid"
+	"apples/internal/nws"
+)
+
+// conservativeInfo discounts NWS forecasts by a multiple of their own
+// error estimate. Section 3.6 warns that "a schedule is only as good as
+// the accuracy of its underlying predictions"; a risk-averse agent can
+// hedge by planning against forecast-minus-k-sigma capability, so
+// high-variance resources look worse than stable ones with the same mean.
+type conservativeInfo struct {
+	svc *nws.Service
+	tp  *grid.Topology
+	k   float64
+}
+
+// ConservativeInformation returns an information source that plans
+// against (forecast - k*RMSE) for both CPU availability and link
+// bandwidth. k = 0 degenerates to NWSInformation.
+func ConservativeInformation(svc *nws.Service, tp *grid.Topology, k float64) Information {
+	if k < 0 {
+		k = 0
+	}
+	return &conservativeInfo{svc: svc, tp: tp, k: k}
+}
+
+func (c *conservativeInfo) Availability(host string) float64 {
+	v, ok := c.svc.AvailabilityForecast(host)
+	if !ok {
+		return 1
+	}
+	if rmse, ok := c.svc.AvailabilityError(host); ok {
+		v -= c.k * rmse
+	}
+	if v < 0.01 {
+		v = 0.01
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+func (c *conservativeInfo) RouteBandwidth(a, b string) float64 {
+	if a == b {
+		return 1e30
+	}
+	bw := 1e30
+	for _, l := range c.tp.Route(a, b) {
+		v, ok := c.svc.BandwidthForecast(l.Name)
+		if !ok {
+			v = l.Bandwidth
+		}
+		if rmse, ok := c.svc.BandwidthError(l.Name); ok {
+			v -= c.k * rmse
+		}
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		if v < bw {
+			bw = v
+		}
+	}
+	return bw
+}
+
+func (c *conservativeInfo) RouteLatency(a, b string) float64 {
+	return c.tp.RouteLatency(a, b)
+}
+
+func (c *conservativeInfo) Source() string { return "nws-conservative" }

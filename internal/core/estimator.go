@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+
+	"apples/internal/grid"
+	"apples/internal/partition"
+	"apples/internal/userspec"
+)
+
+// estimator implements the Performance Estimator subsystem: it evaluates a
+// candidate schedule under the user's own performance metric.
+//
+// Unlike the Planner's balance equation, the estimator re-scores the
+// *rounded, clamped* placement — including the spill penalty for any strip
+// that exceeds real memory — so that infeasible-but-balanced plans are
+// priced honestly (this is what steers the Figure 6 agent to alternative
+// memory when the SP-2 fills).
+type estimator struct {
+	tp   *grid.Topology
+	spec *userspec.Spec
+
+	bytesPerPoint float64
+	spillFactor   float64
+	iterations    int
+}
+
+// iterTime predicts one iteration of the placement under the given cost
+// parameters: max_i (A_i * P_i * spillMult_i + C_i).
+func (es *estimator) iterTime(p *partition.Placement, costs []partition.HostCost) float64 {
+	byHost := map[string]partition.HostCost{}
+	for _, c := range costs {
+		byHost[c.Host] = c
+	}
+	worst := 0.0
+	for _, a := range p.Assignments {
+		if a.Points == 0 {
+			continue
+		}
+		c, ok := byHost[a.Host]
+		if !ok {
+			return math.Inf(1)
+		}
+		mult := 1.0
+		if h := es.tp.Host(a.Host); h != nil && es.bytesPerPoint > 0 {
+			needMB := float64(a.Points) * es.bytesPerPoint / 1e6
+			if needMB > h.MemoryMB {
+				spill := (needMB - h.MemoryMB) / needMB
+				mult = 1 + spill*(es.spillFactor-1)
+			}
+		}
+		t := float64(a.Points)*c.SecPerPoint*mult + c.CommSec
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// score converts a candidate schedule into the user's objective value
+// (lower is better for every metric; speedup is negated).
+func (es *estimator) score(p *partition.Placement, costs []partition.HostCost, soloTime float64) float64 {
+	total := es.iterTime(p, costs) * float64(es.iterations)
+	switch es.spec.Metric {
+	case userspec.MinExecutionTime:
+		return total
+	case userspec.MaxSpeedup:
+		if total <= 0 {
+			return math.Inf(1)
+		}
+		return -soloTime / total
+	case userspec.MinCost:
+		cost := 0.0
+		for _, a := range p.Assignments {
+			rate := es.spec.CostRate(a.Host)
+			if rate == 0 {
+				rate = 1
+			}
+			cost += total / 3600 * rate
+		}
+		return cost
+	default:
+		return total
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+func TestScheduleExplainedTopK(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 1, Quiet: true})
+	a, err := NewAgent(tp, hat.Jacobi2D(800, 20), &userspec.Spec{}, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, top, err := a.ScheduleExplained(800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("top-k %d, want 5", len(top))
+	}
+	// Ranked ascending by score, and the winner equals Schedule's pick.
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Score > top[i].Score {
+			t.Fatalf("candidates not ranked: %v then %v", top[i-1].Score, top[i].Score)
+		}
+	}
+	if top[0].PredictedIterTime != best.PredictedIterTime {
+		t.Fatalf("best candidate iter %v != schedule %v", top[0].PredictedIterTime, best.PredictedIterTime)
+	}
+	if err := top[0].Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Consistency with the plain entry point.
+	plain, err := a.Schedule(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PredictedTotal != best.PredictedTotal {
+		t.Fatalf("Schedule and ScheduleExplained disagree: %v vs %v", plain.PredictedTotal, best.PredictedTotal)
+	}
+}
+
+func TestScheduleExplainedAll(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 1, Quiet: true})
+	a, err := NewAgent(tp, hat.Jacobi2D(500, 10), &userspec.Spec{}, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, all, err := a.ScheduleExplained(500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 255 {
+		t.Fatalf("all candidates %d, want 255", len(all))
+	}
+}

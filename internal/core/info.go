@@ -1,0 +1,104 @@
+package core
+
+import (
+	"apples/internal/grid"
+	"apples/internal/nws"
+)
+
+// Information is the agent's view of dynamic system state: short-term
+// forecasts of deliverable CPU and network performance for the scheduling
+// time frame. It abstracts the paper's Information Pool so prediction
+// sources can be swapped for ablation.
+type Information interface {
+	// Availability forecasts the CPU fraction (0, 1] host will deliver.
+	Availability(host string) float64
+	// RouteBandwidth forecasts the bottleneck MB/s between two hosts.
+	RouteBandwidth(a, b string) float64
+	// RouteLatency returns the one-way route latency in seconds.
+	RouteLatency(a, b string) float64
+	// Source names the information source for reports.
+	Source() string
+}
+
+// nwsInfo backs Information with Network Weather Service forecasts,
+// falling back to static capabilities where no history exists yet.
+type nwsInfo struct {
+	svc *nws.Service
+	tp  *grid.Topology
+}
+
+// NWSInformation returns the production information source: NWS forecasts
+// over the given topology.
+func NWSInformation(svc *nws.Service, tp *grid.Topology) Information {
+	return &nwsInfo{svc: svc, tp: tp}
+}
+
+func (i *nwsInfo) Availability(host string) float64 {
+	if v, ok := i.svc.AvailabilityForecast(host); ok {
+		return v
+	}
+	return 1
+}
+
+func (i *nwsInfo) RouteBandwidth(a, b string) float64 {
+	return i.svc.RouteBandwidthForecast(i.tp, a, b)
+}
+
+func (i *nwsInfo) RouteLatency(a, b string) float64 {
+	return i.tp.RouteLatency(a, b)
+}
+
+func (i *nwsInfo) Source() string { return "nws" }
+
+// oracleInfo reads the simulator's true instantaneous state — the
+// unattainable upper bound on prediction quality.
+type oracleInfo struct {
+	tp *grid.Topology
+}
+
+// OracleInformation returns a perfect-knowledge information source for
+// ablation experiments.
+func OracleInformation(tp *grid.Topology) Information {
+	return &oracleInfo{tp: tp}
+}
+
+func (i *oracleInfo) Availability(host string) float64 {
+	h := i.tp.Host(host)
+	if h == nil {
+		return 1
+	}
+	return h.Availability()
+}
+
+func (i *oracleInfo) RouteBandwidth(a, b string) float64 {
+	return i.tp.RouteBandwidth(a, b)
+}
+
+func (i *oracleInfo) RouteLatency(a, b string) float64 {
+	return i.tp.RouteLatency(a, b)
+}
+
+func (i *oracleInfo) Source() string { return "oracle" }
+
+// staticInfo assumes every resource is dedicated — the compile-time
+// assumption embodied by the paper's static Strip and Blocked baselines.
+type staticInfo struct {
+	tp *grid.Topology
+}
+
+// StaticInformation returns the no-dynamic-information source.
+func StaticInformation(tp *grid.Topology) Information {
+	return &staticInfo{tp: tp}
+}
+
+func (i *staticInfo) Availability(string) float64 { return 1 }
+
+func (i *staticInfo) RouteBandwidth(a, b string) float64 {
+	return i.tp.RouteDedicatedBandwidth(a, b)
+}
+
+func (i *staticInfo) RouteLatency(a, b string) float64 {
+	return i.tp.RouteLatency(a, b)
+}
+
+func (i *staticInfo) Source() string { return "static" }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/load"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+func TestMinCostMetricPrefersCheapHosts(t *testing.T) {
+	// Two identical machines; one charges 100x more. Execution time is
+	// nearly the same either way, so the cost metric must avoid the
+	// expensive one.
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "pricey", Speed: 40, MemoryMB: 512})
+	tp.AddHost(grid.HostSpec{Name: "cheap", Speed: 40, MemoryMB: 512})
+	l := tp.AddLink(grid.LinkSpec{Name: "wire", Latency: 0.001, Bandwidth: 10, Dedicated: true})
+	tp.Attach("pricey", l)
+	tp.Attach("cheap", l)
+	tp.Finalize()
+
+	spec := &userspec.Spec{
+		Metric: userspec.MinCost,
+		CostPerCPUHour: map[string]float64{
+			"pricey": 100,
+			"cheap":  1,
+		},
+	}
+	a, err := NewAgent(tp, hat.Jacobi2D(500, 50), spec, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Schedule(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placement.Fraction("pricey") > 0 {
+		t.Fatalf("cost metric scheduled onto the expensive host: %v", s.Placement)
+	}
+	// Sanity: the time metric would use both.
+	specTime := &userspec.Spec{}
+	at, err := NewAgent(tp, hat.Jacobi2D(500, 50), specTime, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := at.Schedule(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Placement.Hosts()) != 2 {
+		t.Fatalf("time metric should use both hosts, used %v", st.Placement.Hosts())
+	}
+}
+
+// TestSubstrateSlowdownLaw calibrates the substrate against the
+// contention model the paper's companion work (Figueira & Berman, HPDC
+// '96) formalizes: a task sharing a host with L competing processes slows
+// down by exactly 1+L under processor sharing.
+func TestSubstrateSlowdownLaw(t *testing.T) {
+	base := 0.0
+	for i, L := range []float64{0, 1, 2, 4} {
+		eng := sim.NewEngine()
+		tp := grid.NewTopology(eng)
+		h := tp.AddHost(grid.HostSpec{Name: "h", Speed: 20, MemoryMB: 64, Load: load.Constant(L)})
+		tp.Finalize()
+		var done float64
+		h.Submit(200, func() { done = eng.Now() })
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = done
+			continue
+		}
+		want := (1 + L)
+		if got := done / base; got < want-1e-9 || got > want+1e-9 {
+			t.Fatalf("L=%v: slowdown %v, want %v", L, got, want)
+		}
+	}
+}
+
+// Property: every schedule the agent produces is a valid placement that
+// covers the domain and respects per-host memory (to rounding).
+func TestScheduleValidityProperty(t *testing.T) {
+	f := func(seedRaw uint16, nRaw uint8) bool {
+		seed := int64(seedRaw)
+		n := 300 + int(nRaw)*10
+		eng := sim.NewEngine()
+		tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: seed, WithSP2: seed%2 == 0})
+		if err := eng.RunUntil(120); err != nil {
+			return false
+		}
+		a, err := NewAgent(tp, hat.Jacobi2D(n, 10), &userspec.Spec{}, OracleInformation(tp))
+		if err != nil {
+			return false
+		}
+		s, err := a.Schedule(n)
+		if err != nil {
+			return false
+		}
+		if s.Placement.Validate() != nil {
+			return false
+		}
+		if s.Placement.TotalPoints() != n*n {
+			return false
+		}
+		for _, asg := range s.Placement.Assignments {
+			h := tp.Host(asg.Host)
+			needMB := float64(asg.Points) * 16 / 1e6
+			if needMB > h.MemoryMB*1.05 && h.MemoryMB*8 > float64(n*n)*16/1e6 {
+				// (only enforced when the pool could have avoided it)
+				return false
+			}
+		}
+		return s.PredictedIterTime > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

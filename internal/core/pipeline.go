@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/react"
+	"apples/internal/userspec"
+)
+
+// PipelineSchedule is the chosen schedule of a PipelineAgent: either a
+// producer/consumer mapping with a tuned pipeline unit, or a single-site
+// fallback when no pair beats the best single machine.
+type PipelineSchedule struct {
+	// Producer and Consumer name the mapping; for a single-site schedule
+	// both equal SingleSite and Unit is 0.
+	Producer, Consumer string
+	// SingleSite is non-empty when one machine alone is predicted best.
+	SingleSite string
+	// Unit is the chosen pipeline transfer unit (surface functions per
+	// subdomain).
+	Unit int
+	// Predicted is the estimated execution time in seconds.
+	Predicted float64
+	// CandidatesConsidered counts evaluated mappings (pairs + singles).
+	CandidatesConsidered int
+}
+
+// String summarizes the schedule.
+func (s *PipelineSchedule) String() string {
+	if s.SingleSite != "" {
+		return fmt.Sprintf("pipeline-schedule{single-site=%s pred=%.0fs}", s.SingleSite, s.Predicted)
+	}
+	return fmt.Sprintf("pipeline-schedule{%s->%s unit=%d pred=%.0fs}",
+		s.Producer, s.Consumer, s.Unit, s.Predicted)
+}
+
+// PipelineAgent is the AppLeS for two-task pipelined applications —
+// exactly the agent Section 4.2 sketches for 3D-REACT: the HAT supplies
+// computation-to-communication ratios and per-architecture
+// implementations, the Resource Selector proposes viable machine pairs
+// under the User Specifications, the Planner parameterizes the analytic
+// pipeline model with forecasts and derives the transfer unit "which
+// yields the necessary overlap", and the Performance Estimator compares
+// candidate mappings (including single-site fallbacks) under the user's
+// metric.
+type PipelineAgent struct {
+	tp   *grid.Topology
+	tpl  *hat.Template
+	spec *userspec.Spec
+	info Information
+	opt  react.Options
+}
+
+// NewPipelineAgent assembles a pipeline agent. The template must be
+// task-parallel with lhsf/logd tasks joined by a PipelineFlow comm edge
+// (the 3D-REACT shape).
+func NewPipelineAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info Information, opt react.Options) (*PipelineAgent, error) {
+	if err := tpl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if tpl.Paradigm != hat.TaskParallel {
+		return nil, fmt.Errorf("core: pipeline blueprint needs a task-parallel template, got %s", tpl.Paradigm)
+	}
+	if _, ok := tpl.Task("lhsf"); !ok {
+		return nil, fmt.Errorf("core: pipeline blueprint needs an lhsf task")
+	}
+	if _, ok := tpl.Task("logd"); !ok {
+		return nil, fmt.Errorf("core: pipeline blueprint needs a logd task")
+	}
+	hasFlow := false
+	for _, c := range tpl.Comms {
+		if c.Pattern == hat.PipelineFlow {
+			hasFlow = true
+		}
+	}
+	if !hasFlow {
+		return nil, fmt.Errorf("core: pipeline blueprint needs a pipeline comm edge")
+	}
+	return &PipelineAgent{tp: tp, tpl: tpl, spec: spec, info: info, opt: opt}, nil
+}
+
+// modelFor parameterizes the analytic pipeline model for one mapping,
+// discounting machine speeds by forecast availability and the link by
+// forecast bandwidth — the dynamic-information step the paper adds over
+// the developers' hand-built static model.
+func (a *PipelineAgent) modelFor(producer, consumer *grid.Host) (*react.Model, error) {
+	m, err := react.NewModel(a.tp, a.tpl, producer.Name, consumer.Name, a.opt)
+	if err != nil {
+		return nil, err
+	}
+	availP := a.info.Availability(producer.Name)
+	availC := a.info.Availability(consumer.Name)
+	if availP <= 0 {
+		availP = 0.01
+	}
+	if availC <= 0 {
+		availC = 0.01
+	}
+	m.TL /= availP
+	m.TD /= availC
+	if bw := a.info.RouteBandwidth(producer.Name, consumer.Name); bw > 0 && bw < 1e29 {
+		var comm hat.Comm
+		for _, c := range a.tpl.Comms {
+			if c.Pattern == hat.PipelineFlow {
+				comm = c
+			}
+		}
+		m.SecPerUnitXfer = comm.BytesPerUnit / 1e6 / bw
+	}
+	m.Latency = a.info.RouteLatency(producer.Name, consumer.Name)
+	return m, nil
+}
+
+// singleSitePrediction estimates a machine running both tasks alone,
+// discounted by forecast availability.
+func (a *PipelineAgent) singleSitePrediction(h *grid.Host) (float64, error) {
+	t, err := react.PredictSingleSite(a.tp, a.tpl, h.Name, a.opt)
+	if err != nil {
+		return 0, err
+	}
+	avail := a.info.Availability(h.Name)
+	if avail <= 0 {
+		avail = 0.01
+	}
+	return t / avail, nil
+}
+
+// Schedule runs the blueprint: filter machines through the US, evaluate
+// every ordered pair (and every single machine), and return the mapping
+// with the best predicted performance under the user's metric.
+func (a *PipelineAgent) Schedule() (*PipelineSchedule, error) {
+	pool := a.spec.Filter(a.tp.Hosts())
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("core: user specification filters out every machine")
+	}
+
+	best := &PipelineSchedule{Predicted: math.Inf(1)}
+	considered := 0
+
+	// Single-site candidates double as the speedup baseline.
+	bestSingle := math.Inf(1)
+	for _, h := range pool {
+		t, err := a.singleSitePrediction(h)
+		if err != nil {
+			continue
+		}
+		considered++
+		if t < bestSingle {
+			bestSingle = t
+		}
+		if t < best.Predicted {
+			best = &PipelineSchedule{SingleSite: h.Name, Producer: h.Name, Consumer: h.Name, Predicted: t}
+		}
+	}
+
+	minU, maxU := a.tpl.PipelineUnitMin, a.tpl.PipelineUnitMax
+	if minU == 0 {
+		minU = 1
+	}
+	if maxU < minU {
+		maxU = minU
+	}
+	for _, p := range pool {
+		for _, c := range pool {
+			if p.Name == c.Name {
+				continue
+			}
+			m, err := a.modelFor(p, c)
+			if err != nil {
+				continue
+			}
+			considered++
+			u, t := m.BestUnit(minU, maxU)
+			if t < best.Predicted {
+				best = &PipelineSchedule{Producer: p.Name, Consumer: c.Name, Unit: u, Predicted: t}
+			}
+		}
+	}
+	if math.IsInf(best.Predicted, 1) {
+		return nil, fmt.Errorf("core: no feasible pipeline mapping among %d candidates", considered)
+	}
+	// Every supported metric reduces to minimizing predicted time here:
+	// speedup is bestSingle/t, which is monotone in t for the fixed
+	// baseline bestSingle.
+	_ = bestSingle
+	best.CandidatesConsidered = considered
+	return best, nil
+}
+
+// Run schedules and immediately actuates: the pipeline executes on the
+// simulated machines (or the single-site variant runs sequentially) and
+// the measured time is returned alongside the schedule.
+func (a *PipelineAgent) Run() (*PipelineSchedule, float64, error) {
+	s, err := a.Schedule()
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.SingleSite != "" {
+		res, err := react.RunSingleSite(a.tp, a.tpl, s.SingleSite, a.opt)
+		if err != nil {
+			return s, 0, err
+		}
+		return s, res.Time, nil
+	}
+	res, err := react.RunPipeline(a.tp, a.tpl, s.Producer, s.Consumer, s.Unit, a.opt)
+	if err != nil {
+		return s, 0, err
+	}
+	return s, res.Time, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/load"
+	"apples/internal/react"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+func casaAgent(t *testing.T, spec *userspec.Spec) (*PipelineAgent, *grid.Topology) {
+	t.Helper()
+	tp := grid.CASA(sim.NewEngine())
+	if spec == nil {
+		spec = &userspec.Spec{}
+	}
+	a, err := NewPipelineAgent(tp, hat.React3D(600), spec, OracleInformation(tp), react.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, tp
+}
+
+func TestPipelineAgentPicksPaperMapping(t *testing.T) {
+	a, _ := casaAgent(t, nil)
+	s, err := a.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SingleSite != "" {
+		t.Fatalf("agent fell back to single-site %s", s.SingleSite)
+	}
+	if s.Producer != "c90" || s.Consumer != "paragon" {
+		t.Fatalf("mapping %s->%s, want c90->paragon", s.Producer, s.Consumer)
+	}
+	if s.Unit < 5 || s.Unit > 20 {
+		t.Fatalf("unit %d outside the template's 5-20 range", s.Unit)
+	}
+	// 2 singles + 2 ordered pairs.
+	if s.CandidatesConsidered != 4 {
+		t.Fatalf("considered %d candidates, want 4", s.CandidatesConsidered)
+	}
+	if !strings.Contains(s.String(), "c90->paragon") {
+		t.Fatalf("schedule string %q", s.String())
+	}
+}
+
+func TestPipelineAgentRunMeasures(t *testing.T) {
+	a, _ := casaAgent(t, nil)
+	s, measured, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured <= 0 {
+		t.Fatalf("measured %v", measured)
+	}
+	// The simulated pipeline matches the model within a few percent.
+	if ratio := measured / s.Predicted; ratio > 1.1 || ratio < 0.9 {
+		t.Fatalf("measured %v vs predicted %v", measured, s.Predicted)
+	}
+	// And it reproduces the headline: under 5 hours distributed.
+	if measured/3600 > 5.3 {
+		t.Fatalf("distributed run %.2f h, want < ~5", measured/3600)
+	}
+}
+
+func TestPipelineAgentSingleSiteWhenPeerExcluded(t *testing.T) {
+	a, _ := casaAgent(t, &userspec.Spec{Excluded: []string{"paragon"}})
+	s, err := a.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SingleSite != "c90" {
+		t.Fatalf("schedule %v, want single-site c90", s)
+	}
+	_, measured, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured/3600 < 15 {
+		t.Fatalf("single-site run %.2f h, want >15", measured/3600)
+	}
+}
+
+func TestPipelineAgentAvoidsLoadedMachine(t *testing.T) {
+	// Three identical machines, one crushed by load: the mapping must use
+	// the two free ones.
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	for _, spec := range []grid.HostSpec{
+		{Name: "m1", Arch: "c90", Site: "x", Speed: 450, MemoryMB: 4096, Load: load.Constant(9)},
+		{Name: "m2", Arch: "c90", Site: "x", Speed: 450, MemoryMB: 4096},
+		{Name: "m3", Arch: "paragon", Site: "x", Speed: 480, MemoryMB: 4096},
+	} {
+		tp.AddHost(spec)
+	}
+	l := tp.AddLink(grid.LinkSpec{Name: "net", Latency: 0.01, Bandwidth: 25, Dedicated: true})
+	for _, h := range []string{"m1", "m2", "m3"} {
+		tp.Attach(h, l)
+	}
+	tp.Finalize()
+
+	a, err := NewPipelineAgent(tp, hat.React3D(600), &userspec.Spec{}, OracleInformation(tp), react.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Producer == "m1" || s.Consumer == "m1" {
+		t.Fatalf("agent mapped onto the loaded machine: %v", s)
+	}
+	if s.Producer != "m2" || s.Consumer != "m3" {
+		t.Fatalf("mapping %s->%s, want m2->m3 (vector LHSF, MPP Log-D)", s.Producer, s.Consumer)
+	}
+}
+
+func TestPipelineAgentRejectsBadTemplates(t *testing.T) {
+	tp := grid.CASA(sim.NewEngine())
+	if _, err := NewPipelineAgent(tp, hat.Jacobi2D(100, 1), &userspec.Spec{}, OracleInformation(tp), react.Options{}); err == nil {
+		t.Fatal("data-parallel template accepted")
+	}
+	bad := hat.React3D(100)
+	bad.Comms = nil
+	if _, err := NewPipelineAgent(tp, bad, &userspec.Spec{}, OracleInformation(tp), react.Options{}); err == nil {
+		t.Fatal("template without pipeline edge accepted")
+	}
+}
+
+func TestPipelineAgentEmptyPool(t *testing.T) {
+	a, _ := casaAgent(t, &userspec.Spec{Accessible: []string{"ghost"}})
+	if _, err := a.Schedule(); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"apples/internal/grid"
+	"apples/internal/jacobi"
+	"apples/internal/partition"
+)
+
+// EstimatePlacement predicts the per-iteration time of an existing
+// placement under the agent's *current* information — the quantity a
+// rescheduling decision compares against a fresh schedule's prediction.
+func (a *Agent) EstimatePlacement(n int, p *partition.Placement) (float64, error) {
+	var chain []*grid.Host
+	for _, asg := range p.Assignments {
+		if asg.Points == 0 {
+			continue
+		}
+		h := a.tp.Host(asg.Host)
+		if h == nil {
+			continue
+		}
+		chain = append(chain, h)
+	}
+	pl := &planner{tp: a.tp, tpl: a.tpl, info: a.info}
+	costs, err := pl.costsFor(n, chain)
+	if err != nil {
+		return 0, err
+	}
+	es := &estimator{
+		tp:            a.tp,
+		spec:          a.spec,
+		bytesPerPoint: a.tpl.Tasks[0].BytesPerUnit,
+		spillFactor:   a.SpillFactor,
+		iterations:    max(a.tpl.Iterations, 1),
+	}
+	return es.iterTime(p, costs), nil
+}
+
+// Rescheduler returns the redistribution policy of Section 3.2 as a
+// jacobi.ReplanFunc: at each rescheduling point the agent re-runs its
+// blueprint with fresh forecasts and accepts the new schedule only when
+//
+//   - the new predicted iteration time improves on the current
+//     placement's by at least the hysteresis fraction (guarding against
+//     thrashing on forecast noise), and
+//   - the predicted savings over the remaining iterations exceed the
+//     estimated cost of migrating the strip state.
+func (a *Agent) Rescheduler(n int, hysteresis float64) jacobi.ReplanFunc {
+	if hysteresis <= 0 {
+		hysteresis = 0.10
+	}
+	totalIters := max(a.tpl.Iterations, 1)
+	bytesPerPoint := a.tpl.Tasks[0].BytesPerUnit
+
+	return func(done int, current *partition.Placement) *partition.Placement {
+		remaining := totalIters - done
+		if remaining <= 0 {
+			return nil
+		}
+		fresh, err := a.Schedule(n)
+		if err != nil {
+			return nil
+		}
+		curIter, err := a.EstimatePlacement(n, current)
+		if err != nil {
+			return nil
+		}
+		if fresh.PredictedIterTime >= curIter*(1-hysteresis) {
+			return nil
+		}
+		savings := (curIter - fresh.PredictedIterTime) * float64(remaining)
+		migMB := jacobi.EstimateMigrationMB(current, fresh.Placement, bytesPerPoint)
+		migCost := a.migrationCost(current, fresh.Placement, migMB)
+		if savings <= migCost {
+			return nil
+		}
+		return fresh.Placement
+	}
+}
+
+// migrationCost estimates the seconds needed to move migMB between the
+// placements' hosts, using the slowest forecast route among the affected
+// pairs as the bottleneck.
+func (a *Agent) migrationCost(oldP, newP *partition.Placement, migMB float64) float64 {
+	if migMB <= 0 {
+		return 0
+	}
+	// Affected hosts: anyone whose share changed.
+	oldPts := map[string]int{}
+	for _, asg := range oldP.Assignments {
+		oldPts[asg.Host] = asg.Points
+	}
+	var shrank, grew []string
+	seen := map[string]bool{}
+	for _, asg := range newP.Assignments {
+		seen[asg.Host] = true
+		switch d := asg.Points - oldPts[asg.Host]; {
+		case d > 0:
+			grew = append(grew, asg.Host)
+		case d < 0:
+			shrank = append(shrank, asg.Host)
+		}
+	}
+	for h := range oldPts {
+		if !seen[h] && oldPts[h] > 0 {
+			shrank = append(shrank, h)
+		}
+	}
+	worstBW := 1e30
+	for _, s := range shrank {
+		for _, g := range grew {
+			if bw := a.info.RouteBandwidth(s, g); bw < worstBW {
+				worstBW = bw
+			}
+		}
+	}
+	if worstBW <= 0 || worstBW >= 1e30 {
+		return 0
+	}
+	return migMB / worstBW
+}

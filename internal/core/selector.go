@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"apples/internal/grid"
+)
+
+// maxExhaustiveHosts bounds the all-subsets enumeration (2^12 - 1 = 4095
+// candidate sets). The paper's prototype considered "all subsets" of its 8
+// machines; beyond this we fall back to desirability prefixes.
+const maxExhaustiveHosts = 12
+
+// resourceSelector implements the Resource Selector subsystem: it ranks
+// feasible hosts by deliverable performance, orders each candidate set so
+// that logically close hosts are strip neighbors, and enumerates candidate
+// sets for the Planner.
+type resourceSelector struct {
+	tp   *grid.Topology
+	info Information
+}
+
+// desirability scores a host by forecast deliverable speed discounted by
+// its network distance to the rest of the pool — the application-specific
+// "closeness" of Section 3.3: a fast machine behind a slow shared WAN is
+// less desirable to a border-exchanging stencil code than a modest one on
+// the local segment.
+func (rs *resourceSelector) desirability(h *grid.Host, pool []*grid.Host) float64 {
+	eff := h.Speed * rs.info.Availability(h.Name)
+	// Mean logical distance to the other pool members: seconds to move a
+	// nominal 1 MB border to each.
+	if len(pool) <= 1 {
+		return eff
+	}
+	dist := 0.0
+	for _, o := range pool {
+		if o.Name == h.Name {
+			continue
+		}
+		bw := rs.info.RouteBandwidth(h.Name, o.Name)
+		if bw <= 0 {
+			bw = 1e-6
+		}
+		dist += rs.info.RouteLatency(h.Name, o.Name) + 1.0/bw
+	}
+	dist /= float64(len(pool) - 1)
+	return eff / (1 + dist)
+}
+
+// orderChain arranges a resource set into a strip chain that keeps
+// logically close hosts adjacent: greedy nearest-neighbor by route
+// transfer cost, seeded at the fastest host. Deterministic.
+func (rs *resourceSelector) orderChain(set []*grid.Host) []*grid.Host {
+	eff := func(h *grid.Host) float64 { return h.Speed * rs.info.Availability(h.Name) }
+	if len(set) <= 2 {
+		out := append([]*grid.Host(nil), set...)
+		sort.Slice(out, func(i, j int) bool {
+			ei, ej := eff(out[i]), eff(out[j])
+			if ei != ej {
+				return ei > ej
+			}
+			return out[i].Name < out[j].Name
+		})
+		return out
+	}
+	remaining := append([]*grid.Host(nil), set...)
+	sort.Slice(remaining, func(i, j int) bool {
+		ei, ej := eff(remaining[i]), eff(remaining[j])
+		if ei != ej {
+			return ei > ej
+		}
+		return remaining[i].Name < remaining[j].Name
+	})
+	chain := []*grid.Host{remaining[0]}
+	remaining = remaining[1:]
+	for len(remaining) > 0 {
+		cur := chain[len(chain)-1]
+		bestIdx, bestCost := 0, math.Inf(1)
+		for i, h := range remaining {
+			bw := rs.info.RouteBandwidth(cur.Name, h.Name)
+			if bw <= 0 {
+				bw = 1e-6
+			}
+			cost := rs.info.RouteLatency(cur.Name, h.Name) + 1.0/bw
+			if cost < bestCost || (cost == bestCost && h.Name < remaining[bestIdx].Name) {
+				bestIdx, bestCost = i, cost
+			}
+		}
+		chain = append(chain, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return chain
+}
+
+// candidates enumerates resource sets for the Planner, each already
+// ordered as a strip chain. With a small pool every non-empty subset is
+// considered (as the paper's prototype did); larger pools use prefixes of
+// the desirability ranking. maxSets caps the result when positive.
+func (rs *resourceSelector) candidates(pool []*grid.Host, maxSets int) [][]*grid.Host {
+	if len(pool) == 0 {
+		return nil
+	}
+	ranked := append([]*grid.Host(nil), pool...)
+	sort.Slice(ranked, func(i, j int) bool {
+		di, dj := rs.desirability(ranked[i], pool), rs.desirability(ranked[j], pool)
+		if di != dj {
+			return di > dj
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+
+	var sets [][]*grid.Host
+	if len(ranked) <= maxExhaustiveHosts {
+		n := len(ranked)
+		for mask := 1; mask < 1<<n; mask++ {
+			var set []*grid.Host
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					set = append(set, ranked[b])
+				}
+			}
+			sets = append(sets, set)
+		}
+		// Prefer larger aggregate desirability first so a cap keeps the
+		// most promising sets.
+		sort.SliceStable(sets, func(i, j int) bool {
+			return rs.aggregate(sets[i], pool) > rs.aggregate(sets[j], pool)
+		})
+	} else {
+		for k := 1; k <= len(ranked); k++ {
+			sets = append(sets, append([]*grid.Host(nil), ranked[:k]...))
+		}
+	}
+	if maxSets > 0 && len(sets) > maxSets {
+		sets = sets[:maxSets]
+	}
+	for i, set := range sets {
+		sets[i] = rs.orderChain(set)
+	}
+	return sets
+}
+
+func (rs *resourceSelector) aggregate(set, pool []*grid.Host) float64 {
+	sum := 0.0
+	for _, h := range set {
+		sum += rs.desirability(h, pool)
+	}
+	return sum
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// selectorFixture builds a two-site topology: two fast hosts on a fast
+// local link, one fast host behind a slow WAN.
+func selectorFixture(t *testing.T) (*resourceSelector, *grid.Topology) {
+	t.Helper()
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "near1", Arch: "ws", Site: "here", Speed: 40, MemoryMB: 256})
+	tp.AddHost(grid.HostSpec{Name: "near2", Arch: "ws", Site: "here", Speed: 40, MemoryMB: 256})
+	tp.AddHost(grid.HostSpec{Name: "far1", Arch: "ws", Site: "there", Speed: 40, MemoryMB: 256})
+	lan := tp.AddLink(grid.LinkSpec{Name: "lan", Latency: 0.0005, Bandwidth: 12, Dedicated: true})
+	wan := tp.AddLink(grid.LinkSpec{Name: "wan", Latency: 0.05, Bandwidth: 0.4, Dedicated: true})
+	tp.AddRouter("gw")
+	tp.Attach("near1", lan)
+	tp.Attach("near2", lan)
+	tp.Attach("gw", lan)
+	tp.Attach("gw", wan)
+	tp.Attach("far1", wan)
+	tp.Finalize()
+	return &resourceSelector{tp: tp, info: OracleInformation(tp)}, tp
+}
+
+func TestDesirabilityPenalizesDistance(t *testing.T) {
+	rs, tp := selectorFixture(t)
+	pool := tp.Hosts()
+	var near, far float64
+	for _, h := range pool {
+		d := rs.desirability(h, pool)
+		switch h.Name {
+		case "near1":
+			near = d
+		case "far1":
+			far = d
+		}
+	}
+	// Same speed, same availability; the far host's slow WAN must make it
+	// less desirable to a border-exchanging application.
+	if far >= near {
+		t.Fatalf("far host desirability %v >= near %v", far, near)
+	}
+}
+
+func TestOrderChainKeepsCloseHostsAdjacent(t *testing.T) {
+	rs, tp := selectorFixture(t)
+	chain := rs.orderChain(tp.Hosts())
+	if len(chain) != 3 {
+		t.Fatalf("chain %v", chain)
+	}
+	// The far host must sit at an end of the chain, never between the two
+	// near hosts.
+	if chain[1].Name == "far1" {
+		t.Fatalf("far host placed mid-chain: %v %v %v", chain[0].Name, chain[1].Name, chain[2].Name)
+	}
+}
+
+func TestOrderChainDeterministic(t *testing.T) {
+	rs, tp := selectorFixture(t)
+	a := rs.orderChain(tp.Hosts())
+	b := rs.orderChain(tp.Hosts())
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("chain order not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCandidatesExhaustiveSmallPool(t *testing.T) {
+	rs, tp := selectorFixture(t)
+	sets := rs.candidates(tp.Hosts(), 0)
+	if len(sets) != 7 { // 2^3 - 1
+		t.Fatalf("candidate sets %d, want 7", len(sets))
+	}
+	// Every set is non-empty and contains distinct hosts.
+	for _, set := range sets {
+		seen := map[string]bool{}
+		for _, h := range set {
+			if seen[h.Name] {
+				t.Fatalf("duplicate host in set: %v", set)
+			}
+			seen[h.Name] = true
+		}
+		if len(set) == 0 {
+			t.Fatal("empty candidate set")
+		}
+	}
+}
+
+func TestCandidatesCap(t *testing.T) {
+	rs, tp := selectorFixture(t)
+	sets := rs.candidates(tp.Hosts(), 2)
+	if len(sets) != 2 {
+		t.Fatalf("capped candidates %d, want 2", len(sets))
+	}
+}
+
+func TestCandidatesPrefixLargePool(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{Clusters: 4, PerCluster: 4, Seed: 1, Quiet: true})
+	rs := &resourceSelector{tp: tp, info: OracleInformation(tp)}
+	sets := rs.candidates(tp.Hosts(), 0)
+	if len(sets) != 16 {
+		t.Fatalf("16-host pool candidates %d, want 16 prefixes", len(sets))
+	}
+	for k, set := range sets {
+		if len(set) != k+1 {
+			t.Fatalf("prefix %d has %d hosts", k, len(set))
+		}
+	}
+}
+
+func TestCandidatesPreferLoadedPoolShift(t *testing.T) {
+	// A loaded near host should rank below an equally fast idle one.
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "busy", Speed: 40, MemoryMB: 256, Load: load.Constant(4)})
+	tp.AddHost(grid.HostSpec{Name: "idle", Speed: 40, MemoryMB: 256})
+	l := tp.AddLink(grid.LinkSpec{Name: "lan", Latency: 0.001, Bandwidth: 10, Dedicated: true})
+	tp.Attach("busy", l)
+	tp.Attach("idle", l)
+	tp.Finalize()
+	rs := &resourceSelector{tp: tp, info: OracleInformation(tp)}
+	sets := rs.candidates(tp.Hosts(), 1)
+	// The single best set is the full pool (most aggregate desirability);
+	// within it the chain starts at the faster *deliverable* host.
+	if sets[0][0].Name != "idle" {
+		t.Fatalf("chain starts at %s, want idle", sets[0][0].Name)
+	}
+}

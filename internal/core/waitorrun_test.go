@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+// loadedAgentWithSP2 builds an agent on the loaded testbed where the two
+// SP-2 nodes are the dedicated-offer targets.
+func loadedAgentWithSP2(t *testing.T) *Agent {
+	t.Helper()
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 13, WithSP2: true})
+	if err := eng.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the SP-2 nodes from the *shared* pool: the scenario is that
+	// they are reachable only through the batch queue.
+	a, err := NewAgent(tp, hat.Jacobi2D(2000, 100),
+		&userspec.Spec{Excluded: []string{"sp2a", "sp2b"}},
+		OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestWaitOrRunShortWaitWaits(t *testing.T) {
+	a := loadedAgentWithSP2(t)
+	offer := DedicatedOffer{Hosts: []string{"sp2a", "sp2b"}, WaitSec: 5}
+	dec, err := a.WaitOrRun(2000, offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Wait {
+		t.Fatalf("short wait for fast dedicated nodes rejected: shared=%v dedicated=%v",
+			dec.SharedPredicted, dec.DedicatedPredicted)
+	}
+	if dec.Schedule != dec.DedicatedSchedule {
+		t.Fatal("decision schedule is not the dedicated one")
+	}
+	for _, h := range dec.Schedule.Placement.Hosts() {
+		if h != "sp2a" && h != "sp2b" {
+			t.Fatalf("dedicated schedule uses non-offered host %s", h)
+		}
+	}
+}
+
+func TestWaitOrRunLongWaitRuns(t *testing.T) {
+	a := loadedAgentWithSP2(t)
+	offer := DedicatedOffer{Hosts: []string{"sp2a", "sp2b"}, WaitSec: 1e6}
+	dec, err := a.WaitOrRun(2000, offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Wait {
+		t.Fatalf("million-second queue wait accepted: shared=%v dedicated=%v",
+			dec.SharedPredicted, dec.DedicatedPredicted)
+	}
+	if dec.Schedule != dec.SharedSchedule {
+		t.Fatal("decision schedule is not the shared one")
+	}
+}
+
+func TestWaitOrRunThresholdConsistency(t *testing.T) {
+	// The flip point is exactly where wait + dedicated = shared.
+	a := loadedAgentWithSP2(t)
+	base, err := a.WaitOrRun(2000, DedicatedOffer{Hosts: []string{"sp2a", "sp2b"}, WaitSec: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakEven := base.SharedPredicted - (base.DedicatedPredicted - 0)
+	if breakEven <= 0 {
+		t.Skip("dedicated never attractive on this seed")
+	}
+	just, err := a.WaitOrRun(2000, DedicatedOffer{Hosts: []string{"sp2a", "sp2b"}, WaitSec: breakEven * 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := a.WaitOrRun(2000, DedicatedOffer{Hosts: []string{"sp2a", "sp2b"}, WaitSec: breakEven * 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !just.Wait || over.Wait {
+		t.Fatalf("threshold inconsistent: wait(0.9x)=%v wait(1.1x)=%v", just.Wait, over.Wait)
+	}
+}
+
+func TestWaitOrRunErrors(t *testing.T) {
+	a := loadedAgentWithSP2(t)
+	if _, err := a.WaitOrRun(2000, DedicatedOffer{}); err == nil {
+		t.Fatal("empty offer accepted")
+	}
+	if _, err := a.WaitOrRun(2000, DedicatedOffer{Hosts: []string{"sp2a"}, WaitSec: -1}); err == nil {
+		t.Fatal("negative wait accepted")
+	}
+	if _, err := a.WaitOrRun(2000, DedicatedOffer{Hosts: []string{"ghost"}}); err == nil {
+		t.Fatal("offer of unknown host accepted")
+	}
+}

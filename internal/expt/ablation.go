@@ -1,0 +1,167 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ForecastAblationRow compares the executed time of AppLeS schedules built
+// from different information sources on the same conditions (ablation A1:
+// "a schedule is only as good as the accuracy of its underlying
+// predictions", Section 3.6).
+type ForecastAblationRow struct {
+	N      int
+	Oracle float64 // perfect instantaneous information
+	NWS    float64 // forecasts from the Network Weather Service
+	Static float64 // compile-time information only
+}
+
+// AblationForecast runs the three information sources back-to-back.
+func AblationForecast(sizes []int, trials int, seed int64) ([]ForecastAblationRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1000, 1500, 2000}
+	}
+	if trials == 0 {
+		trials = 3
+	}
+	var rows []ForecastAblationRow
+	for _, n := range sizes {
+		row := ForecastAblationRow{N: n}
+		for _, sched := range []Scheduler{SchedAppLeSOracle, SchedAppLeS, SchedAppLeSStatic} {
+			avg, err := Average(RunSpec{Scheduler: sched, N: n, Iterations: 60, Seed: seed}, trials)
+			if err != nil {
+				return nil, fmt.Errorf("ablation n=%d %s: %w", n, sched, err)
+			}
+			switch sched {
+			case SchedAppLeSOracle:
+				row.Oracle = avg
+			case SchedAppLeS:
+				row.NWS = avg
+			case SchedAppLeSStatic:
+				row.Static = avg
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblationForecast renders ablation A1.
+func FormatAblationForecast(rows []ForecastAblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation A1 — information source vs executed time (seconds)\n")
+	sb.WriteString("      N     oracle        NWS     static   static/NWS\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d  %9.2f  %9.2f  %9.2f  %9.2fx\n",
+			r.N, r.Oracle, r.NWS, r.Static, r.Static/r.NWS)
+	}
+	return sb.String()
+}
+
+// RiskAblationRow compares risk postures (ablation A4): the agent plans
+// against forecast minus k times the forecaster's own RMSE.
+type RiskAblationRow struct {
+	K         float64
+	MeanTime  float64
+	WorstTime float64
+	MeanHosts float64 // hosts used per schedule — risk aversion shrinks it
+}
+
+// AblationRisk sweeps the conservatism factor k over several seeds and
+// reports mean and worst-case executed times. Risk-averse schedules trade
+// a little mean performance for a shorter tail: high-variance machines
+// are avoided even when their mean forecast looks good.
+func AblationRisk(n int, ks []float64, seeds []int64) ([]RiskAblationRow, error) {
+	if len(ks) == 0 {
+		ks = []float64{0, 0.5, 1, 2}
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{101, 202, 303, 404, 505}
+	}
+	var rows []RiskAblationRow
+	for _, k := range ks {
+		row := RiskAblationRow{K: k}
+		for _, seed := range seeds {
+			out, err := runConservative(n, 60, seed, k)
+			if err != nil {
+				return nil, fmt.Errorf("ablation risk k=%v seed=%d: %w", k, seed, err)
+			}
+			row.MeanTime += out.Measured / float64(len(seeds))
+			if out.Measured > row.WorstTime {
+				row.WorstTime = out.Measured
+			}
+			row.MeanHosts += float64(len(out.Placement.Hosts())) / float64(len(seeds))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblationRisk renders ablation A4.
+func FormatAblationRisk(rows []RiskAblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation A4 — risk posture (plan against forecast - k*RMSE)\n")
+	sb.WriteString("      k   mean time(s)  worst time(s)  mean hosts\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5.1f  %13.2f  %13.2f  %10.1f\n", r.K, r.MeanTime, r.WorstTime, r.MeanHosts)
+	}
+	return sb.String()
+}
+
+// runConservative executes one AppLeS run with the given risk posture.
+func runConservative(n, iterations int, seed int64, k float64) (*RunOutcome, error) {
+	return Run(RunSpec{
+		Scheduler:  SchedAppLeS,
+		N:          n,
+		Iterations: iterations,
+		Seed:       seed,
+		RiskFactor: k,
+	})
+}
+
+// SelectionAblationRow compares exhaustive subset search against a pruned
+// search (ablation A3).
+type SelectionAblationRow struct {
+	MaxSets    int // 0 = exhaustive
+	Considered int
+	Measured   float64
+}
+
+// AblationSelection measures how schedule quality degrades as the
+// Resource Selector's candidate budget shrinks.
+func AblationSelection(n int, budgets []int, seed int64) ([]SelectionAblationRow, error) {
+	if len(budgets) == 0 {
+		budgets = []int{0, 64, 16, 8, 3, 1}
+	}
+	var rows []SelectionAblationRow
+	for _, b := range budgets {
+		out, err := Run(RunSpec{
+			Scheduler: SchedAppLeS, N: n, Iterations: 60,
+			Seed: seed, MaxResourceSets: b,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation selection budget=%d: %w", b, err)
+		}
+		rows = append(rows, SelectionAblationRow{
+			MaxSets:    b,
+			Considered: out.Schedule.CandidatesConsidered,
+			Measured:   out.Measured,
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblationSelection renders ablation A3.
+func FormatAblationSelection(rows []SelectionAblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation A3 — resource-selection budget vs executed time\n")
+	sb.WriteString("  budget  considered   measured(s)\n")
+	for _, r := range rows {
+		budget := "all"
+		if r.MaxSets > 0 {
+			budget = fmt.Sprintf("%d", r.MaxSets)
+		}
+		fmt.Fprintf(&sb, "  %6s  %10d  %12.2f\n", budget, r.Considered, r.Measured)
+	}
+	return sb.String()
+}

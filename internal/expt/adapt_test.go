@@ -1,0 +1,33 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdaptationBeatsStaticUnderLoadShift(t *testing.T) {
+	res, err := Adaptation(1200, 150, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d, want 2", len(res.Rows))
+	}
+	static, adaptive := res.Rows[0], res.Rows[1]
+	if static.Replans != 0 {
+		t.Fatalf("static run replanned %d times", static.Replans)
+	}
+	if adaptive.Replans == 0 {
+		t.Fatal("adaptive run never replanned despite the load shift")
+	}
+	if adaptive.MigratedMB <= 0 {
+		t.Fatal("adaptive run migrated no state")
+	}
+	if adaptive.Time >= static.Time {
+		t.Fatalf("adaptive %v not faster than static %v", adaptive.Time, static.Time)
+	}
+	out := FormatAdaptation(res)
+	if !strings.Contains(out, "Redistribution") || !strings.Contains(out, "speedup") {
+		t.Fatalf("format: %q", out)
+	}
+}

@@ -1,0 +1,131 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars: one group per label, one bar
+// per series, all scaled to a common maximum. Used by cmd/expt -chart to
+// visualize the figures in the terminal.
+func BarChart(title string, labels []string, seriesOrder []string, series map[string][]float64, width int) string {
+	if width < 10 {
+		width = 50
+	}
+	maxVal := 0.0
+	for _, vals := range series {
+		for _, v := range vals {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if maxVal <= 0 || math.IsNaN(maxVal) {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	nameW := 0
+	for _, s := range seriesOrder {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	for i, label := range labels {
+		for j, s := range seriesOrder {
+			vals := series[s]
+			if i >= len(vals) {
+				continue
+			}
+			v := vals[i]
+			bar := strings.Repeat("#", int(v/maxVal*float64(width)+0.5))
+			head := ""
+			if j == 0 {
+				head = label
+			}
+			fmt.Fprintf(&sb, "  %-7s %-*s %-*s %.4g\n", head, nameW, s, width, bar, v)
+		}
+		if i < len(labels)-1 {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// SweepChart renders a one-series sweep (like the pipeline-unit curve) as
+// a vertical profile of bars.
+func SweepChart(title string, xs []string, ys []float64, width int) string {
+	if width < 10 {
+		width = 50
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(ys) == 0 || math.IsInf(minY, 1) {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	span := maxY - minY
+	for i, x := range xs {
+		frac := 1.0
+		if span > 0 {
+			// Zoomed scale: emphasize the shape around the minimum.
+			frac = 0.15 + 0.85*(ys[i]-minY)/span
+		}
+		bar := strings.Repeat("#", int(frac*float64(width)+0.5))
+		marker := ""
+		if ys[i] == minY {
+			marker = "  <- best"
+		}
+		fmt.Fprintf(&sb, "  %-6s %-*s %.4g%s\n", x, width, bar, ys[i], marker)
+	}
+	return sb.String()
+}
+
+// Fig5Chart renders Figure 5 as a bar chart.
+func Fig5Chart(rows []Fig5Row) string {
+	labels := make([]string, len(rows))
+	apples := make([]float64, len(rows))
+	strip := make([]float64, len(rows))
+	blocked := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = fmt.Sprint(r.N)
+		apples[i], strip[i], blocked[i] = r.AppLeS, r.Strip, r.Blocked
+	}
+	return BarChart("Figure 5 (chart) — execution seconds by partition",
+		labels, []string{"apples", "strip", "blocked"},
+		map[string][]float64{"apples": apples, "strip": strip, "blocked": blocked}, 48)
+}
+
+// Fig6Chart renders Figure 6 as a bar chart.
+func Fig6Chart(rows []Fig6Row) string {
+	labels := make([]string, len(rows))
+	apples := make([]float64, len(rows))
+	blocked := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = fmt.Sprint(r.N)
+		apples[i], blocked[i] = r.AppLeS, r.BlockedSP2
+	}
+	return BarChart("Figure 6 (chart) — execution seconds with memory considered",
+		labels, []string{"apples", "blocked"},
+		map[string][]float64{"apples": apples, "blocked": blocked}, 48)
+}
+
+// ReactChart renders the pipeline-unit sweep.
+func ReactChart(r *ReactResult) string {
+	var xs []string
+	var ys []float64
+	for u := 5; u <= 20; u++ {
+		if v, ok := r.UnitSweep[u]; ok {
+			xs = append(xs, fmt.Sprintf("u=%d", u))
+			ys = append(ys, v)
+		}
+	}
+	return SweepChart("3D-REACT (chart) — hours by pipeline unit (zoomed)", xs, ys, 48)
+}

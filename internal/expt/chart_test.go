@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartShape(t *testing.T) {
+	out := BarChart("t", []string{"a", "b"}, []string{"x", "y"},
+		map[string][]float64{"x": {1, 2}, "y": {4, 3}}, 40)
+	if !strings.Contains(out, "t\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 2 groups * 2 series + blank between groups
+	if len(lines) != 6 {
+		t.Fatalf("lines %d: %q", len(lines), out)
+	}
+	// The max value (4) gets the longest bar.
+	maxHashes, rowOfMax := 0, ""
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n > maxHashes {
+			maxHashes, rowOfMax = n, l
+		}
+	}
+	if !strings.Contains(rowOfMax, "y") || !strings.Contains(rowOfMax, "4") {
+		t.Fatalf("longest bar not on max value: %q", rowOfMax)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	out := BarChart("t", nil, nil, nil, 40)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestSweepChartMarksBest(t *testing.T) {
+	out := SweepChart("s", []string{"u=5", "u=6", "u=7"}, []float64{5.2, 5.0, 5.1}, 40)
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.Contains(l, "<- best") && !strings.Contains(l, "u=6") {
+			t.Fatalf("best marker on wrong row: %q", l)
+		}
+	}
+	if !strings.Contains(out, "<- best") {
+		t.Fatalf("no best marker: %q", out)
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	f5 := Fig5Chart([]Fig5Row{{N: 1000, AppLeS: 5, Strip: 10, Blocked: 30}})
+	if !strings.Contains(f5, "apples") || !strings.Contains(f5, "blocked") {
+		t.Fatalf("fig5 chart: %q", f5)
+	}
+	f6 := Fig6Chart([]Fig6Row{{N: 2000, AppLeS: 3, BlockedSP2: 4}})
+	if !strings.Contains(f6, "Figure 6") {
+		t.Fatalf("fig6 chart: %q", f6)
+	}
+	rc := ReactChart(&ReactResult{UnitSweep: map[int]float64{5: 5.2, 6: 5.0}})
+	if !strings.Contains(rc, "u=5") || !strings.Contains(rc, "<- best") {
+		t.Fatalf("react chart: %q", rc)
+	}
+}

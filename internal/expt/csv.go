@@ -1,0 +1,93 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV writes one experiment's rows with a header, for plotting.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// Fig5CSV renders Figure 5 rows as CSV cells.
+func Fig5CSV(rows []Fig5Row) ([]string, [][]string) {
+	header := []string{"n", "apples_s", "strip_s", "blocked_s"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{strconv.Itoa(r.N), f(r.AppLeS), f(r.Strip), f(r.Blocked)}
+	}
+	return header, out
+}
+
+// Fig6CSV renders Figure 6 rows as CSV cells.
+func Fig6CSV(rows []Fig6Row) ([]string, [][]string) {
+	header := []string{"n", "apples_s", "blocked_sp2_s", "sp2_spilled"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{strconv.Itoa(r.N), f(r.AppLeS), f(r.BlockedSP2), fmt.Sprint(r.BlockedSpilled)}
+	}
+	return header, out
+}
+
+// ReactCSV renders the pipeline-unit sweep as CSV cells.
+func ReactCSV(r *ReactResult) ([]string, [][]string) {
+	header := []string{"unit", "hours"}
+	units := make([]int, 0, len(r.UnitSweep))
+	for u := range r.UnitSweep {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	out := make([][]string, len(units))
+	for i, u := range units {
+		out[i] = []string{strconv.Itoa(u), f(r.UnitSweep[u])}
+	}
+	return header, out
+}
+
+// NileCSV renders the decision curve as CSV cells.
+func NileCSV(r *NileResult) ([]string, [][]string) {
+	header := []string{"passes", "remote_s", "skim_s", "atdata_s", "chosen"}
+	out := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = []string{
+			strconv.Itoa(row.Passes), f(row.Remote), f(row.Skim), f(row.AtData), row.Chosen.String(),
+		}
+	}
+	return header, out
+}
+
+// ForecastAblationCSV renders ablation A1 as CSV cells.
+func ForecastAblationCSV(rows []ForecastAblationRow) ([]string, [][]string) {
+	header := []string{"n", "oracle_s", "nws_s", "static_s"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{strconv.Itoa(r.N), f(r.Oracle), f(r.NWS), f(r.Static)}
+	}
+	return header, out
+}
+
+// RiskAblationCSV renders ablation A4 as CSV cells.
+func RiskAblationCSV(rows []RiskAblationRow) ([]string, [][]string) {
+	header := []string{"k", "mean_s", "worst_s", "mean_hosts"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{f(r.K), f(r.MeanTime), f(r.WorstTime), f(r.MeanHosts)}
+	}
+	return header, out
+}

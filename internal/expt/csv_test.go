@@ -1,0 +1,62 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"apples/internal/nile"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	rows := []Fig5Row{
+		{N: 1000, AppLeS: 9.6, Strip: 22.1, Blocked: 67.3},
+		{N: 2000, AppLeS: 42.6, Strip: 96.1, Blocked: 295.0},
+	}
+	header, cells := Fig5CSV(rows)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, header, cells); err != nil {
+		t.Fatal(err)
+	}
+	back, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("records %d, want 3", len(back))
+	}
+	if back[0][0] != "n" || back[1][0] != "1000" || back[2][3] != "295" {
+		t.Fatalf("csv content %v", back)
+	}
+}
+
+func TestAllCSVRenderers(t *testing.T) {
+	check := func(name string, header []string, cells [][]string) {
+		t.Helper()
+		if len(header) == 0 {
+			t.Fatalf("%s: empty header", name)
+		}
+		for _, row := range cells {
+			if len(row) != len(header) {
+				t.Fatalf("%s: row width %d vs header %d", name, len(row), len(header))
+			}
+		}
+	}
+	h, c := Fig6CSV([]Fig6Row{{N: 2000, AppLeS: 1, BlockedSP2: 2, BlockedSpilled: true}})
+	check("fig6", h, c)
+	h, c = ReactCSV(&ReactResult{UnitSweep: map[int]float64{5: 5.1, 6: 5.0}})
+	check("react", h, c)
+	if c[0][0] != "5" || c[1][0] != "6" {
+		t.Fatalf("react sweep not sorted: %v", c)
+	}
+	h, c = NileCSV(&NileResult{Rows: []NileRow{{Passes: 1, Remote: 1, Skim: 2, AtData: 3, Chosen: nile.Skim}}})
+	check("nile", h, c)
+	if !strings.Contains(c[0][4], "skim") {
+		t.Fatalf("nile chosen cell %v", c[0])
+	}
+	h, c = ForecastAblationCSV([]ForecastAblationRow{{N: 1000, Oracle: 1, NWS: 2, Static: 3}})
+	check("a1", h, c)
+	h, c = RiskAblationCSV([]RiskAblationRow{{K: 0.5, MeanTime: 1, WorstTime: 2, MeanHosts: 7}})
+	check("a4", h, c)
+}

@@ -1,0 +1,260 @@
+// Package expt is the benchmark harness: it reconstructs every table and
+// figure of the paper's evaluation (and the ablations DESIGN.md commits
+// to) on the simulated metacomputer, and formats them as the paper-style
+// rows the cmd/expt tool and the repository benchmarks print.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	E1 Figure 3  — Fig3: AppLeS partition of Jacobi2D on the SDSC/PCL net
+//	E2 Figure 4  — Fig4: static non-uniform strip partition
+//	E3 Figure 5  — Fig5: AppLeS vs Strip vs Blocked execution times
+//	E4 Figure 6  — Fig6: memory-aware AppLeS vs SP-2-only Blocked
+//	E5 §2.3      — React: 16 h single-site vs <5 h pipeline + unit sweep
+//	E6 §2.1/§3.1 — Nile: skim vs remote-access decision curve
+//	A1           — AblationForecast: oracle vs NWS vs static information
+//	A3           — AblationSelection: exhaustive vs pruned resource sets
+package expt
+
+import (
+	"fmt"
+
+	"apples/internal/core"
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/jacobi"
+	"apples/internal/nws"
+	"apples/internal/partition"
+	"apples/internal/sim"
+	"apples/internal/stats"
+	"apples/internal/userspec"
+)
+
+// Scheduler names a partitioning policy compared in the experiments.
+type Scheduler string
+
+const (
+	// SchedAppLeS is the agent with NWS forecasts (the paper's AppLeS).
+	SchedAppLeS Scheduler = "apples"
+	// SchedAppLeSOracle is the agent with perfect information (ablation).
+	SchedAppLeSOracle Scheduler = "apples-oracle"
+	// SchedAppLeSStatic is the agent with compile-time information only
+	// (ablation: isolates the value of dynamic prediction).
+	SchedAppLeSStatic Scheduler = "apples-static"
+	// SchedStrip is the paper's static non-uniform strip partition,
+	// weighted by dedicated CPU speeds (Figure 4).
+	SchedStrip Scheduler = "strip"
+	// SchedBlocked is the HPF Uniform/Blocked partition over all hosts.
+	SchedBlocked Scheduler = "blocked"
+	// SchedBlockedSP2 is the Figure 6 baseline: HPF blocked on the two
+	// SP-2 nodes only.
+	SchedBlockedSP2 Scheduler = "blocked-sp2"
+)
+
+// RunSpec configures a single Jacobi2D execution under one scheduler.
+type RunSpec struct {
+	Scheduler  Scheduler
+	N          int
+	Iterations int
+	Seed       int64
+	WithSP2    bool
+	// WarmupSec runs the testbed (and NWS sensors) before scheduling so
+	// forecasts have history and ambient load is in steady state.
+	// Default 600.
+	WarmupSec float64
+	// MaxResourceSets caps the agent's search (0 = exhaustive).
+	MaxResourceSets int
+	// RiskFactor k > 0 makes the AppLeS plan against forecast - k*RMSE
+	// (ablation A4). Only meaningful for SchedAppLeS.
+	RiskFactor float64
+}
+
+func (rs *RunSpec) setDefaults() {
+	if rs.Iterations == 0 {
+		rs.Iterations = 100
+	}
+	if rs.WarmupSec == 0 {
+		rs.WarmupSec = 600
+	}
+}
+
+// RunOutcome is one executed run.
+type RunOutcome struct {
+	Spec     RunSpec
+	Measured float64 // wall-clock (virtual) seconds for the whole run
+	// Schedule is non-nil for AppLeS runs.
+	Schedule *core.Schedule
+	// Placement actually executed.
+	Placement *partition.Placement
+	// SpillFraction per host (non-empty only when something spilled).
+	SpillFraction map[string]float64
+}
+
+// Run executes one Jacobi2D run under the given scheduler on a fresh
+// same-seed testbed, so competing schedulers see identical ambient
+// conditions — the reproduction's version of the paper's back-to-back
+// trials.
+func Run(spec RunSpec) (*RunOutcome, error) {
+	spec.setDefaults()
+	eng := sim.NewEngine()
+	eng.SetEventLimit(200_000_000)
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: spec.Seed, WithSP2: spec.WithSP2})
+
+	var svc *nws.Service
+	needNWS := spec.Scheduler == SchedAppLeS
+	if needNWS {
+		svc = nws.NewService(eng, 10)
+		svc.WatchTopology(tp)
+	}
+	if err := eng.RunUntil(spec.WarmupSec); err != nil {
+		return nil, err
+	}
+	if svc != nil {
+		// The agent schedules once, as in the paper's prototype; sensors
+		// are stopped when the run finishes so the engine can drain.
+		defer svc.Stop()
+	}
+
+	tpl := hat.Jacobi2D(spec.N, spec.Iterations)
+	cfg := jacobi.Config{
+		Iterations:          spec.Iterations,
+		FlopPerPoint:        tpl.Tasks[0].FlopPerUnit,
+		BytesPerPoint:       tpl.Tasks[0].BytesPerUnit,
+		BorderBytesPerPoint: tpl.Comms[0].BytesPerUnit,
+	}
+
+	out := &RunOutcome{Spec: spec}
+	var placement *partition.Placement
+
+	switch spec.Scheduler {
+	case SchedAppLeS, SchedAppLeSOracle, SchedAppLeSStatic:
+		var info core.Information
+		switch spec.Scheduler {
+		case SchedAppLeS:
+			if spec.RiskFactor > 0 {
+				info = core.ConservativeInformation(svc, tp, spec.RiskFactor)
+			} else {
+				info = core.NWSInformation(svc, tp)
+			}
+		case SchedAppLeSOracle:
+			info = core.OracleInformation(tp)
+		default:
+			info = core.StaticInformation(tp)
+		}
+		agent, err := core.NewAgent(tp, tpl, &userspec.Spec{
+			Decomposition:   "strip",
+			MaxResourceSets: spec.MaxResourceSets,
+		}, info)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := agent.Schedule(spec.N)
+		if err != nil {
+			return nil, err
+		}
+		out.Schedule = sched
+		placement = sched.Placement
+
+	case SchedStrip:
+		hosts, weights := speedWeights(tp, false)
+		p, err := partition.WeightedStrip(spec.N, hosts, weights, cfg.BorderBytesPerPoint)
+		if err != nil {
+			return nil, err
+		}
+		placement = p
+
+	case SchedBlocked:
+		p, err := partition.Blocked(spec.N, workstationHosts(tp, spec.WithSP2), cfg.BorderBytesPerPoint)
+		if err != nil {
+			return nil, err
+		}
+		placement = p
+
+	case SchedBlockedSP2:
+		if !spec.WithSP2 {
+			return nil, fmt.Errorf("expt: blocked-sp2 requires WithSP2")
+		}
+		p, err := partition.Blocked(spec.N, []string{"sp2a", "sp2b"}, cfg.BorderBytesPerPoint)
+		if err != nil {
+			return nil, err
+		}
+		placement = p
+
+	default:
+		return nil, fmt.Errorf("expt: unknown scheduler %q", spec.Scheduler)
+	}
+
+	res, err := jacobi.Run(tp, placement, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Measured = res.Time
+	out.Placement = placement
+	out.SpillFraction = map[string]float64{}
+	for h, f := range res.SpillFraction {
+		if f > 0 {
+			out.SpillFraction[h] = f
+		}
+	}
+	return out, nil
+}
+
+// speedWeights returns the testbed hosts and their dedicated speeds — the
+// compile-time parameterization of the static Non-uniform Strip partition.
+func speedWeights(tp *grid.Topology, withSP2 bool) ([]string, []float64) {
+	var hosts []string
+	var weights []float64
+	for _, h := range tp.Hosts() {
+		if !withSP2 && h.Arch == "sp2" {
+			continue
+		}
+		hosts = append(hosts, h.Name)
+		weights = append(weights, h.Speed)
+	}
+	return hosts, weights
+}
+
+// workstationHosts returns the Figure 2 hosts (excluding SP-2 nodes unless
+// requested) in deterministic order for the blocked partition.
+func workstationHosts(tp *grid.Topology, withSP2 bool) []string {
+	var hosts []string
+	for _, h := range tp.Hosts() {
+		if !withSP2 && h.Arch == "sp2" {
+			continue
+		}
+		if withSP2 && h.Arch == "sp2" {
+			continue // blocked-over-everything never includes SP-2 in the paper
+		}
+		hosts = append(hosts, h.Name)
+	}
+	return hosts
+}
+
+// Spread runs the spec `trials` times with consecutive seeds and returns
+// the full summary of the measured times — the spread behind the averages
+// the paper's figures report.
+func Spread(spec RunSpec, trials int) (stats.Summary, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	times := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		s := spec
+		s.Seed = spec.Seed + int64(i)*1000
+		out, err := Run(s)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		times = append(times, out.Measured)
+	}
+	return stats.Summarize(times), nil
+}
+
+// Average runs the spec `trials` times with consecutive seeds and averages
+// the measured times (the paper reports averages of back-to-back runs).
+func Average(spec RunSpec, trials int) (float64, error) {
+	s, err := Spread(spec, trials)
+	if err != nil {
+		return 0, err
+	}
+	return s.Mean, nil
+}

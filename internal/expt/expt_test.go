@@ -1,0 +1,253 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunAppLeSProducesSchedule(t *testing.T) {
+	out, err := Run(RunSpec{Scheduler: SchedAppLeS, N: 800, Iterations: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schedule == nil {
+		t.Fatal("AppLeS run without schedule")
+	}
+	if out.Measured <= 0 {
+		t.Fatalf("measured %v", out.Measured)
+	}
+	if err := out.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStripAndBlocked(t *testing.T) {
+	for _, s := range []Scheduler{SchedStrip, SchedBlocked} {
+		out, err := Run(RunSpec{Scheduler: s, N: 800, Iterations: 10, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if out.Measured <= 0 || out.Schedule != nil {
+			t.Fatalf("%s: measured=%v schedule=%v", s, out.Measured, out.Schedule)
+		}
+	}
+}
+
+func TestRunBlockedSP2RequiresFlag(t *testing.T) {
+	if _, err := Run(RunSpec{Scheduler: SchedBlockedSP2, N: 800, Iterations: 5, Seed: 1}); err == nil {
+		t.Fatal("blocked-sp2 without WithSP2 accepted")
+	}
+}
+
+func TestRunUnknownScheduler(t *testing.T) {
+	if _, err := Run(RunSpec{Scheduler: "bogus", N: 100, Iterations: 1, Seed: 1}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	spec := RunSpec{Scheduler: SchedAppLeS, N: 600, Iterations: 10, Seed: 12}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Measured != b.Measured {
+		t.Fatalf("same-seed runs diverged: %v vs %v", a.Measured, b.Measured)
+	}
+}
+
+func TestFig3PartitionShape(t *testing.T) {
+	res, err := Fig3(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hosts) == 0 {
+		t.Fatal("empty partition")
+	}
+	sum := 0.0
+	uniform := true
+	for i, s := range res.Shares {
+		sum += s
+		if i > 0 && math.Abs(s-res.Shares[0]) > 1e-3 {
+			uniform = false
+		}
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	if len(res.Hosts) > 1 && uniform {
+		t.Fatal("AppLeS partition is uniform; expected non-intuitive, load-aware shares")
+	}
+	txt := FormatPartition("fig3", res.Hosts, res.Shares)
+	if !strings.Contains(txt, "%") {
+		t.Fatalf("format: %q", txt)
+	}
+}
+
+func TestFig4StaticPartitionTracksSpeeds(t *testing.T) {
+	res, err := Fig4(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := map[string]float64{}
+	for i, h := range res.Hosts {
+		shares[h] = res.Shares[i]
+	}
+	// Speed-proportional: alpha (40) > rs6000 (25) > sparc10 (10) > sparc2 (4).
+	if !(shares["alpha1"] > shares["rs6000a"] && shares["rs6000a"] > shares["sparc10"] && shares["sparc10"] > shares["sparc2"]) {
+		t.Fatalf("static strip shares not speed-ordered: %v", shares)
+	}
+	if shares["sparc2"] <= 0 {
+		t.Fatal("static strip drops hosts; it should not")
+	}
+}
+
+func TestFig5ShapeSmall(t *testing.T) {
+	rows, err := Fig5(Fig5Config{Sizes: []int{1000, 1500}, Trials: 1, Iterations: 40, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AppLeS <= 0 || r.Strip <= 0 || r.Blocked <= 0 {
+			t.Fatalf("row %+v has non-positive times", r)
+		}
+		// The paper's headline: AppLeS outperforms both static partitions
+		// by factors of 2-8. Require at least 1.5x here (single trial).
+		if r.SpeedupVsStrip() < 1.5 {
+			t.Errorf("N=%d: AppLeS only %.2fx faster than Strip", r.N, r.SpeedupVsStrip())
+		}
+		if r.SpeedupVsBlocked() < 1.5 {
+			t.Errorf("N=%d: AppLeS only %.2fx faster than Blocked", r.N, r.SpeedupVsBlocked())
+		}
+	}
+	out := FormatFig5(rows)
+	if !strings.Contains(out, "Figure 5") {
+		t.Fatalf("format: %q", out)
+	}
+}
+
+func TestFig6CrossoverSmall(t *testing.T) {
+	rows, err := Fig6(Fig6Config{Sizes: []int{2000, 4400}, Trials: 1, Iterations: 10, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := rows[0], rows[1]
+	if small.BlockedSpilled {
+		t.Fatal("2000^2 should fit in SP-2 memory")
+	}
+	if !big.BlockedSpilled {
+		t.Fatal("4400^2 should spill from SP-2 memory")
+	}
+	// Before the crossover the two are comparable; after it the blocked
+	// partition collapses.
+	if small.BlockedSP2 > small.AppLeS*2.5 {
+		t.Errorf("pre-crossover blocked %.1f vs apples %.1f: too far apart", small.BlockedSP2, small.AppLeS)
+	}
+	if big.BlockedSP2 < big.AppLeS*2 {
+		t.Errorf("post-crossover blocked %.1f vs apples %.1f: no collapse", big.BlockedSP2, big.AppLeS)
+	}
+	out := FormatFig6(rows)
+	if !strings.Contains(out, "Figure 6") {
+		t.Fatalf("format: %q", out)
+	}
+}
+
+func TestReactHeadline(t *testing.T) {
+	res, err := React(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleC90Hours < 15 || res.SingleParagonHrs < 15 {
+		t.Fatalf("single-site %0.1f/%0.1f h, paper: >16 h", res.SingleC90Hours, res.SingleParagonHrs)
+	}
+	if res.DistributedHours > 5.5 {
+		t.Fatalf("distributed %.2f h, paper: <5 h", res.DistributedHours)
+	}
+	if res.Producer != "c90" || res.Consumer != "paragon" {
+		t.Fatalf("mapping %s->%s", res.Producer, res.Consumer)
+	}
+	if len(res.UnitSweep) != 16 {
+		t.Fatalf("unit sweep has %d entries, want 16", len(res.UnitSweep))
+	}
+	out := FormatReact(res)
+	if !strings.Contains(out, "3D-REACT") {
+		t.Fatalf("format: %q", out)
+	}
+}
+
+func TestNileDecisionCurve(t *testing.T) {
+	res, err := Nile(20000, 6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows %d, want 6", len(res.Rows))
+	}
+	bad := 0
+	for _, r := range res.Rows {
+		if r.Remote <= 0 || r.Skim <= 0 || r.AtData <= 0 {
+			t.Fatalf("row %+v has non-positive times", r)
+		}
+		if !r.ChoseOK {
+			bad++
+		}
+	}
+	// Forecasts are imperfect; the site manager may misjudge a close call
+	// occasionally, but not systematically.
+	if bad > 2 {
+		t.Errorf("site manager picked >15%% off best in %d/%d rows", bad, len(res.Rows))
+	}
+	// Skim must eventually amortize its copy and become the best choice.
+	if res.SkimCrossover == 0 {
+		t.Error("skim never became the best strategy in 6 passes")
+	}
+	out := FormatNile(res)
+	if !strings.Contains(out, "CLEO/NILE") {
+		t.Fatalf("format: %q", out)
+	}
+}
+
+func TestAblationForecastOrdering(t *testing.T) {
+	rows, err := AblationForecast([]int{1200}, 2, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Oracle <= 0 || r.NWS <= 0 || r.Static <= 0 {
+		t.Fatalf("row %+v", r)
+	}
+	// Static information must be clearly worse than NWS forecasts.
+	if r.Static < r.NWS {
+		t.Errorf("static (%v) beat NWS (%v); prediction should matter", r.Static, r.NWS)
+	}
+	out := FormatAblationForecast(rows)
+	if !strings.Contains(out, "Ablation A1") {
+		t.Fatalf("format: %q", out)
+	}
+}
+
+func TestAblationSelectionBudget(t *testing.T) {
+	rows, err := AblationSelection(1200, []int{0, 8, 1}, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Considered <= rows[1].Considered {
+		t.Fatalf("exhaustive considered %d <= budget-8 %d", rows[0].Considered, rows[1].Considered)
+	}
+	if rows[2].Considered != 1 {
+		t.Fatalf("budget-1 considered %d", rows[2].Considered)
+	}
+	// A tiny budget should not beat the exhaustive search by much.
+	if rows[2].Measured < rows[0].Measured*0.8 {
+		t.Errorf("budget-1 (%v) much faster than exhaustive (%v)?", rows[2].Measured, rows[0].Measured)
+	}
+	out := FormatAblationSelection(rows)
+	if !strings.Contains(out, "Ablation A3") {
+		t.Fatalf("format: %q", out)
+	}
+}

@@ -1,0 +1,26 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailureEvacuation(t *testing.T) {
+	res, err := Failure(800, 80, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, adaptive := res.Rows[0], res.Rows[1]
+	if adaptive.Replans == 0 {
+		t.Fatal("adaptive run never evacuated the dead host")
+	}
+	// The static run is trapped behind the dead host's barrier; the
+	// adaptive run must be dramatically (orders of magnitude) faster.
+	if static.Time < 10*adaptive.Time {
+		t.Fatalf("static %v vs adaptive %v: evacuation gain too small", static.Time, adaptive.Time)
+	}
+	out := FormatFailure(res)
+	if !strings.Contains(out, "Failure injection") {
+		t.Fatalf("format: %q", out)
+	}
+}

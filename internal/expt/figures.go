@@ -1,0 +1,281 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Fig3Result is experiment E1: the AppLeS partition of Jacobi2D on the
+// SDSC/PCL network under ambient load (Figure 3).
+type Fig3Result struct {
+	N                 int
+	Hosts             []string  // strip chain order
+	Shares            []float64 // fraction of the domain per host
+	PredictedIterTime float64
+}
+
+// Fig3 computes the AppLeS partition for an n x n Jacobi2D under NWS
+// forecasts on the loaded Figure 2 testbed.
+func Fig3(n int, seed int64) (*Fig3Result, error) {
+	out, err := Run(RunSpec{Scheduler: SchedAppLeS, N: n, Iterations: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{N: n, PredictedIterTime: out.Schedule.PredictedIterTime}
+	for _, a := range out.Placement.Assignments {
+		if a.Points == 0 {
+			continue
+		}
+		res.Hosts = append(res.Hosts, a.Host)
+		res.Shares = append(res.Shares, out.Placement.Fraction(a.Host))
+	}
+	return res, nil
+}
+
+// Fig4Result is experiment E2: the compile-time non-uniform strip
+// partition parameterized by dedicated CPU speeds (Figure 4).
+type Fig4Result struct {
+	N      int
+	Hosts  []string
+	Shares []float64
+}
+
+// Fig4 computes the static non-uniform strip partition for an n x n grid.
+func Fig4(n int, seed int64) (*Fig4Result, error) {
+	out, err := Run(RunSpec{Scheduler: SchedStrip, N: n, Iterations: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{N: n}
+	for _, a := range out.Placement.Assignments {
+		if a.Points == 0 {
+			continue
+		}
+		res.Hosts = append(res.Hosts, a.Host)
+		res.Shares = append(res.Shares, out.Placement.Fraction(a.Host))
+	}
+	return res, nil
+}
+
+// Fig5Row is one problem size of experiment E3 (Figure 5).
+type Fig5Row struct {
+	N       int
+	AppLeS  float64 // averaged measured seconds
+	Strip   float64
+	Blocked float64
+}
+
+// SpeedupVsStrip returns Strip/AppLeS.
+func (r Fig5Row) SpeedupVsStrip() float64 { return r.Strip / r.AppLeS }
+
+// SpeedupVsBlocked returns Blocked/AppLeS.
+func (r Fig5Row) SpeedupVsBlocked() float64 { return r.Blocked / r.AppLeS }
+
+// Fig5Config parameterizes experiment E3.
+type Fig5Config struct {
+	Sizes      []int // default 1000..2000 step 250
+	Trials     int   // default 3
+	Iterations int   // default 100
+	Seed       int64
+}
+
+func (c *Fig5Config) setDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1000, 1250, 1500, 1750, 2000}
+	}
+	if c.Trials == 0 {
+		c.Trials = 3
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 100
+	}
+}
+
+// Fig5 reproduces Figure 5: execution-time averages of the AppLeS, static
+// Strip, and HPF Blocked partitions for problem sizes 1000^2..2000^2 on
+// the loaded testbed, each trio run back-to-back under identical ambient
+// conditions (same seed).
+//
+// Every (size, scheduler) cell is an independent simulation with its own
+// engine, so the sweep fans out across CPUs; results are assembled by
+// index and therefore identical to a sequential run.
+func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
+	cfg.setDefaults()
+	scheds := []Scheduler{SchedAppLeS, SchedStrip, SchedBlocked}
+
+	type cellResult struct {
+		row, col int
+		avg      float64
+		err      error
+	}
+	cells := make(chan cellResult, len(cfg.Sizes)*len(scheds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, n := range cfg.Sizes {
+		for j, sched := range scheds {
+			i, j, n, sched := i, j, n, sched
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				avg, err := Average(RunSpec{
+					Scheduler:  sched,
+					N:          n,
+					Iterations: cfg.Iterations,
+					Seed:       cfg.Seed,
+				}, cfg.Trials)
+				cells <- cellResult{row: i, col: j, avg: avg, err: err}
+			}()
+		}
+	}
+	wg.Wait()
+	close(cells)
+
+	rows := make([]Fig5Row, len(cfg.Sizes))
+	for i, n := range cfg.Sizes {
+		rows[i].N = n
+	}
+	for c := range cells {
+		if c.err != nil {
+			return nil, fmt.Errorf("fig5 n=%d %s: %w", cfg.Sizes[c.row], scheds[c.col], c.err)
+		}
+		switch scheds[c.col] {
+		case SchedAppLeS:
+			rows[c.row].AppLeS = c.avg
+		case SchedStrip:
+			rows[c.row].Strip = c.avg
+		case SchedBlocked:
+			rows[c.row].Blocked = c.avg
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Row is one problem size of experiment E4 (Figure 6).
+type Fig6Row struct {
+	N          int
+	AppLeS     float64
+	BlockedSP2 float64
+	// BlockedSpilled reports whether the SP-2-only partition exceeded
+	// real memory at this size.
+	BlockedSpilled bool
+}
+
+// Fig6Config parameterizes experiment E4.
+type Fig6Config struct {
+	Sizes      []int // default 2000..4400 step 400 (crossover ~3700)
+	Trials     int   // default 2
+	Iterations int   // default 60
+	Seed       int64
+}
+
+func (c *Fig6Config) setDefaults() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{2000, 2400, 2800, 3200, 3600, 4000, 4400}
+	}
+	if c.Trials == 0 {
+		c.Trials = 2
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 60
+	}
+}
+
+// Fig6 reproduces Figure 6: with two unloaded SP-2 nodes added, AppLeS
+// tracks the SP-2-only HPF Blocked partition until the problem outgrows
+// SP-2 memory (~3700^2), after which the blocked partition spills and
+// collapses while AppLeS finds memory elsewhere. Sizes fan out across
+// CPUs like Fig5.
+func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
+	cfg.setDefaults()
+	rows := make([]Fig6Row, len(cfg.Sizes))
+	errs := make([]error, len(cfg.Sizes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, n := range cfg.Sizes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			row := Fig6Row{N: n}
+			appl, err := Average(RunSpec{
+				Scheduler: SchedAppLeS, N: n, Iterations: cfg.Iterations,
+				Seed: cfg.Seed, WithSP2: true,
+			}, cfg.Trials)
+			if err != nil {
+				errs[i] = fmt.Errorf("fig6 n=%d apples: %w", n, err)
+				return
+			}
+			row.AppLeS = appl
+
+			out, err := Run(RunSpec{
+				Scheduler: SchedBlockedSP2, N: n, Iterations: cfg.Iterations,
+				Seed: cfg.Seed, WithSP2: true,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("fig6 n=%d blocked: %w", n, err)
+				return
+			}
+			row.BlockedSP2 = out.Measured
+			row.BlockedSpilled = len(out.SpillFraction) > 0
+			if cfg.Trials > 1 {
+				avg, err := Average(RunSpec{
+					Scheduler: SchedBlockedSP2, N: n, Iterations: cfg.Iterations,
+					Seed: cfg.Seed, WithSP2: true,
+				}, cfg.Trials)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				row.BlockedSP2 = avg
+			}
+			rows[i] = row
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// FormatPartition renders a Figure 3/4-style partition table.
+func FormatPartition(title string, hosts []string, shares []float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for i, h := range hosts {
+		bar := strings.Repeat("#", int(shares[i]*60+0.5))
+		fmt.Fprintf(&sb, "  %-10s %6.2f%% %s\n", h, shares[i]*100, bar)
+	}
+	return sb.String()
+}
+
+// FormatFig5 renders Figure 5 as a table.
+func FormatFig5(rows []Fig5Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5 — Jacobi2D execution time averages (seconds)\n")
+	sb.WriteString("      N     AppLeS      Strip    Blocked   Strip/AppLeS  Blocked/AppLeS\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d  %9.2f  %9.2f  %9.2f  %12.2fx  %13.2fx\n",
+			r.N, r.AppLeS, r.Strip, r.Blocked, r.SpeedupVsStrip(), r.SpeedupVsBlocked())
+	}
+	return sb.String()
+}
+
+// FormatFig6 renders Figure 6 as a table.
+func FormatFig6(rows []Fig6Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — Jacobi2D with memory considered (seconds)\n")
+	sb.WriteString("      N     AppLeS  Blocked(SP-2)  SP-2 spilled\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d  %9.2f  %13.2f  %v\n", r.N, r.AppLeS, r.BlockedSP2, r.BlockedSpilled)
+	}
+	return sb.String()
+}

@@ -1,0 +1,35 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiAppInterference(t *testing.T) {
+	res, err := MultiApp(1000, 60, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AloneA <= 0 || res.AloneB <= 0 || res.TogetherA <= 0 || res.TogetherB <= 0 {
+		t.Fatalf("non-positive times: %+v", res)
+	}
+	// Identical agents with identical information pick overlapping
+	// resources...
+	if res.SharedHosts == 0 {
+		t.Fatal("uncoordinated agents picked disjoint hosts?")
+	}
+	// ...so both applications must slow each other down appreciably, and
+	// a fair processor-sharing substrate bounds the damage near 2x.
+	for name, s := range map[string]float64{"A": res.SlowdownA(), "B": res.SlowdownB()} {
+		if s < 1.2 {
+			t.Errorf("app %s slowdown %.2fx: interference too weak", name, s)
+		}
+		if s > 3.5 {
+			t.Errorf("app %s slowdown %.2fx: implausibly destructive", name, s)
+		}
+	}
+	out := FormatMultiApp(res)
+	if !strings.Contains(out, "Uncoordinated agents") {
+		t.Fatalf("format: %q", out)
+	}
+}

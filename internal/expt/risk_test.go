@@ -1,0 +1,52 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationRiskShape(t *testing.T) {
+	rows, err := AblationRisk(1000, []float64{0, 2}, []int64{101, 202})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	neutral, averse := rows[0], rows[1]
+	if neutral.MeanTime <= 0 || averse.MeanTime <= 0 {
+		t.Fatalf("non-positive times: %+v", rows)
+	}
+	// Strong risk aversion concentrates work on fewer, stabler hosts.
+	if averse.MeanHosts >= neutral.MeanHosts {
+		t.Errorf("k=2 used %.1f hosts, neutral used %.1f: aversion had no effect",
+			averse.MeanHosts, neutral.MeanHosts)
+	}
+	// And it costs mean performance (it is a hedge, not a free lunch) —
+	// but not catastrophically.
+	if averse.MeanTime > neutral.MeanTime*2 {
+		t.Errorf("k=2 mean %.2f vs neutral %.2f: aversion too destructive",
+			averse.MeanTime, neutral.MeanTime)
+	}
+	out := FormatAblationRisk(rows)
+	if !strings.Contains(out, "Ablation A4") {
+		t.Fatalf("format: %q", out)
+	}
+}
+
+func TestConservativeInformationIsDeterministic(t *testing.T) {
+	a, err := runConservative(800, 30, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runConservative(800, 30, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Measured != b.Measured {
+		t.Fatalf("conservative runs diverged: %v vs %v", a.Measured, b.Measured)
+	}
+	if a.Schedule.InfoSource != "nws-conservative" {
+		t.Fatalf("info source %q", a.Schedule.InfoSource)
+	}
+}

@@ -1,0 +1,117 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"apples/internal/core"
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/jacobi"
+	"apples/internal/nws"
+	"apples/internal/partition"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+// ScaleRow is one pool size of the scalability experiment.
+type ScaleRow struct {
+	Hosts      int
+	Candidates int     // resource sets the selector produced
+	PlanMillis float64 // real (wall-clock) scheduling time
+	AppLeS     float64 // measured execution, seconds (virtual)
+	Blocked    float64 // uniform blocked baseline on the same pool
+}
+
+// Speedup returns Blocked/AppLeS.
+func (r ScaleRow) Speedup() float64 { return r.Blocked / r.AppLeS }
+
+// Scalability measures the agent beyond the paper's 8-host testbed: pool
+// sizes up to 64 hosts across a cluster-of-clusters metacomputer. Past 12
+// hosts the Resource Selector abandons exhaustive subsets for
+// desirability prefixes; this experiment verifies the schedules stay good
+// (vs the blocked baseline) while planning cost stays interactive.
+func Scalability(sizes [][2]int, n int, seed int64) ([]ScaleRow, error) {
+	if len(sizes) == 0 {
+		sizes = [][2]int{{2, 4}, {4, 4}, {8, 4}, {8, 8}}
+	}
+	if n == 0 {
+		n = 2000
+	}
+	var rows []ScaleRow
+	for _, cp := range sizes {
+		clusters, per := cp[0], cp[1]
+		build := func() (*sim.Engine, *grid.Topology, *nws.Service, error) {
+			eng := sim.NewEngine()
+			eng.SetEventLimit(200_000_000)
+			tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{
+				Clusters: clusters, PerCluster: per, Seed: seed,
+			})
+			svc := nws.NewService(eng, 10)
+			svc.WatchTopology(tp)
+			if err := eng.RunUntil(600); err != nil {
+				return nil, nil, nil, err
+			}
+			svc.Stop()
+			return eng, tp, svc, nil
+		}
+
+		// AppLeS run.
+		_, tp, svc, err := build()
+		if err != nil {
+			return nil, err
+		}
+		tpl := hat.Jacobi2D(n, 40)
+		agent, err := core.NewAgent(tp, tpl, &userspec.Spec{Decomposition: "strip"},
+			core.NWSInformation(svc, tp))
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Now()
+		sched, err := agent.Schedule(n)
+		if err != nil {
+			return nil, fmt.Errorf("scale %dx%d: %w", clusters, per, err)
+		}
+		planMS := float64(time.Since(wall).Microseconds()) / 1000
+		res, err := jacobi.Run(tp, sched.Placement, jacobi.Config{Iterations: 40})
+		if err != nil {
+			return nil, err
+		}
+
+		// Blocked baseline on a fresh same-seed pool.
+		_, tp2, _, err := build()
+		if err != nil {
+			return nil, err
+		}
+		blockedP, err := partition.Blocked(n, tp2.HostNames(), 8)
+		if err != nil {
+			return nil, err
+		}
+		blocked, err := jacobi.Run(tp2, blockedP, jacobi.Config{Iterations: 40})
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, ScaleRow{
+			Hosts:      clusters * per,
+			Candidates: sched.CandidatesConsidered,
+			PlanMillis: planMS,
+			AppLeS:     res.Time,
+			Blocked:    blocked.Time,
+		})
+	}
+	return rows, nil
+}
+
+// FormatScalability renders the scalability experiment.
+func FormatScalability(rows []ScaleRow) string {
+	var sb strings.Builder
+	sb.WriteString("Scalability — cluster-of-clusters pools (Jacobi2D, 40 iterations)\n")
+	sb.WriteString("  hosts  candidates  plan(ms)   AppLeS(s)  Blocked(s)  Blocked/AppLeS\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d  %10d  %8.1f  %10.2f  %10.2f  %13.2fx\n",
+			r.Hosts, r.Candidates, r.PlanMillis, r.AppLeS, r.Blocked, r.Speedup())
+	}
+	return sb.String()
+}

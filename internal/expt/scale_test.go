@@ -1,0 +1,40 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalabilitySmall(t *testing.T) {
+	rows, err := Scalability([][2]int{{2, 4}, {4, 4}}, 1200, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	if small.Hosts != 8 || big.Hosts != 16 {
+		t.Fatalf("hosts %d/%d", small.Hosts, big.Hosts)
+	}
+	// 8 hosts: exhaustive subsets (255). 16 hosts: desirability prefixes.
+	if small.Candidates != 255 {
+		t.Fatalf("8-host pool considered %d sets, want 255", small.Candidates)
+	}
+	if big.Candidates != 16 {
+		t.Fatalf("16-host pool considered %d sets, want 16 prefixes", big.Candidates)
+	}
+	// Even with the pruned search the agent must beat uniform blocked.
+	for _, r := range rows {
+		if r.Speedup() < 1.2 {
+			t.Errorf("%d hosts: AppLeS only %.2fx better than blocked", r.Hosts, r.Speedup())
+		}
+		if r.AppLeS <= 0 || r.Blocked <= 0 {
+			t.Fatalf("bad times %+v", r)
+		}
+	}
+	out := FormatScalability(rows)
+	if !strings.Contains(out, "Scalability") {
+		t.Fatalf("format: %q", out)
+	}
+}

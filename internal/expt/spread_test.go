@@ -1,0 +1,37 @@
+package expt
+
+import "testing"
+
+func TestSpreadSummarizesTrials(t *testing.T) {
+	s, err := Spread(RunSpec{Scheduler: SchedAppLeS, N: 800, Iterations: 20, Seed: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 {
+		t.Fatalf("trials %d", s.N)
+	}
+	if s.Mean <= 0 || s.Min > s.Mean || s.Max < s.Mean {
+		t.Fatalf("summary %+v", s)
+	}
+	// Run-to-run variability across seeds exists but is bounded: the
+	// scheduler should not produce order-of-magnitude swings on the same
+	// workload.
+	if s.Max > 4*s.Min {
+		t.Fatalf("excessive spread: min %v max %v", s.Min, s.Max)
+	}
+}
+
+func TestAverageMatchesSpreadMean(t *testing.T) {
+	spec := RunSpec{Scheduler: SchedStrip, N: 600, Iterations: 10, Seed: 9}
+	avg, err := Average(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Spread(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != s.Mean {
+		t.Fatalf("Average %v != Spread.Mean %v", avg, s.Mean)
+	}
+}

@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"apples/internal/core"
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/nws"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+// WaitRow is one queue-wait point of the wait-or-run experiment.
+type WaitRow struct {
+	WaitSec            float64
+	SharedPredicted    float64
+	DedicatedPredicted float64
+	Waits              bool
+}
+
+// WaitResult reports the Section 3.2 decision sweep.
+type WaitResult struct {
+	N    int
+	Rows []WaitRow
+	// FlipAtSec is the first swept wait at which the user switches from
+	// queueing to running shared (0 if they always run shared).
+	FlipAtSec float64
+}
+
+// WaitOrRun sweeps the batch-queue wait for dedicated SP-2 access and
+// records the user's decision at each point: "estimating the sum of the
+// wait time and the dedicated time and comparing it with a prediction of
+// the slowdown the application will experience on non-dedicated
+// resources" (Section 3.2).
+func WaitOrRun(n int, waits []float64, seed int64) (*WaitResult, error) {
+	if n == 0 {
+		n = 2000
+	}
+	if len(waits) == 0 {
+		waits = []float64{0, 10, 30, 60, 120, 300, 600, 1200}
+	}
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: seed, WithSP2: true})
+	svc := nws.NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(600); err != nil {
+		return nil, err
+	}
+	svc.Stop()
+
+	// The SP-2 pair sits behind the batch queue; the shared pool is the
+	// loaded workstation network.
+	agent, err := core.NewAgent(tp, hat.Jacobi2D(n, 100),
+		&userspec.Spec{Excluded: []string{"sp2a", "sp2b"}, Decomposition: "strip"},
+		core.NWSInformation(svc, tp))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WaitResult{N: n}
+	flipSet := false
+	for _, w := range waits {
+		dec, err := agent.WaitOrRun(n, core.DedicatedOffer{Hosts: []string{"sp2a", "sp2b"}, WaitSec: w})
+		if err != nil {
+			return nil, fmt.Errorf("wait-or-run w=%v: %w", w, err)
+		}
+		res.Rows = append(res.Rows, WaitRow{
+			WaitSec:            w,
+			SharedPredicted:    dec.SharedPredicted,
+			DedicatedPredicted: dec.DedicatedPredicted,
+			Waits:              dec.Wait,
+		})
+		if !flipSet && !dec.Wait {
+			res.FlipAtSec = w
+			flipSet = true
+		}
+	}
+	return res, nil
+}
+
+// FormatWaitOrRun renders the decision sweep.
+func FormatWaitOrRun(r *WaitResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Wait-or-run (Section 3.2) — %dx%d Jacobi2D; SP-2 pair behind a batch queue\n", r.N, r.N)
+	sb.WriteString("  queue wait(s)  shared now(s)  wait+dedicated(s)  decision\n")
+	for _, row := range r.Rows {
+		d := "run shared now"
+		if row.Waits {
+			d = "wait for dedicated"
+		}
+		fmt.Fprintf(&sb, "  %13.0f  %13.1f  %17.1f  %s\n",
+			row.WaitSec, row.SharedPredicted, row.DedicatedPredicted, d)
+	}
+	if r.FlipAtSec > 0 {
+		fmt.Fprintf(&sb, "  the user stops queueing once the wait reaches ~%.0f s\n", r.FlipAtSec)
+	}
+	return sb.String()
+}

@@ -1,0 +1,37 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWaitOrRunSweepFlips(t *testing.T) {
+	res, err := WaitOrRun(2000, []float64{0, 60, 100000}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Free dedicated access to the fastest machines: always take it.
+	if !res.Rows[0].Waits {
+		t.Fatalf("zero-wait dedicated offer rejected: %+v", res.Rows[0])
+	}
+	// An absurd wait: run shared.
+	if res.Rows[2].Waits {
+		t.Fatalf("100000-second queue accepted: %+v", res.Rows[2])
+	}
+	// Decisions are monotone in the wait: once the user stops queueing
+	// they never start again at longer waits.
+	waiting := true
+	for _, row := range res.Rows {
+		if row.Waits && !waiting {
+			t.Fatalf("non-monotone decisions: %+v", res.Rows)
+		}
+		waiting = row.Waits
+	}
+	out := FormatWaitOrRun(res)
+	if !strings.Contains(out, "Wait-or-run") {
+		t.Fatalf("format: %q", out)
+	}
+}

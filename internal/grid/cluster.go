@@ -1,0 +1,93 @@
+package grid
+
+import (
+	"fmt"
+
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// ClusterOptions configures ClusterOfClusters.
+type ClusterOptions struct {
+	Clusters   int // number of sites (default 4)
+	PerCluster int // hosts per site (default 4)
+	Seed       int64
+	Quiet      bool
+	// BaseSpeed is the slowest host speed; hosts within a cluster vary
+	// from BaseSpeed up to ~2x (default 20 Mflop/s).
+	BaseSpeed float64
+}
+
+func (o *ClusterOptions) setDefaults() {
+	if o.Clusters == 0 {
+		o.Clusters = 4
+	}
+	if o.PerCluster == 0 {
+		o.PerCluster = 4
+	}
+	if o.BaseSpeed == 0 {
+		o.BaseSpeed = 20
+	}
+}
+
+// ClusterOfClusters builds a larger metacomputer than the paper's
+// testbed: `Clusters` sites, each with `PerCluster` heterogeneous
+// workstations on a fast local switch, joined by a shared wide-area
+// backbone through per-site gateways. It exists to exercise scheduling
+// beyond the exhaustive-subset regime (the Resource Selector switches to
+// desirability prefixes past 12 hosts) and to measure how the agent
+// scales with pool size.
+func ClusterOfClusters(eng *sim.Engine, opt ClusterOptions) *Topology {
+	opt.setDefaults()
+	tp := NewTopology(eng)
+	rng := sim.NewRand(opt.Seed)
+
+	backbone := tp.AddLink(LinkSpec{
+		Name: "backbone", Latency: 0.005, Bandwidth: 8,
+		CrossTraffic: func() load.Source {
+			if opt.Quiet {
+				return nil
+			}
+			return load.NewAR1(rng.Fork(), 10, 0.7, 0.85, 0.3)
+		}(),
+	})
+
+	for c := 0; c < opt.Clusters; c++ {
+		site := fmt.Sprintf("site%d", c)
+		sw := tp.AddLink(LinkSpec{
+			Name: site + "-switch", Latency: 0.0005, Bandwidth: 12,
+			CrossTraffic: func() load.Source {
+				if opt.Quiet {
+					return nil
+				}
+				return load.NewAR1(rng.Fork(), 10, 0.3, 0.8, 0.15)
+			}(),
+		})
+		gw := site + "-gw"
+		tp.AddRouter(gw)
+		tp.Attach(gw, sw)
+		tp.Attach(gw, backbone)
+
+		for i := 0; i < opt.PerCluster; i++ {
+			name := fmt.Sprintf("%s-h%d", site, i)
+			// Speeds vary deterministically within the cluster.
+			speed := opt.BaseSpeed * (1 + float64((c+i)%4)*0.33)
+			var src load.Source
+			if !opt.Quiet {
+				src = load.NewComposite(
+					load.NewAR1(rng.Fork(), 5, 0.3+0.3*float64(i%3), 0.85, 0.25),
+					load.NewSpikes(rng.Fork(), 300, 40, 0, float64(1+i%2)),
+				)
+			}
+			tp.AddHost(HostSpec{
+				Name: name, Arch: "ws", Site: site,
+				Speed: speed, MemoryMB: 128,
+				Features: []string{"kelp", "pvm"},
+				Load:     src,
+			})
+			tp.Attach(name, sw)
+		}
+	}
+	tp.Finalize()
+	return tp
+}

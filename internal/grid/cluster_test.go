@@ -1,0 +1,62 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+
+	"apples/internal/sim"
+)
+
+func TestClusterOfClustersShape(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := ClusterOfClusters(eng, ClusterOptions{Clusters: 3, PerCluster: 5, Seed: 1})
+	if got := len(tp.Hosts()); got != 15 {
+		t.Fatalf("hosts %d, want 15", got)
+	}
+	if got := len(tp.Links()); got != 4 { // 3 switches + backbone
+		t.Fatalf("links %d, want 4", got)
+	}
+	// Intra-cluster: one hop; inter-cluster: switch+backbone+switch.
+	if r := tp.Route("site0-h0", "site0-h1"); len(r) != 1 {
+		t.Fatalf("intra-cluster route %v", r)
+	}
+	r := tp.Route("site0-h0", "site2-h1")
+	if len(r) != 3 || r[1].Name != "backbone" {
+		t.Fatalf("inter-cluster route %v", r)
+	}
+}
+
+func TestClusterOfClustersHeterogeneous(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := ClusterOfClusters(eng, ClusterOptions{Seed: 2, Quiet: true})
+	speeds := map[float64]bool{}
+	for _, h := range tp.Hosts() {
+		speeds[h.Speed] = true
+		if !strings.HasPrefix(h.Site, "site") {
+			t.Fatalf("host %s site %q", h.Name, h.Site)
+		}
+		if !h.HasFeature("kelp") {
+			t.Fatalf("host %s lacks kelp", h.Name)
+		}
+	}
+	if len(speeds) < 3 {
+		t.Fatalf("only %d distinct speeds; want heterogeneity", len(speeds))
+	}
+}
+
+func TestClusterOfClustersLoadVaries(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := ClusterOfClusters(eng, ClusterOptions{Seed: 3})
+	loaded := 0
+	if err := eng.RunUntil(2000); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tp.Hosts() {
+		if h.CurrentLoad() > 0 {
+			loaded++
+		}
+	}
+	if loaded == 0 {
+		t.Fatal("no host shows ambient load after 2000 s")
+	}
+}

@@ -1,0 +1,184 @@
+package grid
+
+import (
+	"math"
+
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// workEpsilon absorbs floating-point residue when deciding a task finished.
+const workEpsilon = 1e-9
+
+// Task is a compute job in flight on a host's CPU.
+type Task struct {
+	remaining float64 // Mflop left
+	done      func()
+	finished  bool
+	cancelled bool
+}
+
+// Finished reports whether the task has completed.
+func (t *Task) Finished() bool { return t.finished }
+
+// cpu is the fluid processor-sharing model backing a Host. All running
+// tasks and the ambient load divide the CPU equally; rates are recomputed
+// at every arrival, completion, and load-change event.
+//
+// The ambient load source is sampled lazily: a load-change event is armed
+// only while tasks are running, so an idle simulation drains instead of
+// ticking forever.
+type cpu struct {
+	eng   *sim.Engine
+	speed float64
+
+	tasks map[*Task]struct{}
+
+	src       load.Source
+	loadVal   float64
+	loadUntil float64
+	sampled   bool
+
+	lastAdvance float64
+	rate        float64 // per-task Mflop/s under the current configuration
+
+	completion *sim.Event
+	loadChange *sim.Event
+}
+
+func newCPU(eng *sim.Engine, speed float64, src load.Source) *cpu {
+	return &cpu{
+		eng:   eng,
+		speed: speed,
+		tasks: make(map[*Task]struct{}),
+		src:   src,
+	}
+}
+
+func (c *cpu) setLoad(src load.Source) {
+	c.advance()
+	c.src = src
+	c.sampled = false
+	c.refreshLoad()
+	c.reconfigure()
+}
+
+// refreshLoad brings the cached load segment up to date with the clock.
+func (c *cpu) refreshLoad() {
+	now := c.eng.Now()
+	if !c.sampled || now >= c.loadUntil {
+		c.loadVal, c.loadUntil = c.src.Sample(now)
+		c.sampled = true
+	}
+}
+
+func (c *cpu) currentLoad() float64 {
+	c.refreshLoad()
+	return c.loadVal
+}
+
+func (c *cpu) onLoadChange() {
+	c.loadChange = nil
+	c.advance()
+	c.refreshLoad()
+	c.reconfigure()
+}
+
+// advance applies progress at the current rate since lastAdvance.
+func (c *cpu) advance() {
+	now := c.eng.Now()
+	dt := now - c.lastAdvance
+	c.lastAdvance = now
+	if dt <= 0 || c.rate <= 0 {
+		return
+	}
+	for t := range c.tasks {
+		t.remaining -= c.rate * dt
+	}
+}
+
+// reconfigure recomputes the shared rate and re-arms the next completion
+// and, while tasks are running, the next load-change wakeup.
+func (c *cpu) reconfigure() {
+	if c.completion != nil {
+		c.eng.Cancel(c.completion)
+		c.completion = nil
+	}
+	if c.loadChange != nil {
+		c.eng.Cancel(c.loadChange)
+		c.loadChange = nil
+	}
+	k := len(c.tasks)
+	if k == 0 {
+		c.rate = 0
+		return
+	}
+	c.refreshLoad()
+	if !math.IsInf(c.loadUntil, 1) {
+		c.loadChange = c.eng.ScheduleAt(math.Max(c.loadUntil, c.eng.Now()), c.onLoadChange)
+	}
+	c.rate = c.speed / (float64(k) + c.loadVal)
+	if c.rate <= 0 {
+		// Fully starved CPU: park until the load changes.
+		return
+	}
+	minRem := math.Inf(1)
+	for t := range c.tasks {
+		if t.remaining < minRem {
+			minRem = t.remaining
+		}
+	}
+	c.completion = c.eng.Schedule(math.Max(minRem, 0)/c.rate, c.onCompletion)
+}
+
+func (c *cpu) onCompletion() {
+	c.completion = nil
+	c.advance()
+	var doneList []*Task
+	for t := range c.tasks {
+		if t.remaining <= workEpsilon {
+			doneList = append(doneList, t)
+		}
+	}
+	for _, t := range doneList {
+		delete(c.tasks, t)
+		t.finished = true
+	}
+	c.reconfigure()
+	// Callbacks run after the CPU is consistent so they can submit new work.
+	for _, t := range doneList {
+		if t.done != nil && !t.cancelled {
+			t.done()
+		}
+	}
+}
+
+func (c *cpu) submit(work float64, done func()) *Task {
+	t := &Task{remaining: work, done: done}
+	c.advance()
+	if work <= workEpsilon {
+		// Degenerate zero-work task: complete on a fresh event to keep
+		// callback ordering consistent.
+		c.eng.Schedule(0, func() {
+			t.finished = true
+			if done != nil {
+				done()
+			}
+		})
+		return t
+	}
+	c.tasks[t] = struct{}{}
+	c.reconfigure()
+	return t
+}
+
+// cancel aborts a task; its callback will not fire.
+func (c *cpu) cancel(t *Task) {
+	if t.finished || t.cancelled {
+		return
+	}
+	t.cancelled = true
+	c.advance()
+	delete(c.tasks, t)
+	c.reconfigure()
+}

@@ -1,0 +1,234 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// testHost builds a standalone one-host topology for CPU tests.
+func testHost(eng *sim.Engine, speed float64, src load.Source) *Host {
+	tp := NewTopology(eng)
+	h := tp.AddHost(HostSpec{Name: "h", Speed: speed, MemoryMB: 1024, Load: src})
+	tp.Finalize()
+	return h
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDedicatedCompute(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, nil)
+	var doneAt float64 = -1
+	h.Submit(100, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(doneAt, 10, 1e-9) {
+		t.Fatalf("100 Mflop at 10 Mflop/s finished at %v, want 10", doneAt)
+	}
+}
+
+func TestTwoTasksShareCPU(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, nil)
+	var t1, t2 float64
+	h.Submit(100, func() { t1 = eng.Now() })
+	h.Submit(100, func() { t2 = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Equal work sharing one CPU: both finish at 2x the solo time.
+	if !almostEq(t1, 20, 1e-9) || !almostEq(t2, 20, 1e-9) {
+		t.Fatalf("shared tasks finished at %v, %v, want 20, 20", t1, t2)
+	}
+}
+
+func TestUnequalTasksProcessorSharing(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, nil)
+	var tShort, tLong float64
+	h.Submit(50, func() { tShort = eng.Now() })
+	h.Submit(150, func() { tLong = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Short task: 50 at rate 5 -> t=10. Long: 50 by t=10, then 100 at rate
+	// 10 -> t=20.
+	if !almostEq(tShort, 10, 1e-9) {
+		t.Fatalf("short finished at %v, want 10", tShort)
+	}
+	if !almostEq(tLong, 20, 1e-9) {
+		t.Fatalf("long finished at %v, want 20", tLong)
+	}
+}
+
+func TestConstantLoadHalvesSpeed(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, load.Constant(1))
+	var doneAt float64
+	h.Submit(100, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(doneAt, 20, 1e-9) {
+		t.Fatalf("load=1 task finished at %v, want 20", doneAt)
+	}
+}
+
+func TestLoadStepMidTask(t *testing.T) {
+	eng := sim.NewEngine()
+	// Load 0 until t=5, then load 3.
+	src := load.NewTrace([]load.Step{{At: 0, Value: 0}, {At: 5, Value: 3}})
+	h := testHost(eng, 10, src)
+	var doneAt float64
+	h.Submit(100, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 50 Mflop by t=5 at full speed; remaining 50 at 10/4=2.5 -> 20 more s.
+	if !almostEq(doneAt, 25, 1e-9) {
+		t.Fatalf("stepped-load task finished at %v, want 25", doneAt)
+	}
+}
+
+func TestAvailabilityTracksLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	src := load.NewTrace([]load.Step{{At: 0, Value: 1}, {At: 10, Value: 4}})
+	h := testHost(eng, 10, src)
+	if a := h.Availability(); !almostEq(a, 0.5, 1e-12) {
+		t.Fatalf("availability at t=0: %v, want 0.5", a)
+	}
+	if err := eng.RunUntil(15); err != nil {
+		t.Fatal(err)
+	}
+	if a := h.Availability(); !almostEq(a, 0.2, 1e-12) {
+		t.Fatalf("availability at t=15: %v, want 0.2", a)
+	}
+	if !almostEq(h.EffectiveSpeed(), 2, 1e-12) {
+		t.Fatalf("effective speed %v, want 2", h.EffectiveSpeed())
+	}
+}
+
+func TestSubmitFromCallback(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, nil)
+	var second float64
+	h.Submit(100, func() {
+		h.Submit(50, func() { second = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(second, 15, 1e-9) {
+		t.Fatalf("chained task finished at %v, want 15", second)
+	}
+}
+
+func TestCancelTask(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, nil)
+	fired := false
+	task := h.Submit(100, func() { fired = true })
+	var otherDone float64
+	h.Submit(100, func() { otherDone = eng.Now() })
+	eng.Schedule(5, func() { h.Cancel(task) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled task's callback fired")
+	}
+	// Other task: 25 Mflop done by t=5 (rate 5), 75 left at rate 10 -> 12.5.
+	if !almostEq(otherDone, 12.5, 1e-9) {
+		t.Fatalf("surviving task finished at %v, want 12.5", otherDone)
+	}
+}
+
+func TestZeroWorkTask(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, nil)
+	done := false
+	task := h.Submit(0, func() { done = true })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done || !task.Finished() {
+		t.Fatal("zero-work task did not complete")
+	}
+}
+
+func TestRunningTasksCount(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, nil)
+	h.Submit(100, nil)
+	h.Submit(100, nil)
+	if h.RunningTasks() != 2 {
+		t.Fatalf("RunningTasks = %d, want 2", h.RunningTasks())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.RunningTasks() != 0 {
+		t.Fatalf("RunningTasks after drain = %d, want 0", h.RunningTasks())
+	}
+}
+
+// Property: under any piecewise load, total delivered work never exceeds
+// speed x elapsed time (the CPU cannot create capacity), and the task does
+// complete under finite load.
+func TestFluidConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		eng := sim.NewEngine()
+		rng := sim.NewRand(seed)
+		src := load.NewAR1(rng.Fork(), 2, 1, 0.8, 0.5)
+		h := testHost(eng, 8, src)
+		work := 200.0
+		var doneAt float64 = -1
+		h.Submit(work, func() { doneAt = eng.Now() })
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		if doneAt < 0 {
+			return false // never completed
+		}
+		// Work/speed is a hard lower bound on completion time.
+		return doneAt >= work/8-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() float64 {
+		eng := sim.NewEngine()
+		src := load.NewOnOff(sim.NewRand(7), 3, 4, 2)
+		h := testHost(eng, 10, src)
+		var doneAt float64
+		h.Submit(500, func() { doneAt = eng.Now() })
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return doneAt
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same-seed runs diverged: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkHostContendedTask(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		src := load.NewAR1(sim.NewRand(1), 1, 1, 0.9, 0.3)
+		h := testHost(eng, 10, src)
+		h.Submit(1000, nil)
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

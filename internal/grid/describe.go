@@ -1,0 +1,43 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Describe renders the topology as a text diagram: each link with its
+// characteristics and attached nodes, then each host with speed, memory,
+// and current deliverable performance. cmd/apples -topology prints it;
+// it is the reproduction's rendering of Figure 2.
+func (tp *Topology) Describe() string {
+	var sb strings.Builder
+	sb.WriteString("links:\n")
+	for _, l := range tp.Links() {
+		kind := "shared"
+		if l.Dedicated {
+			kind = "dedicated"
+		}
+		var members []string
+		for node, links := range tp.attach {
+			for _, ll := range links {
+				if ll == l {
+					members = append(members, node)
+				}
+			}
+		}
+		sort.Strings(members)
+		fmt.Fprintf(&sb, "  %-14s %6.2f MB/s  %5.1f ms  %-9s  [%s]\n",
+			l.Name, l.Bandwidth, l.Latency*1000, kind, strings.Join(members, " "))
+	}
+	sb.WriteString("hosts:\n")
+	for _, h := range tp.Hosts() {
+		kind := "shared"
+		if h.Dedicated {
+			kind = "dedicated"
+		}
+		fmt.Fprintf(&sb, "  %-10s %-8s %-6s %6.0f Mflop/s  %6.0f MB  %-9s  deliverable now: %5.1f Mflop/s\n",
+			h.Name, h.Arch, h.Site, h.Speed, h.MemoryMB, kind, h.EffectiveSpeed())
+	}
+	return sb.String()
+}

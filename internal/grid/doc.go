@@ -1,0 +1,17 @@
+// Package grid models the metacomputer: heterogeneous hosts joined by
+// heterogeneous, shared networks.
+//
+// Hosts are fluid processor-sharing CPUs. A host with speed S (Mflop/s)
+// running k application tasks under ambient load l(t) delivers S/(k+l(t))
+// to each task, so non-dedicated machines appear to the application exactly
+// as the paper describes: as resources with reduced, time-varying
+// capability. Links are shared channels with latency and bandwidth; active
+// transfers and cross traffic divide the bandwidth the same way.
+//
+// A Topology wires hosts, routers, and network segments together and
+// computes multi-hop routes. Builders for the paper's testbeds (the
+// SDSC/PCL configuration of Figure 2, its SP-2 extension used in Figure 6,
+// and the CASA C90+Paragon pair used by 3D-REACT) live in testbeds.go.
+//
+// All dynamics run on a sim.Engine; everything is deterministic per seed.
+package grid

@@ -1,0 +1,89 @@
+package grid
+
+import (
+	"testing"
+
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+func TestSetLoadMidSimulation(t *testing.T) {
+	eng := sim.NewEngine()
+	h := testHost(eng, 10, nil)
+	var doneAt float64
+	h.Submit(100, func() { doneAt = eng.Now() })
+	eng.Schedule(5, func() { h.SetLoad(load.Constant(1)) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 50 Mflop in first 5 s; remaining 50 at half speed -> 10 more s.
+	if !almostEq(doneAt, 15, 1e-9) {
+		t.Fatalf("SetLoad mid-run finished at %v, want 15", doneAt)
+	}
+}
+
+func TestSetCrossTrafficMidTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := pairTopology(eng, 0, 2, nil)
+	var doneAt float64
+	tp.Send("a", "b", 10, func() { doneAt = eng.Now() })
+	eng.Schedule(2, func() { tp.Link("wire").SetCrossTraffic(load.Constant(1)) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 MB in 2 s at 2 MB/s; remaining 6 MB at 1 MB/s -> 6 more s.
+	if !almostEq(doneAt, 8, 1e-9) {
+		t.Fatalf("cross-traffic change mid-transfer: %v, want 8", doneAt)
+	}
+}
+
+func TestManyConcurrentTransfersConserveBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := pairTopology(eng, 0, 5, nil)
+	const k = 10
+	var last float64
+	for i := 0; i < k; i++ {
+		tp.Send("a", "b", 5, func() { last = eng.Now() })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 50 MB total over a 5 MB/s link: exactly 10 s regardless of sharing.
+	if !almostEq(last, 10, 1e-9) {
+		t.Fatalf("aggregate of %d transfers finished at %v, want 10", k, last)
+	}
+}
+
+func TestThreeHostSegmentSharing(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := NewTopology(eng)
+	for _, n := range []string{"a", "b", "c"} {
+		tp.AddHost(HostSpec{Name: n, Speed: 1, MemoryMB: 1})
+	}
+	l := tp.AddLink(LinkSpec{Name: "seg", Latency: 0, Bandwidth: 3, Dedicated: true})
+	for _, n := range []string{"a", "b", "c"} {
+		tp.Attach(n, l)
+	}
+	tp.Finalize()
+	var t1, t2 float64
+	tp.Send("a", "b", 6, func() { t1 = eng.Now() })
+	tp.Send("c", "b", 6, func() { t2 = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two transfers share the 3 MB/s segment: each gets 1.5 -> 4 s.
+	if !almostEq(t1, 4, 1e-9) || !almostEq(t2, 4, 1e-9) {
+		t.Fatalf("segment sharing: %v, %v, want 4, 4", t1, t2)
+	}
+}
+
+func TestHostStringer(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := SDSCPCL(eng, TestbedOptions{Seed: 1, Quiet: true})
+	if s := tp.Host("sparc2").String(); s != "sparc2(PCL)" {
+		t.Fatalf("Host.String() = %q", s)
+	}
+	if s := tp.Link("sdsc-fddi").String(); s != "sdsc-fddi" {
+		t.Fatalf("Link.String() = %q", s)
+	}
+}

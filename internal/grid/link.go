@@ -1,0 +1,225 @@
+package grid
+
+import (
+	"math"
+
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// Link is one shared network segment or point-to-point channel: an ethernet
+// segment, an FDDI ring, a WAN circuit. Transfers crossing it divide its
+// bandwidth with each other and with ambient cross traffic.
+//
+// Cross traffic is sampled lazily and its change events are armed only
+// while the link carries transfers, so idle simulations drain.
+type Link struct {
+	Name      string
+	Latency   float64 // seconds, one-way, per message
+	Bandwidth float64 // MB/s when fully dedicated
+	Dedicated bool
+
+	net       *network
+	transfers map[*Transfer]struct{}
+
+	src       load.Source
+	loadVal   float64 // cross traffic expressed in "equivalent streams"
+	loadUntil float64
+	sampled   bool
+	loadEv    *sim.Event
+}
+
+// String returns the link name.
+func (l *Link) String() string { return l.Name }
+
+// CurrentCrossTraffic returns the ambient competing-stream count now.
+func (l *Link) CurrentCrossTraffic() float64 {
+	l.refreshLoad()
+	return l.loadVal
+}
+
+// AvailableBandwidth returns the MB/s a single new transfer would get right
+// now, given cross traffic and transfers already in flight. This is the
+// quantity NWS bandwidth sensors measure.
+func (l *Link) AvailableBandwidth() float64 {
+	l.refreshLoad()
+	return l.Bandwidth / (1 + l.loadVal + float64(len(l.transfers)))
+}
+
+// SetCrossTraffic replaces the link's ambient traffic source.
+func (l *Link) SetCrossTraffic(src load.Source) {
+	l.net.advanceAll()
+	l.src = src
+	l.sampled = false
+	l.refreshLoad()
+	l.net.reconfigureAll()
+}
+
+func (l *Link) refreshLoad() {
+	now := l.net.eng.Now()
+	if !l.sampled || now >= l.loadUntil {
+		l.loadVal, l.loadUntil = l.src.Sample(now)
+		l.sampled = true
+	}
+}
+
+// Transfer is a message in flight across a route of links.
+type Transfer struct {
+	route     []*Link
+	remaining float64 // MB left in the byte phase
+	rate      float64
+	done      func()
+	started   bool // latency phase finished
+	finished  bool
+}
+
+// Finished reports whether the transfer completed.
+func (t *Transfer) Finished() bool { return t.finished }
+
+// network owns all links and in-flight transfers of a topology and runs the
+// shared fluid bandwidth model. Rates are recomputed globally at each
+// arrival, completion, and cross-traffic change; with the handful of links
+// in the paper's testbeds this is cheap and exact.
+type network struct {
+	eng         *sim.Engine
+	links       []*Link
+	active      map[*Transfer]struct{}
+	lastAdvance float64
+	completion  *sim.Event
+}
+
+func newNetwork(eng *sim.Engine) *network {
+	return &network{eng: eng, active: make(map[*Transfer]struct{})}
+}
+
+func (n *network) addLink(l *Link) {
+	l.net = n
+	l.transfers = make(map[*Transfer]struct{})
+	if l.src == nil {
+		l.src = load.Constant(0)
+	}
+	n.links = append(n.links, l)
+}
+
+// send starts a transfer of sizeMB along route; done fires on completion.
+// The message first pays the route's summed latency, then streams its bytes
+// through the fluid bandwidth model.
+func (n *network) send(route []*Link, sizeMB float64, done func()) *Transfer {
+	if len(route) == 0 {
+		panic("grid: send with empty route")
+	}
+	t := &Transfer{route: route, remaining: sizeMB, done: done}
+	lat := 0.0
+	for _, l := range route {
+		lat += l.Latency
+	}
+	n.eng.Schedule(lat, func() {
+		t.started = true
+		if t.remaining <= workEpsilon {
+			t.finished = true
+			if t.done != nil {
+				t.done()
+			}
+			return
+		}
+		n.advanceAll()
+		n.active[t] = struct{}{}
+		for _, l := range t.route {
+			l.transfers[t] = struct{}{}
+		}
+		n.reconfigureAll()
+	})
+	return t
+}
+
+// advanceAll applies progress to every active transfer at its current rate.
+func (n *network) advanceAll() {
+	now := n.eng.Now()
+	dt := now - n.lastAdvance
+	n.lastAdvance = now
+	if dt <= 0 {
+		return
+	}
+	for t := range n.active {
+		t.remaining -= t.rate * dt
+	}
+}
+
+// reconfigureAll recomputes each transfer's rate as the minimum per-link
+// fair share along its route, re-arms the next completion event, and arms
+// cross-traffic wakeups on every busy link.
+func (n *network) reconfigureAll() {
+	if n.completion != nil {
+		n.eng.Cancel(n.completion)
+		n.completion = nil
+	}
+	for _, l := range n.links {
+		if l.loadEv != nil {
+			n.eng.Cancel(l.loadEv)
+			l.loadEv = nil
+		}
+	}
+	if len(n.active) == 0 {
+		return
+	}
+	for _, l := range n.links {
+		if len(l.transfers) == 0 {
+			continue
+		}
+		l.refreshLoad()
+		if !math.IsInf(l.loadUntil, 1) {
+			at := math.Max(l.loadUntil, n.eng.Now())
+			ll := l
+			l.loadEv = n.eng.ScheduleAt(at, func() {
+				ll.loadEv = nil
+				n.advanceAll()
+				ll.refreshLoad()
+				n.reconfigureAll()
+			})
+		}
+	}
+	minETA := math.Inf(1)
+	for t := range n.active {
+		rate := math.Inf(1)
+		for _, l := range t.route {
+			share := l.Bandwidth / (float64(len(l.transfers)) + l.loadVal)
+			if share < rate {
+				rate = share
+			}
+		}
+		t.rate = rate
+		if rate > 0 {
+			if eta := math.Max(t.remaining, 0) / rate; eta < minETA {
+				minETA = eta
+			}
+		}
+	}
+	if math.IsInf(minETA, 1) {
+		return // all routes starved; wait for a cross-traffic change
+	}
+	n.completion = n.eng.Schedule(minETA, n.onCompletion)
+}
+
+func (n *network) onCompletion() {
+	n.completion = nil
+	n.advanceAll()
+	var doneList []*Transfer
+	for t := range n.active {
+		if t.remaining <= workEpsilon {
+			doneList = append(doneList, t)
+		}
+	}
+	for _, t := range doneList {
+		delete(n.active, t)
+		for _, l := range t.route {
+			delete(l.transfers, t)
+		}
+		t.finished = true
+	}
+	n.reconfigureAll()
+	for _, t := range doneList {
+		if t.done != nil {
+			t.done()
+		}
+	}
+}

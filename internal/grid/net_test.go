@@ -1,0 +1,154 @@
+package grid
+
+import (
+	"testing"
+
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// pairTopology builds two hosts joined by one link for transfer tests.
+func pairTopology(eng *sim.Engine, lat, bw float64, cross load.Source) *Topology {
+	tp := NewTopology(eng)
+	tp.AddHost(HostSpec{Name: "a", Speed: 10, MemoryMB: 64})
+	tp.AddHost(HostSpec{Name: "b", Speed: 10, MemoryMB: 64})
+	l := tp.AddLink(LinkSpec{Name: "wire", Latency: lat, Bandwidth: bw, CrossTraffic: cross})
+	tp.Attach("a", l)
+	tp.Attach("b", l)
+	tp.Finalize()
+	return tp
+}
+
+func TestTransferDedicated(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := pairTopology(eng, 0.5, 2, nil)
+	var doneAt float64
+	tp.Send("a", "b", 10, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 0.5 s latency + 10 MB / 2 MB/s = 5.5 s.
+	if !almostEq(doneAt, 5.5, 1e-9) {
+		t.Fatalf("transfer finished at %v, want 5.5", doneAt)
+	}
+}
+
+func TestTwoTransfersShareLink(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := pairTopology(eng, 0, 2, nil)
+	var t1, t2 float64
+	tp.Send("a", "b", 10, func() { t1 = eng.Now() })
+	tp.Send("b", "a", 10, func() { t2 = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(t1, 10, 1e-9) || !almostEq(t2, 10, 1e-9) {
+		t.Fatalf("shared transfers finished at %v, %v, want 10, 10", t1, t2)
+	}
+}
+
+func TestCrossTrafficSlowsTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := pairTopology(eng, 0, 2, load.Constant(1))
+	var doneAt float64
+	tp.Send("a", "b", 10, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth share 2/(1+1) = 1 MB/s -> 10 s.
+	if !almostEq(doneAt, 10, 1e-9) {
+		t.Fatalf("contended transfer finished at %v, want 10", doneAt)
+	}
+}
+
+func TestCrossTrafficStepMidTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	cross := load.NewTrace([]load.Step{{At: 0, Value: 0}, {At: 2, Value: 3}})
+	tp := pairTopology(eng, 0, 2, cross)
+	var doneAt float64
+	tp.Send("a", "b", 10, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 MB by t=2 at 2 MB/s, remaining 6 MB at 2/4=0.5 MB/s -> 12 more s.
+	if !almostEq(doneAt, 14, 1e-9) {
+		t.Fatalf("stepped transfer finished at %v, want 14", doneAt)
+	}
+}
+
+func TestSameHostSendIsFree(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := pairTopology(eng, 1, 1, nil)
+	var doneAt float64 = -1
+	tp.Send("a", "a", 100, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 0 {
+		t.Fatalf("local send finished at %v, want 0", doneAt)
+	}
+}
+
+func TestZeroSizeTransferPaysLatencyOnly(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := pairTopology(eng, 0.25, 1, nil)
+	var doneAt float64
+	tp.Send("a", "b", 0, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(doneAt, 0.25, 1e-9) {
+		t.Fatalf("zero-size transfer at %v, want 0.25", doneAt)
+	}
+}
+
+func TestMultiHopRoute(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := NewTopology(eng)
+	tp.AddHost(HostSpec{Name: "x", Speed: 1, MemoryMB: 1})
+	tp.AddHost(HostSpec{Name: "y", Speed: 1, MemoryMB: 1})
+	l1 := tp.AddLink(LinkSpec{Name: "l1", Latency: 0.1, Bandwidth: 10})
+	l2 := tp.AddLink(LinkSpec{Name: "l2", Latency: 0.2, Bandwidth: 2})
+	tp.AddRouter("r")
+	tp.Attach("x", l1)
+	tp.Attach("r", l1)
+	tp.Attach("r", l2)
+	tp.Attach("y", l2)
+	tp.Finalize()
+
+	if got := len(tp.Route("x", "y")); got != 2 {
+		t.Fatalf("route length %d, want 2", got)
+	}
+	if lat := tp.RouteLatency("x", "y"); !almostEq(lat, 0.3, 1e-12) {
+		t.Fatalf("route latency %v, want 0.3", lat)
+	}
+	if bw := tp.RouteDedicatedBandwidth("x", "y"); bw != 2 {
+		t.Fatalf("bottleneck bandwidth %v, want 2", bw)
+	}
+
+	var doneAt float64
+	tp.Send("x", "y", 4, func() { doneAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 0.3 latency + 4 MB at bottleneck 2 MB/s = 2.3.
+	if !almostEq(doneAt, 2.3, 1e-9) {
+		t.Fatalf("multi-hop transfer finished at %v, want 2.3", doneAt)
+	}
+}
+
+func TestAvailableBandwidthSensing(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := pairTopology(eng, 0, 4, load.Constant(1))
+	l := tp.Link("wire")
+	if bw := l.AvailableBandwidth(); !almostEq(bw, 2, 1e-12) {
+		t.Fatalf("available bandwidth %v, want 2 (one cross stream)", bw)
+	}
+	tp.Send("a", "b", 100, nil)
+	if err := eng.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	if bw := l.AvailableBandwidth(); !almostEq(bw, 4.0/3, 1e-12) {
+		t.Fatalf("available bandwidth with transfer %v, want 4/3", bw)
+	}
+}

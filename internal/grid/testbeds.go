@@ -1,0 +1,196 @@
+package grid
+
+import (
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// TestbedOptions configures the paper testbed builders.
+type TestbedOptions struct {
+	// Seed drives every ambient load generator in the testbed. The same
+	// seed reproduces the same contention, which is how the experiments run
+	// competing partitions "back-to-back" under identical conditions.
+	Seed int64
+	// Quiet builds the testbed with no ambient load anywhere (dedicated
+	// machines and networks), for baselines and unit tests.
+	Quiet bool
+	// WithSP2 adds the two unloaded SP-2 nodes used in Figure 6.
+	WithSP2 bool
+}
+
+// SP2MemoryMB is the per-node real memory of the simulated SP-2 nodes. With
+// 16 bytes/point of Jacobi state, two nodes hold a ~3700x3700 problem at
+// the edge of memory — the crossover point reported for Figure 6.
+const SP2MemoryMB = 110
+
+// SDSCPCL builds the Figure 2 testbed: a Sparc-2 and a Sparc-10 on one PCL
+// ethernet segment, two RS6000s on another, a gateway to SDSC, and four DEC
+// Alphas on a non-dedicated FDDI ring at SDSC. Speeds are era-plausible
+// Mflop/s; what matters for the reproduction is their heterogeneity, not
+// their absolute values.
+//
+// Ambient load levels are chosen so that the PCL machines are busy desktop
+// workstations (heavy, bursty contention), the Alphas are a lightly shared
+// farm, and the networks carry background traffic — the environment in
+// which the paper's AppLeS partition beat static partitions by 2-8x.
+func SDSCPCL(eng *sim.Engine, opt TestbedOptions) *Topology {
+	tp := NewTopology(eng)
+	rng := sim.NewRand(opt.Seed)
+
+	amb := func(mk func(r *sim.Rand) load.Source) load.Source {
+		if opt.Quiet {
+			return nil
+		}
+		return mk(rng.Fork())
+	}
+
+	// --- PCL workstations ---
+	tp.AddHost(HostSpec{
+		Name: "sparc2", Arch: "sparc2", Site: "PCL",
+		Speed: 4, MemoryMB: 32,
+		Features: []string{"kelp", "pvm"},
+		Load: amb(func(r *sim.Rand) load.Source {
+			// Moderately shared: old and slow, but not crowded.
+			return load.NewAR1(r.Fork(), 5, 0.7, 0.9, 0.25)
+		}),
+	})
+	tp.AddHost(HostSpec{
+		Name: "sparc10", Arch: "sparc10", Site: "PCL",
+		Speed: 10, MemoryMB: 64,
+		Features: []string{"kelp", "pvm"},
+		Load: amb(func(r *sim.Rand) load.Source {
+			// The lab's popular desktop: crowded nearly all the time,
+			// with extra interactive bursts on top. Compile-time
+			// schedules that trust its nominal speed pay dearly.
+			return load.NewComposite(
+				load.NewAR1(r.Fork(), 5, 3.0, 0.92, 0.5),
+				load.NewOnOff(r.Fork(), 120, 90, 2),
+			)
+		}),
+	})
+	tp.AddHost(HostSpec{
+		Name: "rs6000a", Arch: "rs6000", Site: "PCL",
+		Speed: 25, MemoryMB: 128,
+		Features: []string{"kelp", "pvm"},
+		Load: amb(func(r *sim.Rand) load.Source {
+			return load.NewAR1(r.Fork(), 5, 0.8, 0.85, 0.3)
+		}),
+	})
+	tp.AddHost(HostSpec{
+		Name: "rs6000b", Arch: "rs6000", Site: "PCL",
+		Speed: 25, MemoryMB: 128,
+		Features: []string{"kelp", "pvm"},
+		Load: amb(func(r *sim.Rand) load.Source {
+			return load.NewComposite(
+				load.NewAR1(r.Fork(), 5, 0.5, 0.85, 0.25),
+				load.NewOnOff(r.Fork(), 300, 120, 1.5),
+			)
+		}),
+	})
+
+	// --- SDSC Alpha farm ---
+	for _, name := range []string{"alpha1", "alpha2", "alpha3", "alpha4"} {
+		tp.AddHost(HostSpec{
+			Name: name, Arch: "alpha", Site: "SDSC",
+			Speed: 40, MemoryMB: 128,
+			Features: []string{"kelp", "pvm", "corba"},
+			Load: amb(func(r *sim.Rand) load.Source {
+				// A lightly shared farm, but with enough wandering load
+				// that compile-time assumptions mislead.
+				return load.NewAR1(r.Fork(), 5, 0.55, 0.85, 0.3)
+			}),
+		})
+	}
+
+	// --- Networks (Figure 2) ---
+	// 10 Mbit ethernet ~ 1.25 MB/s; FDDI 100 Mbit ~ 12.5 MB/s; a shared
+	// campus/WAN path between the sites.
+	ethS := tp.AddLink(LinkSpec{
+		Name: "pcl-eth-suns", Latency: 0.001, Bandwidth: 1.25,
+		CrossTraffic: amb(func(r *sim.Rand) load.Source {
+			return load.NewOnOff(r.Fork(), 30, 20, 1.0)
+		}),
+	})
+	ethR := tp.AddLink(LinkSpec{
+		Name: "pcl-eth-rs", Latency: 0.001, Bandwidth: 1.25,
+		CrossTraffic: amb(func(r *sim.Rand) load.Source {
+			return load.NewAR1(r.Fork(), 10, 0.5, 0.8, 0.2)
+		}),
+	})
+	wan := tp.AddLink(LinkSpec{
+		Name: "pcl-sdsc-wan", Latency: 0.003, Bandwidth: 4,
+		CrossTraffic: amb(func(r *sim.Rand) load.Source {
+			return load.NewComposite(
+				load.NewAR1(r.Fork(), 10, 0.8, 0.85, 0.3),
+				load.NewPeriodic(10, 600, 0.3, 0.3, 0),
+			)
+		}),
+	})
+	fddi := tp.AddLink(LinkSpec{
+		Name: "sdsc-fddi", Latency: 0.0005, Bandwidth: 12.5,
+		CrossTraffic: amb(func(r *sim.Rand) load.Source {
+			return load.NewAR1(r.Fork(), 10, 0.6, 0.8, 0.25)
+		}),
+	})
+
+	tp.AddRouter("pcl-gw")
+	tp.AddRouter("sdsc-gw")
+
+	tp.Attach("sparc2", ethS)
+	tp.Attach("sparc10", ethS)
+	tp.Attach("rs6000a", ethR)
+	tp.Attach("rs6000b", ethR)
+	tp.Attach("pcl-gw", ethS)
+	tp.Attach("pcl-gw", ethR)
+	tp.Attach("pcl-gw", wan)
+	tp.Attach("sdsc-gw", wan)
+	tp.Attach("sdsc-gw", fddi)
+	for _, name := range []string{"alpha1", "alpha2", "alpha3", "alpha4"} {
+		tp.Attach(name, fddi)
+	}
+
+	if opt.WithSP2 {
+		// Two unloaded SP-2 nodes on a fast dedicated switch at SDSC
+		// (Figure 6). Much faster than the workstations, but bounded memory.
+		sw := tp.AddLink(LinkSpec{
+			Name: "sp2-switch", Latency: 0.0001, Bandwidth: 35, Dedicated: true,
+		})
+		for _, name := range []string{"sp2a", "sp2b"} {
+			tp.AddHost(HostSpec{
+				Name: name, Arch: "sp2", Site: "SDSC",
+				Speed: 120, MemoryMB: SP2MemoryMB, Dedicated: true,
+				Features: []string{"kelp", "pvm", "hpf"},
+			})
+			tp.Attach(name, sw)
+		}
+		tp.Attach("sdsc-gw", sw)
+	}
+
+	tp.Finalize()
+	return tp
+}
+
+// CASA builds the two-machine CASA testbed used by 3D-REACT (Section 2.3):
+// a Cray C90 CPU at SDSC and a Paragon partition at CalTech over a
+// dedicated HiPPI-SONET wide-area path. Both machines are dedicated, as the
+// paper notes the application required.
+func CASA(eng *sim.Engine) *Topology {
+	tp := NewTopology(eng)
+	tp.AddHost(HostSpec{
+		Name: "c90", Arch: "c90", Site: "SDSC",
+		Speed: 450, MemoryMB: 2048, Dedicated: true,
+		Features: []string{"vector"},
+	})
+	tp.AddHost(HostSpec{
+		Name: "paragon", Arch: "paragon", Site: "CalTech",
+		Speed: 480, MemoryMB: 4096, Dedicated: true,
+		Features: []string{"mpp"},
+	})
+	hippi := tp.AddLink(LinkSpec{
+		Name: "hippi-sonet", Latency: 0.015, Bandwidth: 25, Dedicated: true,
+	})
+	tp.Attach("c90", hippi)
+	tp.Attach("paragon", hippi)
+	tp.Finalize()
+	return tp
+}

@@ -1,0 +1,173 @@
+package grid
+
+import (
+	"testing"
+
+	"apples/internal/sim"
+)
+
+func TestSDSCPCLShape(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := SDSCPCL(eng, TestbedOptions{Seed: 1})
+	if got := len(tp.Hosts()); got != 8 {
+		t.Fatalf("host count %d, want 8 (Figure 2)", got)
+	}
+	if got := len(tp.Links()); got != 4 {
+		t.Fatalf("link count %d, want 4", got)
+	}
+	// Suns and RS6000s sit on different PCL segments...
+	r := tp.Route("sparc2", "sparc10")
+	if len(r) != 1 || r[0].Name != "pcl-eth-suns" {
+		t.Fatalf("sparc2->sparc10 route %v, want single pcl-eth-suns hop", r)
+	}
+	r = tp.Route("sparc2", "rs6000a")
+	if len(r) != 2 {
+		t.Fatalf("sparc2->rs6000a route %v, want 2 hops via gateway", r)
+	}
+	// ...and the cross-site route traverses segment + WAN + FDDI.
+	r = tp.Route("sparc2", "alpha1")
+	if len(r) != 3 {
+		t.Fatalf("sparc2->alpha1 route has %d hops, want 3", len(r))
+	}
+	if r[1].Name != "pcl-sdsc-wan" {
+		t.Fatalf("cross-site route middle hop %v, want pcl-sdsc-wan", r[1])
+	}
+	// Alphas share the FDDI ring directly.
+	r = tp.Route("alpha1", "alpha4")
+	if len(r) != 1 || r[0].Name != "sdsc-fddi" {
+		t.Fatalf("alpha1->alpha4 route %v, want single FDDI hop", r)
+	}
+}
+
+func TestSDSCPCLHeterogeneity(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := SDSCPCL(eng, TestbedOptions{Seed: 1, Quiet: true})
+	s2, a1 := tp.Host("sparc2"), tp.Host("alpha1")
+	if s2.Speed >= a1.Speed {
+		t.Fatalf("sparc2 (%v) should be slower than alpha (%v)", s2.Speed, a1.Speed)
+	}
+	if s2.Site != "PCL" || a1.Site != "SDSC" {
+		t.Fatal("sites not assigned per Figure 2")
+	}
+	if !s2.HasFeature("kelp") {
+		t.Fatal("hosts should advertise the kelp actuation feature")
+	}
+}
+
+func TestSDSCPCLQuietIsDedicated(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := SDSCPCL(eng, TestbedOptions{Seed: 1, Quiet: true})
+	if err := eng.RunUntil(500); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tp.Hosts() {
+		if h.CurrentLoad() != 0 {
+			t.Fatalf("quiet testbed host %s has load %v", h.Name, h.CurrentLoad())
+		}
+	}
+}
+
+func TestSDSCPCLAmbientLoadVaries(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := SDSCPCL(eng, TestbedOptions{Seed: 3})
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		if err := eng.RunUntil(float64(i+1) * 10); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range tp.Hosts() {
+			if h.CurrentLoad() > 0 {
+				seen[h.Name] = true
+			}
+		}
+	}
+	for _, name := range []string{"sparc2", "sparc10", "rs6000a", "rs6000b"} {
+		if !seen[name] {
+			t.Errorf("PCL host %s never experienced ambient load in 2000 s", name)
+		}
+	}
+}
+
+func TestSDSCPCLWithSP2(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := SDSCPCL(eng, TestbedOptions{Seed: 1, WithSP2: true})
+	if got := len(tp.Hosts()); got != 10 {
+		t.Fatalf("host count with SP-2 %d, want 10", got)
+	}
+	sp2 := tp.Host("sp2a")
+	if sp2 == nil || !sp2.Dedicated {
+		t.Fatal("SP-2 nodes must exist and be dedicated")
+	}
+	if sp2.MemoryMB != SP2MemoryMB {
+		t.Fatalf("SP-2 memory %v, want %v", sp2.MemoryMB, float64(SP2MemoryMB))
+	}
+	if r := tp.Route("sp2a", "alpha1"); len(r) != 2 {
+		t.Fatalf("sp2a->alpha1 route %v, want switch+FDDI", r)
+	}
+}
+
+func TestCASAPair(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := CASA(eng)
+	if len(tp.Hosts()) != 2 {
+		t.Fatalf("CASA hosts %d, want 2", len(tp.Hosts()))
+	}
+	r := tp.Route("c90", "paragon")
+	if len(r) != 1 || r[0].Name != "hippi-sonet" {
+		t.Fatalf("CASA route %v, want single hippi-sonet hop", r)
+	}
+	for _, h := range tp.Hosts() {
+		if !h.Dedicated {
+			t.Fatalf("CASA host %s must be dedicated", h.Name)
+		}
+	}
+}
+
+func TestTestbedDeterminism(t *testing.T) {
+	sample := func() []float64 {
+		eng := sim.NewEngine()
+		tp := SDSCPCL(eng, TestbedOptions{Seed: 11})
+		var out []float64
+		for i := 0; i < 50; i++ {
+			if err := eng.RunUntil(float64(i+1) * 20); err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range tp.Hosts() {
+				out = append(out, h.CurrentLoad())
+			}
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed testbeds diverged at sample %d", i)
+		}
+	}
+}
+
+func TestDuplicateHostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate host did not panic")
+		}
+	}()
+	tp := NewTopology(sim.NewEngine())
+	tp.AddHost(HostSpec{Name: "h", Speed: 1, MemoryMB: 1})
+	tp.AddHost(HostSpec{Name: "h", Speed: 1, MemoryMB: 1})
+}
+
+func TestUnroutableTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unreachable pair did not panic at Finalize")
+		}
+	}()
+	tp := NewTopology(sim.NewEngine())
+	tp.AddHost(HostSpec{Name: "a", Speed: 1, MemoryMB: 1})
+	tp.AddHost(HostSpec{Name: "b", Speed: 1, MemoryMB: 1})
+	l := tp.AddLink(LinkSpec{Name: "l", Latency: 0, Bandwidth: 1})
+	tp.Attach("a", l)
+	// b is attached to nothing.
+	tp.Finalize()
+}

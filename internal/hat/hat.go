@@ -1,0 +1,166 @@
+// Package hat implements the Heterogeneous Application Template: the
+// interface through which a user describes the structure, characteristics,
+// and current implementations of an application to its AppLeS agent
+// (Section 3.4 and Section 4.1 of the paper).
+//
+// Templates carry both implementation-independent attributes (task graph,
+// communication pattern, iteration structure) and implementation-dependent
+// ones (per-architecture optimized variants, bytes per boundary point,
+// pipeline unit bounds).
+package hat
+
+import "fmt"
+
+// Paradigm classifies the application's computational structure.
+type Paradigm int
+
+const (
+	// DataParallel applications decompose a uniform data domain
+	// (CLEO/NILE event analysis, Jacobi2D).
+	DataParallel Paradigm = iota
+	// TaskParallel applications decompose into distinct functional tasks
+	// (3D-REACT's LHSF and LogD/ASY).
+	TaskParallel
+)
+
+// String returns the paradigm name.
+func (p Paradigm) String() string {
+	switch p {
+	case DataParallel:
+		return "data-parallel"
+	case TaskParallel:
+		return "task-parallel"
+	default:
+		return fmt.Sprintf("paradigm(%d)", int(p))
+	}
+}
+
+// CommPattern classifies inter-task communication regularity.
+type CommPattern int
+
+const (
+	// NeighborExchange is the regular border swap of stencil codes.
+	NeighborExchange CommPattern = iota
+	// PipelineFlow is producer-to-consumer streaming (LHSF -> Log-D).
+	PipelineFlow
+	// GatherScatter is a distribution/aggregation phase.
+	GatherScatter
+)
+
+// String returns the pattern name.
+func (c CommPattern) String() string {
+	switch c {
+	case NeighborExchange:
+		return "neighbor-exchange"
+	case PipelineFlow:
+		return "pipeline"
+	case GatherScatter:
+		return "gather-scatter"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(c))
+	}
+}
+
+// Implementation describes one per-architecture optimized variant of a task
+// (3D-REACT's Log-D had distinct vector and MPP implementations).
+type Implementation struct {
+	Arch string
+	// SpeedFactor scales the host's nominal Mflop/s for this task: an
+	// implementation tuned to the architecture has factor >= 1, a poorly
+	// matched fallback < 1.
+	SpeedFactor float64
+}
+
+// Task describes one logical task of the application.
+type Task struct {
+	Name string
+	// FlopPerUnit is the computation per work unit (per grid point for
+	// Jacobi2D, per surface function for LHSF, per event for NILE), in
+	// floating-point operations.
+	FlopPerUnit float64
+	// BytesPerUnit is the memory footprint per work unit.
+	BytesPerUnit float64
+	// Implementations maps architecture family to the tuned variant; an
+	// empty map means a portable implementation with factor 1 everywhere.
+	Implementations map[string]Implementation
+}
+
+// SpeedFactorOn returns the implementation speed factor for the given
+// architecture (1.0 when no tuned variant is declared).
+func (t Task) SpeedFactorOn(arch string) float64 {
+	if impl, ok := t.Implementations[arch]; ok && impl.SpeedFactor > 0 {
+		return impl.SpeedFactor
+	}
+	return 1
+}
+
+// Comm describes one inter-task communication dependence.
+type Comm struct {
+	From, To string
+	Pattern  CommPattern
+	// BytesPerUnit is the data volume exchanged per boundary/work unit and
+	// per iteration.
+	BytesPerUnit float64
+}
+
+// Template is the complete HAT for one application.
+type Template struct {
+	Name     string
+	Paradigm Paradigm
+	Tasks    []Task
+	Comms    []Comm
+
+	// Iterations is the number of synchronous steps the run performs
+	// (Jacobi sweeps, pipeline subdomain count, analysis passes).
+	Iterations int
+
+	// PipelineUnitMin/Max bound the tunable transfer unit for pipelined
+	// codes (3D-REACT used 5-20 surface functions per subdomain).
+	PipelineUnitMin, PipelineUnitMax int
+}
+
+// Task returns the named task and whether it exists.
+func (t *Template) Task(name string) (Task, bool) {
+	for _, task := range t.Tasks {
+		if task.Name == name {
+			return task, true
+		}
+	}
+	return Task{}, false
+}
+
+// Validate checks structural consistency: non-empty tasks, comm edges that
+// reference declared tasks, positive per-unit costs.
+func (t *Template) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("hat: template has no name")
+	}
+	if len(t.Tasks) == 0 {
+		return fmt.Errorf("hat: template %q has no tasks", t.Name)
+	}
+	names := map[string]bool{}
+	for _, task := range t.Tasks {
+		if task.Name == "" {
+			return fmt.Errorf("hat: template %q has an unnamed task", t.Name)
+		}
+		if names[task.Name] {
+			return fmt.Errorf("hat: template %q duplicates task %q", t.Name, task.Name)
+		}
+		names[task.Name] = true
+		if task.FlopPerUnit < 0 || task.BytesPerUnit < 0 {
+			return fmt.Errorf("hat: task %q has negative per-unit costs", task.Name)
+		}
+	}
+	for _, c := range t.Comms {
+		if !names[c.From] || !names[c.To] {
+			return fmt.Errorf("hat: comm %s->%s references undeclared task", c.From, c.To)
+		}
+		if c.BytesPerUnit < 0 {
+			return fmt.Errorf("hat: comm %s->%s has negative volume", c.From, c.To)
+		}
+	}
+	if t.Iterations < 0 {
+		return fmt.Errorf("hat: template %q has negative iteration count", t.Name)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package hat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJacobiTemplateValid(t *testing.T) {
+	tpl := Jacobi2D(1000, 100)
+	if err := tpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Paradigm != DataParallel {
+		t.Fatalf("jacobi paradigm %v, want data-parallel", tpl.Paradigm)
+	}
+	task, ok := tpl.Task("sweep")
+	if !ok || task.FlopPerUnit <= 0 || task.BytesPerUnit <= 0 {
+		t.Fatalf("sweep task malformed: %+v ok=%v", task, ok)
+	}
+	if tpl.Comms[0].Pattern != NeighborExchange {
+		t.Fatalf("jacobi comm pattern %v", tpl.Comms[0].Pattern)
+	}
+}
+
+func TestReactTemplateValid(t *testing.T) {
+	tpl := React3D(120)
+	if err := tpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Paradigm != TaskParallel {
+		t.Fatalf("react paradigm %v, want task-parallel", tpl.Paradigm)
+	}
+	if tpl.PipelineUnitMin != 5 || tpl.PipelineUnitMax != 20 {
+		t.Fatalf("pipeline bounds %d-%d, want 5-20 per the paper",
+			tpl.PipelineUnitMin, tpl.PipelineUnitMax)
+	}
+	lhsf, _ := tpl.Task("lhsf")
+	// The paper: each task's implementation is optimized for its machine.
+	if lhsf.SpeedFactorOn("c90") <= lhsf.SpeedFactorOn("paragon") {
+		t.Fatal("LHSF should run relatively better on the C90")
+	}
+	logd, _ := tpl.Task("logd")
+	if logd.SpeedFactorOn("paragon") <= logd.SpeedFactorOn("c90") {
+		t.Fatal("Log-D should run relatively better on the Paragon")
+	}
+}
+
+func TestNileTemplateValid(t *testing.T) {
+	tpl := Nile(1e6)
+	if err := tpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	task, _ := tpl.Task("analyze")
+	if task.BytesPerUnit != 20480 {
+		t.Fatalf("NILE event record %v bytes, want 20480 (20 KB pass2)", task.BytesPerUnit)
+	}
+}
+
+func TestSpeedFactorDefault(t *testing.T) {
+	task := Task{Name: "t"}
+	if f := task.SpeedFactorOn("anything"); f != 1 {
+		t.Fatalf("default speed factor %v, want 1", f)
+	}
+}
+
+func TestValidateRejectsBadTemplates(t *testing.T) {
+	cases := []struct {
+		name string
+		tpl  Template
+		want string
+	}{
+		{"no name", Template{}, "no name"},
+		{"no tasks", Template{Name: "x"}, "no tasks"},
+		{"dup task", Template{Name: "x", Tasks: []Task{{Name: "a"}, {Name: "a"}}}, "duplicates"},
+		{"bad comm", Template{Name: "x", Tasks: []Task{{Name: "a"}},
+			Comms: []Comm{{From: "a", To: "ghost"}}}, "undeclared"},
+		{"neg cost", Template{Name: "x", Tasks: []Task{{Name: "a", FlopPerUnit: -1}}}, "negative"},
+		{"neg iters", Template{Name: "x", Tasks: []Task{{Name: "a"}}, Iterations: -1}, "negative iteration"},
+	}
+	for _, c := range cases {
+		err := c.tpl.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if DataParallel.String() != "data-parallel" || TaskParallel.String() != "task-parallel" {
+		t.Fatal("paradigm strings wrong")
+	}
+	if NeighborExchange.String() != "neighbor-exchange" ||
+		PipelineFlow.String() != "pipeline" ||
+		GatherScatter.String() != "gather-scatter" {
+		t.Fatal("pattern strings wrong")
+	}
+	if !strings.Contains(Paradigm(99).String(), "99") {
+		t.Fatal("unknown paradigm string")
+	}
+}

@@ -1,0 +1,88 @@
+package hat
+
+// Jacobi2D returns the HAT for the paper's distributed data-parallel
+// Jacobi2D code on an n x n grid: a five-point stencil (we charge 10 flop
+// per point including loads/stores), 16 bytes of state per point (two
+// float64 copies of the grid), and a neighbor border exchange of 8 bytes
+// per boundary point per iteration.
+func Jacobi2D(n, iterations int) *Template {
+	return &Template{
+		Name:     "jacobi2d",
+		Paradigm: DataParallel,
+		Tasks: []Task{{
+			Name:         "sweep",
+			FlopPerUnit:  10,
+			BytesPerUnit: 16,
+		}},
+		Comms: []Comm{{
+			From: "sweep", To: "sweep",
+			Pattern:      NeighborExchange,
+			BytesPerUnit: 8,
+		}},
+		Iterations: iterations,
+	}
+}
+
+// React3D returns the HAT for 3D-REACT (Section 2.2): two functional tasks,
+// LHSF production feeding Log-D/ASY consumption through a tunable pipeline
+// of 5-20 surface functions per subdomain. Work units are surface
+// functions. The Log-D implementation is vector-optimized on the C90 and
+// message-passing-optimized on the Paragon, per the paper.
+func React3D(surfaceFunctions int) *Template {
+	return &Template{
+		Name:     "3d-react",
+		Paradigm: TaskParallel,
+		Tasks: []Task{
+			{
+				Name:         "lhsf",
+				FlopPerUnit:  1.25e10, // ~12.5 Gflop per surface function
+				BytesPerUnit: 6.0e6,   // stored surface-function data
+				Implementations: map[string]Implementation{
+					// LHSF vectorizes well; the MPP port is poor.
+					"c90":     {Arch: "c90", SpeedFactor: 1.0},
+					"paragon": {Arch: "paragon", SpeedFactor: 0.36},
+				},
+			},
+			{
+				Name:         "logd",
+				FlopPerUnit:  1.25e10,
+				BytesPerUnit: 8.0e6,
+				Implementations: map[string]Implementation{
+					// Log-D has a vector variant and a (better) MPP variant,
+					// "different although functionally equivalent" (2.3).
+					"c90":     {Arch: "c90", SpeedFactor: 0.9},
+					"paragon": {Arch: "paragon", SpeedFactor: 1.0},
+				},
+			},
+		},
+		Comms: []Comm{{
+			From: "lhsf", To: "logd",
+			Pattern:      PipelineFlow,
+			BytesPerUnit: 2.5e6, // surface-function data shipped per unit, bytes
+		}},
+		Iterations:      surfaceFunctions,
+		PipelineUnitMin: 5,
+		PipelineUnitMax: 20,
+	}
+}
+
+// Nile returns the HAT for CLEO/NILE event analysis (Section 2.1):
+// independent data-parallel event processing with a gather at the end.
+// Work units are events; pass2 records are 20 KB each.
+func Nile(events int) *Template {
+	return &Template{
+		Name:     "cleo-nile",
+		Paradigm: DataParallel,
+		Tasks: []Task{{
+			Name:         "analyze",
+			FlopPerUnit:  2.0e5, // per-event histogram/statistics cost, flop
+			BytesPerUnit: 20480, // pass2 record: 20 KB/event
+		}},
+		Comms: []Comm{{
+			From: "analyze", To: "analyze",
+			Pattern:      GatherScatter,
+			BytesPerUnit: 64, // histogram contribution per event
+		}},
+		Iterations: events,
+	}
+}

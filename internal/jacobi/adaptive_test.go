@@ -1,0 +1,199 @@
+package jacobi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/partition"
+	"apples/internal/sim"
+)
+
+func TestAdaptiveWithoutReplanMatchesRun(t *testing.T) {
+	mk := func() (*grid.Topology, *partition.Placement) {
+		eng := sim.NewEngine()
+		tp := twoHostTopology(eng, 10, 20, 1024, 1024, nil)
+		p, err := partition.UniformStrip(200, []string{"a", "b"}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp, p
+	}
+	tp1, p1 := mk()
+	plain, err := Run(tp1, p1, Config{Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp2, p2 := mk()
+	adaptive, err := RunAdaptive(tp2, p2, AdaptiveConfig{Config: Config{Iterations: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Time-adaptive.Time) > 1e-9 {
+		t.Fatalf("adaptive-without-replan %v differs from plain run %v", adaptive.Time, plain.Time)
+	}
+	if adaptive.Replans != 0 || adaptive.MigratedMB != 0 {
+		t.Fatalf("no-op adaptive run migrated: %+v", adaptive)
+	}
+}
+
+func TestAdaptiveReplanMigratesAndWins(t *testing.T) {
+	// Host a starts fast and becomes terrible at t=0.5; a replan that
+	// moves everything to b must beat the static placement.
+	mkTp := func() *grid.Topology {
+		eng := sim.NewEngine()
+		src := load.NewTrace([]load.Step{{At: 0, Value: 0}, {At: 0.5, Value: 20}})
+		return twoHostTopology(eng, 50, 50, 1024, 1024, src)
+	}
+	allA, _ := partition.WeightedStrip(400, []string{"a", "b"}, []float64{3, 1}, 8)
+
+	tp1 := mkTp()
+	static, err := Run(tp1, allA, Config{Iterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tp2 := mkTp()
+	moved := false
+	adaptive, err := RunAdaptive(tp2, allA, AdaptiveConfig{
+		Config:     Config{Iterations: 100},
+		CheckEvery: 10,
+		Replan: func(done int, cur *partition.Placement) *partition.Placement {
+			if moved || tp2.Host("a").CurrentLoad() < 10 {
+				return nil
+			}
+			moved = true
+			p, err := partition.WeightedStrip(400, []string{"a", "b"}, []float64{0, 1}, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Replans != 1 {
+		t.Fatalf("replans = %d, want 1", adaptive.Replans)
+	}
+	if adaptive.MigratedMB <= 0 || adaptive.MigrationSec <= 0 {
+		t.Fatalf("no migration recorded: %+v", adaptive)
+	}
+	if adaptive.Time >= static.Time {
+		t.Fatalf("adaptive %v not faster than static %v under a load shift", adaptive.Time, static.Time)
+	}
+}
+
+func TestAdaptiveRejectsCorruptReplacement(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := twoHostTopology(eng, 10, 10, 1024, 1024, nil)
+	p, _ := partition.UniformStrip(100, []string{"a", "b"}, 8)
+	_, err := RunAdaptive(tp, p, AdaptiveConfig{
+		Config:     Config{Iterations: 30},
+		CheckEvery: 5,
+		Replan: func(done int, cur *partition.Placement) *partition.Placement {
+			bad, _ := partition.UniformStrip(100, []string{"a", "b"}, 8)
+			bad.Assignments[0].Points += 7
+			return bad
+		},
+	})
+	if err == nil {
+		t.Fatal("corrupt replacement placement accepted")
+	}
+}
+
+func TestMigrationPlanConservation(t *testing.T) {
+	oldP, _ := partition.WeightedStrip(100, []string{"a", "b", "c"}, []float64{2, 1, 1}, 8)
+	newP, _ := partition.WeightedStrip(100, []string{"a", "b", "c"}, []float64{1, 1, 2}, 8)
+	moves := migrationPlan(oldP, newP, 16)
+	movedPts := 0.0
+	for _, m := range moves {
+		if m.sizeMB < 0 {
+			t.Fatalf("negative move %+v", m)
+		}
+		movedPts += m.sizeMB * 1e6 / 16
+	}
+	// Total moved must equal the total positive delta.
+	wantPts := 0.0
+	for _, a := range newP.Assignments {
+		for _, b := range oldP.Assignments {
+			if a.Host == b.Host && a.Points > b.Points {
+				wantPts += float64(a.Points - b.Points)
+			}
+		}
+	}
+	if math.Abs(movedPts-wantPts) > 1e-6 {
+		t.Fatalf("moved %v points, want %v", movedPts, wantPts)
+	}
+}
+
+// Property: for any pair of weightings over the same hosts, the migration
+// estimate equals the one-sided sum of share decreases (every surplus
+// point moves exactly once, nothing moves twice).
+func TestEstimateMigrationProperty(t *testing.T) {
+	f := func(w1, w2 [3]uint8) bool {
+		hosts := []string{"a", "b", "c"}
+		toW := func(w [3]uint8) []float64 {
+			out := make([]float64, 3)
+			any := false
+			for i, v := range w {
+				out[i] = float64(v%9) + 0.01
+				if out[i] > 0 {
+					any = true
+				}
+			}
+			_ = any
+			return out
+		}
+		oldP, err := partition.WeightedStrip(60, hosts, toW(w1), 8)
+		if err != nil {
+			return true
+		}
+		newP, err := partition.WeightedStrip(60, hosts, toW(w2), 8)
+		if err != nil {
+			return true
+		}
+		got := EstimateMigrationMB(oldP, newP, 16)
+		oldPts := map[string]int{}
+		for _, a := range oldP.Assignments {
+			oldPts[a.Host] = a.Points
+		}
+		want := 0.0
+		for _, a := range newP.Assignments {
+			if d := a.Points - oldPts[a.Host]; d > 0 {
+				want += float64(d) * 16 / 1e6
+			}
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveOnTestbedWithLoadShift(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 3})
+	eng.ScheduleAt(5, func() {
+		tp.Host("alpha1").SetLoad(load.Constant(8))
+	})
+	p, err := partition.UniformStrip(600, tp.HostNames(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAdaptive(tp, p, AdaptiveConfig{
+		Config:     Config{Iterations: 40},
+		CheckEvery: 10,
+		Replan: func(done int, cur *partition.Placement) *partition.Placement {
+			return nil // observe only; the shift must not corrupt the run
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterTimes) != 40 {
+		t.Fatalf("iterations recorded %d", len(res.IterTimes))
+	}
+}

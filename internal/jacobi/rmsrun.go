@@ -1,0 +1,111 @@
+package jacobi
+
+import (
+	"fmt"
+
+	"apples/internal/grid"
+	"apples/internal/partition"
+	"apples/internal/rms"
+)
+
+// Message tags for the RMS-actuated execution.
+const (
+	tagBorder = 1
+	tagDone   = 2
+	tagGo     = 3
+)
+
+// controlMB is the size of DONE/GO control messages (they pay real
+// latency on the simulated network, like any PVM message).
+const controlMB = 1e-4
+
+// RunViaRMS executes the placement through the rms (PVM-style)
+// resource-management substrate instead of driving hosts directly: one
+// task per strip, border exchange as tagged messages, and a coordinator
+// task enforcing the iteration barrier with DONE/GO control messages.
+//
+// This is the Actuator path the paper describes — the agent "implements
+// that schedule with respect to the appropriate resource management
+// systems" — and it costs slightly more than the idealized Run because
+// barrier control traffic crosses the same contended network.
+func RunViaRMS(tp *grid.Topology, p *partition.Placement, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	workers, err := newWorkers(tp, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := tp.Engine
+	m := rms.New(tp)
+	res := &Result{SpillFraction: map[string]float64{}, Hosts: len(workers)}
+	for _, w := range workers {
+		res.SpillFraction[w.asg.Host] = w.spill
+	}
+
+	start := eng.Now()
+	iterStart := start
+	iter := 0
+
+	taskOf := make(map[string]rms.TaskID, len(workers))
+	var coord *rms.Task
+
+	// The coordinator lives on the first strip's host.
+	_, err = m.Spawn(workers[0].asg.Host, func(t *rms.Task) {
+		coord = t
+		var barrier func(msgs []rms.Message)
+		barrier = func(msgs []rms.Message) {
+			res.IterTimes = append(res.IterTimes, eng.Now()-iterStart)
+			iter++
+			if iter >= cfg.Iterations {
+				res.Time = eng.Now() - start
+				eng.Halt()
+				return
+			}
+			iterStart = eng.Now()
+			for _, id := range taskOf {
+				t.Send(id, tagGo, controlMB, nil)
+			}
+			t.RecvN(tagDone, len(workers), barrier)
+		}
+		t.RecvN(tagDone, len(workers), barrier)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, w := range workers {
+		w := w
+		id, err := m.Spawn(w.asg.Host, func(t *rms.Task) {
+			var sweep func()
+			sweep = func() {
+				t.Compute(w.mflop, func() {
+					for _, b := range w.asg.Borders {
+						t.Send(taskOf[b.Peer], tagBorder, b.Bytes/1e6, nil)
+					}
+					t.RecvN(tagBorder, len(w.asg.Borders), func([]rms.Message) {
+						t.Send(coord.ID(), tagDone, controlMB, nil)
+					})
+				})
+			}
+			var onGo func(rms.Message)
+			onGo = func(rms.Message) {
+				sweep()
+				t.Recv(tagGo, onGo)
+			}
+			t.Recv(tagGo, onGo)
+			sweep() // first iteration starts unprompted
+		})
+		if err != nil {
+			return nil, err
+		}
+		taskOf[w.asg.Host] = id
+	}
+
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	if iter < cfg.Iterations {
+		return nil, fmt.Errorf("jacobi: RMS run stalled at iteration %d/%d", iter, cfg.Iterations)
+	}
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package jacobi
+
+import (
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/partition"
+	"apples/internal/sim"
+)
+
+func TestRunViaRMSMatchesDirectRun(t *testing.T) {
+	mk := func() (*grid.Topology, *partition.Placement) {
+		eng := sim.NewEngine()
+		tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 5, Quiet: true})
+		p, err := partition.UniformStrip(600, tp.HostNames(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tp, p
+	}
+	cfg := Config{Iterations: 20}
+
+	tp1, p1 := mk()
+	direct, err := Run(tp1, p1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp2, p2 := mk()
+	viaRMS, err := RunViaRMS(tp2, p2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaRMS.IterTimes) != 20 {
+		t.Fatalf("RMS run recorded %d iterations", len(viaRMS.IterTimes))
+	}
+	// The RMS path adds barrier control traffic: strictly slower than the
+	// idealized direct run, but by a bounded factor.
+	if viaRMS.Time <= direct.Time {
+		t.Fatalf("RMS actuation (%v) should cost more than direct execution (%v)", viaRMS.Time, direct.Time)
+	}
+	if viaRMS.Time > direct.Time*1.5 {
+		t.Fatalf("RMS actuation overhead too large: %v vs %v", viaRMS.Time, direct.Time)
+	}
+}
+
+func TestRunViaRMSSingleHost(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 5, Quiet: true})
+	p, err := partition.WeightedStrip(300, []string{"alpha1", "alpha2"}, []float64{1, 0}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunViaRMS(tp, p, Config{Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 1 || res.Time <= 0 {
+		t.Fatalf("single-host RMS run: %+v", res)
+	}
+}
+
+func TestRunViaRMSUnderLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 5})
+	p, err := partition.UniformStrip(600, tp.HostNames(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunViaRMS(tp, p, Config{Iterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterTimes) != 15 {
+		t.Fatalf("iterations %d", len(res.IterTimes))
+	}
+}
+
+func TestRunViaRMSRejectsCorruptPlacement(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 5, Quiet: true})
+	p, _ := partition.UniformStrip(100, tp.HostNames(), 8)
+	p.Assignments[0].Points++
+	if _, err := RunViaRMS(tp, p, Config{Iterations: 2}); err == nil {
+		t.Fatal("corrupt placement accepted")
+	}
+}

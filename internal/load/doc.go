@@ -1,0 +1,14 @@
+// Package load generates the ambient contention processes that make the
+// simulated metacomputer non-dedicated.
+//
+// Every generator implements Source: a lazily evaluated, piecewise-constant
+// function of virtual time whose value is "number of competing processes"
+// on a CPU (or fractional cross-traffic load on a link). Hosts divide their
+// delivered speed by (1 + load), so a load of 0 means a dedicated machine
+// and a load of 1 means the application gets half the CPU — the same
+// availability signal the Network Weather Service senses and forecasts in
+// the paper.
+//
+// Generators are deterministic per seed and must be queried with
+// non-decreasing times, which the simulation guarantees.
+package load

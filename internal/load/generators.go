@@ -1,0 +1,192 @@
+package load
+
+import (
+	"math"
+	"sort"
+
+	"apples/internal/sim"
+)
+
+// NewOnOff returns a two-state Markov-modulated load: exponential idle
+// periods at level 0 (mean idleMean seconds) alternating with exponential
+// busy periods (mean busyMean) at level busyLoad. It starts idle.
+//
+// This models interactive users: long quiet stretches punctuated by bursts
+// of competing work.
+func NewOnOff(rng *sim.Rand, idleMean, busyMean, busyLoad float64) Source {
+	busy := false
+	s := &segmented{}
+	s.next = func() (float64, float64) {
+		busy = !busy
+		if busy {
+			return busyLoad, positive(rng.Exp(busyMean))
+		}
+		return 0, positive(rng.Exp(idleMean))
+	}
+	// First segment: idle.
+	busy = true // toggled to false on first call
+	return s
+}
+
+// NewAR1 returns a first-order autoregressive load sampled every dt seconds:
+//
+//	x(k+1) = mean + phi*(x(k)-mean) + Normal(0, sigma)
+//
+// clipped at zero. Unix run-queue lengths are well modeled by strongly
+// autocorrelated AR processes, which is what makes NWS-style short-term
+// prediction work; phi close to 1 gives slowly wandering load.
+func NewAR1(rng *sim.Rand, dt, mean, phi, sigma float64) Source {
+	if dt <= 0 {
+		panic("load: AR1 dt must be positive")
+	}
+	x := mean
+	s := &segmented{}
+	s.next = func() (float64, float64) {
+		v := clip(x)
+		x = mean + phi*(x-mean) + rng.Normal(0, sigma)
+		return v, dt
+	}
+	return s
+}
+
+// NewPeriodic returns a sinusoidal diurnal-style load sampled every dt
+// seconds: base + amp*sin(2*pi*(t+phase)/period), clipped at zero.
+func NewPeriodic(dt, period, base, amp, phase float64) Source {
+	if dt <= 0 || period <= 0 {
+		panic("load: Periodic dt and period must be positive")
+	}
+	t := 0.0
+	s := &segmented{}
+	s.next = func() (float64, float64) {
+		v := clip(base + amp*math.Sin(2*math.Pi*(t+phase)/period))
+		t += dt
+		return v, dt
+	}
+	return s
+}
+
+// NewSpikes returns a load that is usually baseline but jumps to
+// baseline+height for `width` seconds at exponential inter-arrival gaps of
+// mean `gapMean`. Spikes model batch jobs landing on a shared machine.
+func NewSpikes(rng *sim.Rand, gapMean, width, baseline, height float64) Source {
+	if width <= 0 {
+		panic("load: spike width must be positive")
+	}
+	inSpike := false
+	s := &segmented{}
+	s.next = func() (float64, float64) {
+		inSpike = !inSpike
+		if inSpike {
+			return baseline + height, width
+		}
+		return baseline, positive(rng.Exp(gapMean))
+	}
+	inSpike = true // first segment is a quiet gap
+	return s
+}
+
+// Step is one segment of a replayed trace.
+type Step struct {
+	At    float64 // segment start time
+	Value float64 // load from At until the next step
+}
+
+// NewTrace replays an explicit piecewise-constant trace. Steps are sorted by
+// time; the value before the first step is the first step's value, and the
+// last value holds forever.
+func NewTrace(steps []Step) Source {
+	if len(steps) == 0 {
+		return Constant(0)
+	}
+	s := append([]Step(nil), steps...)
+	sort.Slice(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return &trace{steps: s}
+}
+
+type trace struct {
+	steps []Step
+	idx   int
+	last  float64
+}
+
+func (tr *trace) Sample(t float64) (float64, float64) {
+	if t < tr.last {
+		panic("load: trace sampled backwards")
+	}
+	tr.last = t
+	for tr.idx+1 < len(tr.steps) && tr.steps[tr.idx+1].At <= t {
+		tr.idx++
+	}
+	until := math.Inf(1)
+	if tr.idx+1 < len(tr.steps) {
+		until = tr.steps[tr.idx+1].At
+	}
+	return clip(tr.steps[tr.idx].Value), until
+}
+
+// NewComposite sums several sources; the combined process changes whenever
+// any component changes.
+func NewComposite(srcs ...Source) Source {
+	if len(srcs) == 1 {
+		return srcs[0]
+	}
+	return composite(srcs)
+}
+
+type composite []Source
+
+func (c composite) Sample(t float64) (float64, float64) {
+	sum, until := 0.0, math.Inf(1)
+	for _, s := range c {
+		v, u := s.Sample(t)
+		sum += v
+		if u < until {
+			until = u
+		}
+	}
+	return sum, until
+}
+
+// Scale multiplies a source's values by factor (>= 0).
+func Scale(src Source, factor float64) Source {
+	return scaled{src: src, f: factor}
+}
+
+type scaled struct {
+	src Source
+	f   float64
+}
+
+func (s scaled) Sample(t float64) (float64, float64) {
+	v, u := s.src.Sample(t)
+	return clip(v * s.f), u
+}
+
+// Delay holds the source at zero until `start`, then plays it with its
+// origin shifted to start. Used to introduce contention mid-run for
+// failure-injection experiments.
+func Delay(src Source, start float64) Source {
+	return &delayed{src: src, start: start}
+}
+
+type delayed struct {
+	src   Source
+	start float64
+}
+
+func (d *delayed) Sample(t float64) (float64, float64) {
+	if t < d.start {
+		return 0, d.start
+	}
+	v, u := d.src.Sample(t - d.start)
+	return v, u + d.start
+}
+
+// positive makes exponential draws usable as segment durations (the
+// segmented iterator requires strictly positive lengths).
+func positive(v float64) float64 {
+	if v <= 0 {
+		return 1e-9
+	}
+	return v
+}

@@ -1,0 +1,266 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apples/internal/sim"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant(2.5)
+	v, until := c.Sample(0)
+	if v != 2.5 || !math.IsInf(until, 1) {
+		t.Fatalf("Constant.Sample = %v,%v", v, until)
+	}
+	v, _ = c.Sample(1e9)
+	if v != 2.5 {
+		t.Fatalf("Constant drifted: %v", v)
+	}
+}
+
+func TestOnOffAlternates(t *testing.T) {
+	src := NewOnOff(sim.NewRand(1), 10, 5, 3)
+	sawIdle, sawBusy := false, false
+	t0 := 0.0
+	for i := 0; i < 200; i++ {
+		v, until := src.Sample(t0)
+		switch v {
+		case 0:
+			sawIdle = true
+		case 3:
+			sawBusy = true
+		default:
+			t.Fatalf("OnOff produced level %v, want 0 or 3", v)
+		}
+		if until <= t0 {
+			t.Fatalf("segment does not advance: until=%v t=%v", until, t0)
+		}
+		t0 = until
+	}
+	if !sawIdle || !sawBusy {
+		t.Fatalf("OnOff never alternated: idle=%v busy=%v", sawIdle, sawBusy)
+	}
+}
+
+func TestOnOffStartsIdle(t *testing.T) {
+	src := NewOnOff(sim.NewRand(2), 10, 5, 3)
+	v, _ := src.Sample(0)
+	if v != 0 {
+		t.Fatalf("OnOff starts at %v, want idle 0", v)
+	}
+}
+
+func TestAR1MeanAndNonNegative(t *testing.T) {
+	src := NewAR1(sim.NewRand(3), 1, 2, 0.9, 0.3)
+	vals := SampleEvery(src, 1, 20000)
+	sum := 0.0
+	for _, v := range vals {
+		if v < 0 {
+			t.Fatalf("AR1 produced negative load %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	if math.Abs(mean-2) > 0.2 {
+		t.Fatalf("AR1 mean %v, want ~2", mean)
+	}
+}
+
+func TestAR1Autocorrelated(t *testing.T) {
+	src := NewAR1(sim.NewRand(4), 1, 2, 0.95, 0.2)
+	vals := SampleEvery(src, 1, 5000)
+	// lag-1 autocorrelation should be clearly positive for phi=0.95
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	num, den := 0.0, 0.0
+	for i := 0; i < len(vals)-1; i++ {
+		num += (vals[i] - mean) * (vals[i+1] - mean)
+		den += (vals[i] - mean) * (vals[i] - mean)
+	}
+	if r := num / den; r < 0.7 {
+		t.Fatalf("AR1(phi=0.95) lag-1 autocorr = %v, want > 0.7", r)
+	}
+}
+
+func TestPeriodicShape(t *testing.T) {
+	src := NewPeriodic(1, 100, 2, 1, 0)
+	vals := SampleEvery(src, 1, 100)
+	minv, maxv := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		minv = math.Min(minv, v)
+		maxv = math.Max(maxv, v)
+	}
+	if maxv < 2.9 || minv > 1.1 {
+		t.Fatalf("Periodic range [%v,%v], want ~[1,3]", minv, maxv)
+	}
+}
+
+func TestPeriodicClipsNegative(t *testing.T) {
+	src := NewPeriodic(1, 50, 0, 2, 0) // dips to -2 without clipping
+	for _, v := range SampleEvery(src, 1, 100) {
+		if v < 0 {
+			t.Fatalf("Periodic produced negative %v", v)
+		}
+	}
+}
+
+func TestSpikes(t *testing.T) {
+	src := NewSpikes(sim.NewRand(5), 20, 2, 0.5, 4)
+	levels := map[float64]bool{}
+	t0 := 0.0
+	for i := 0; i < 100; i++ {
+		v, until := src.Sample(t0)
+		levels[v] = true
+		t0 = until
+	}
+	if !levels[0.5] || !levels[4.5] {
+		t.Fatalf("Spikes levels seen: %v, want baseline 0.5 and spike 4.5", levels)
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	src := NewTrace([]Step{{At: 0, Value: 1}, {At: 10, Value: 3}, {At: 20, Value: 0}})
+	cases := []struct {
+		t, want, until float64
+	}{
+		{0, 1, 10}, {5, 1, 10}, {10, 3, 20}, {19.9, 3, 20}, {20, 0, math.Inf(1)}, {100, 0, math.Inf(1)},
+	}
+	for _, c := range cases {
+		v, u := src.Sample(c.t)
+		if v != c.want || u != c.until {
+			t.Fatalf("Trace.Sample(%v) = %v,%v, want %v,%v", c.t, v, u, c.want, c.until)
+		}
+	}
+}
+
+func TestTraceUnsortedInput(t *testing.T) {
+	src := NewTrace([]Step{{At: 20, Value: 5}, {At: 0, Value: 1}})
+	if v, _ := src.Sample(0); v != 1 {
+		t.Fatalf("unsorted trace start = %v, want 1", v)
+	}
+	if v, _ := src.Sample(25); v != 5 {
+		t.Fatalf("unsorted trace tail = %v, want 5", v)
+	}
+}
+
+func TestEmptyTraceIsZero(t *testing.T) {
+	src := NewTrace(nil)
+	if v, _ := src.Sample(5); v != 0 {
+		t.Fatalf("empty trace = %v, want 0", v)
+	}
+}
+
+func TestCompositeSums(t *testing.T) {
+	src := NewComposite(Constant(1), NewTrace([]Step{{At: 0, Value: 0}, {At: 5, Value: 2}}))
+	if v, u := src.Sample(0); v != 1 || u != 5 {
+		t.Fatalf("composite at 0 = %v,%v, want 1,5", v, u)
+	}
+	if v, _ := src.Sample(5); v != 3 {
+		t.Fatalf("composite at 5 = %v, want 3", v)
+	}
+}
+
+func TestScale(t *testing.T) {
+	src := Scale(Constant(2), 1.5)
+	if v, _ := src.Sample(0); v != 3 {
+		t.Fatalf("Scale = %v, want 3", v)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	src := Delay(Constant(4), 10)
+	if v, u := src.Sample(0); v != 0 || u != 10 {
+		t.Fatalf("Delay before start = %v,%v", v, u)
+	}
+	if v, _ := src.Sample(10); v != 4 {
+		t.Fatalf("Delay after start = %v, want 4", v)
+	}
+}
+
+func TestBackwardsSamplePanics(t *testing.T) {
+	src := NewAR1(sim.NewRand(6), 1, 1, 0.5, 0.1)
+	src.Sample(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Sample did not panic")
+		}
+	}()
+	src.Sample(5)
+}
+
+func TestMeanOverConstant(t *testing.T) {
+	if m := MeanOver(Constant(2), 100); m != 2 {
+		t.Fatalf("MeanOver(Constant(2)) = %v", m)
+	}
+}
+
+func TestMeanOverTrace(t *testing.T) {
+	src := NewTrace([]Step{{At: 0, Value: 0}, {At: 50, Value: 2}})
+	if m := MeanOver(src, 100); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("MeanOver = %v, want 1", m)
+	}
+}
+
+func TestMaxOver(t *testing.T) {
+	src := NewTrace([]Step{{At: 0, Value: 1}, {At: 5, Value: 7}, {At: 6, Value: 2}})
+	if m := MaxOver(src, 100); m != 7 {
+		t.Fatalf("MaxOver = %v, want 7", m)
+	}
+}
+
+// Property: all generators produce non-negative values and strictly
+// advancing segments for any seed.
+func TestGeneratorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRand(seed)
+		srcs := []Source{
+			NewOnOff(rng.Fork(), 5, 5, 2),
+			NewAR1(rng.Fork(), 0.5, 1, 0.8, 0.5),
+			NewPeriodic(1, 60, 1, 2, 0),
+			NewSpikes(rng.Fork(), 10, 1, 0, 3),
+		}
+		for _, s := range srcs {
+			t0 := 0.0
+			for i := 0; i < 500; i++ {
+				v, until := s.Sample(t0)
+				if v < 0 || math.IsNaN(v) || until <= t0 {
+					return false
+				}
+				t0 = until
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	mk := func() Source { return NewOnOff(sim.NewRand(99), 3, 3, 1) }
+	a, b := mk(), mk()
+	t0 := 0.0
+	for i := 0; i < 300; i++ {
+		va, ua := a.Sample(t0)
+		vb, ub := b.Sample(t0)
+		if va != vb || ua != ub {
+			t.Fatalf("same-seed generators diverged at segment %d", i)
+		}
+		t0 = ua
+	}
+}
+
+func BenchmarkAR1Sample(b *testing.B) {
+	src := NewAR1(sim.NewRand(1), 1, 2, 0.9, 0.3)
+	b.ReportAllocs()
+	t0 := 0.0
+	for i := 0; i < b.N; i++ {
+		_, until := src.Sample(t0)
+		t0 = until
+	}
+}

@@ -1,0 +1,65 @@
+package load
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source is a piecewise-constant load process. Sample(t) returns the load
+// value at time t and the time `until` at which the value may next change
+// (exclusive end of the current segment; +Inf for a constant tail).
+//
+// Sample must be called with non-decreasing t; implementations may panic on
+// out-of-order queries.
+type Source interface {
+	Sample(t float64) (value, until float64)
+}
+
+// Constant is a fixed load level forever.
+type Constant float64
+
+// Sample implements Source.
+func (c Constant) Sample(t float64) (float64, float64) {
+	return float64(c), math.Inf(1)
+}
+
+// segmented is shared machinery for lazy piecewise-constant generators: it
+// caches the current segment and pulls new segments from next() as time
+// advances.
+type segmented struct {
+	start, end float64
+	value      float64
+	last       float64
+	next       func() (value, duration float64)
+	primed     bool
+}
+
+func (s *segmented) Sample(t float64) (float64, float64) {
+	if t < s.last {
+		panic(fmt.Sprintf("load: Sample time went backwards: %v after %v", t, s.last))
+	}
+	s.last = t
+	if !s.primed {
+		v, d := s.next()
+		s.start, s.end, s.value = 0, d, v
+		s.primed = true
+	}
+	for t >= s.end {
+		v, d := s.next()
+		if d <= 0 {
+			panic("load: generator produced non-positive segment duration")
+		}
+		s.start = s.end
+		s.end += d
+		s.value = v
+	}
+	return s.value, s.end
+}
+
+// clip returns v clamped to be non-negative (loads cannot be negative).
+func clip(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

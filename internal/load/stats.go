@@ -1,0 +1,52 @@
+package load
+
+// MeanOver integrates a source over [0, horizon] and returns the
+// time-weighted mean load. It consumes the source (sources are single-pass),
+// so callers use a fresh generator with the same seed when they need both a
+// mean and a simulation run.
+func MeanOver(src Source, horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	t, acc := 0.0, 0.0
+	for t < horizon {
+		v, until := src.Sample(t)
+		end := until
+		if end > horizon {
+			end = horizon
+		}
+		acc += v * (end - t)
+		if until <= t { // constant tail guard
+			break
+		}
+		t = end
+	}
+	return acc / horizon
+}
+
+// MaxOver returns the maximum load value attained in [0, horizon].
+func MaxOver(src Source, horizon float64) float64 {
+	t, maxv := 0.0, 0.0
+	for t < horizon {
+		v, until := src.Sample(t)
+		if v > maxv {
+			maxv = v
+		}
+		if until <= t {
+			break
+		}
+		t = until
+	}
+	return maxv
+}
+
+// SampleEvery reads the source at fixed dt intervals over [0,horizon),
+// returning the observed values. NWS sensor tests use it as ground truth.
+func SampleEvery(src Source, dt, horizon float64) []float64 {
+	var out []float64
+	for t := 0.0; t < horizon; t += dt {
+		v, _ := src.Sample(t)
+		out = append(out, v)
+	}
+	return out
+}

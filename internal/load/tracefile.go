@@ -1,0 +1,93 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseTrace reads a piecewise-constant load trace from a text stream.
+// Each non-empty line is "time value" (whitespace-separated); '#' starts
+// a comment. Times must be non-negative and strictly increasing; values
+// must be non-negative. This is the import path for measured machine-load
+// traces (e.g. converted vmstat/uptime logs) so real contention can drive
+// the simulated testbeds.
+func ParseTrace(r io.Reader) ([]Step, error) {
+	var steps []Step
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("load: trace line %d: want \"time value\", got %q", lineNo, line)
+		}
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: trace line %d: bad time %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: trace line %d: bad value %q: %v", lineNo, fields[1], err)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("load: trace line %d: negative time %v", lineNo, at)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("load: trace line %d: negative load %v", lineNo, v)
+		}
+		if len(steps) > 0 && at <= steps[len(steps)-1].At {
+			return nil, fmt.Errorf("load: trace line %d: time %v not increasing", lineNo, at)
+		}
+		steps = append(steps, Step{At: at, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load: reading trace: %w", err)
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("load: empty trace")
+	}
+	return steps, nil
+}
+
+// WriteTrace writes steps in the format ParseTrace reads.
+func WriteTrace(w io.Writer, steps []Step) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# time value"); err != nil {
+		return err
+	}
+	for _, s := range steps {
+		if _, err := fmt.Fprintf(bw, "%g %g\n", s.At, s.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// RecordSource samples a source every dt over [0, horizon) and returns the
+// equivalent explicit trace — useful for exporting a generated contention
+// scenario so a run can be repeated or inspected.
+func RecordSource(src Source, dt, horizon float64) []Step {
+	var steps []Step
+	prev := -1.0
+	for t := 0.0; t < horizon; t += dt {
+		v, _ := src.Sample(t)
+		if v != prev {
+			steps = append(steps, Step{At: t, Value: v})
+			prev = v
+		}
+	}
+	if len(steps) == 0 {
+		steps = append(steps, Step{At: 0, Value: 0})
+	}
+	return steps
+}

@@ -1,0 +1,110 @@
+package load
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"apples/internal/sim"
+)
+
+func TestParseTraceBasic(t *testing.T) {
+	in := `# a comment
+0 1.5
+10 0    # inline comment
+
+25.5 3
+`
+	steps, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Step{{0, 1.5}, {10, 0}, {25.5, 3}}
+	if len(steps) != len(want) {
+		t.Fatalf("steps %v", steps)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("steps[%d] = %v, want %v", i, steps[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"three fields":  "0 1 2\n",
+		"bad time":      "x 1\n",
+		"bad value":     "0 y\n",
+		"negative time": "-1 0\n",
+		"negative load": "0 -2\n",
+		"non-monotonic": "5 1\n5 2\n",
+		"empty":         "# nothing\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	steps := []Step{{0, 0.5}, {3.25, 2}, {100, 0}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, steps); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(steps) {
+		t.Fatalf("round trip %v", back)
+	}
+	for i := range steps {
+		if back[i] != steps[i] {
+			t.Fatalf("round trip[%d] = %v, want %v", i, back[i], steps[i])
+		}
+	}
+}
+
+// Property: any generated trace survives a write/parse round trip and
+// replays to the same values.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := NewOnOff(sim.NewRand(seed), 5, 5, 2)
+		steps := RecordSource(src, 1, 60)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, steps); err != nil {
+			return false
+		}
+		back, err := ParseTrace(&buf)
+		if err != nil {
+			return false
+		}
+		a, b := NewTrace(steps), NewTrace(back)
+		for ti := 0.0; ti < 60; ti += 0.5 {
+			va, _ := a.Sample(ti)
+			vb, _ := b.Sample(ti)
+			if va != vb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordSourceCapturesChanges(t *testing.T) {
+	src := NewTrace([]Step{{0, 1}, {10, 3}, {20, 1}})
+	steps := RecordSource(src, 1, 30)
+	if len(steps) != 3 {
+		t.Fatalf("recorded %v", steps)
+	}
+	replay := NewTrace(steps)
+	if v, _ := replay.Sample(15); v != 3 {
+		t.Fatalf("replay at 15 = %v", v)
+	}
+}

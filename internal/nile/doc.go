@@ -1,0 +1,24 @@
+// Package nile models CLEO/NILE distributed event analysis (Section 2.1):
+// high-energy-physics event records stored at data sites, analyzed by
+// physicists from arbitrary hosts in the metacomputer.
+//
+// The package implements the Site Manager's scheduling decision the paper
+// highlights — "the cost of skimming is compared with a prediction of the
+// reduction in cost of event analysis when the data is local" — as a
+// choice among three execution strategies for a repeated analysis:
+//
+//   - Remote: every pass streams the event subset from the data site to
+//     the analysis host, overlapping transfer with computation;
+//   - Skim: a one-time copy creates a private local data set, after which
+//     every pass is purely local;
+//   - AtData: the analysis program moves to the data site and only the
+//     (small) histogram results travel.
+//
+// It also implements the multi-site data-parallel analysis that motivates
+// NILE: shards analyzed in place, in parallel, with a histogram gather at
+// the end — versus centralizing all data at one host.
+//
+// Everything executes on the simulated metacomputer, so strategy costs
+// reflect ambient CPU load and network contention, and the Site Manager's
+// predictions can be checked against measured outcomes (experiment E6).
+package nile

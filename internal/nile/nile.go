@@ -1,0 +1,241 @@
+package nile
+
+import (
+	"fmt"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+)
+
+// Dataset is one event collection resident at a data site.
+type Dataset struct {
+	Name        string
+	Site        string  // host holding the records
+	Events      int     // events of interest (after skim selection)
+	RecordBytes float64 // bytes per event record (20 KB pass2, 8 KB raw)
+}
+
+// Job is one physicist's analysis request.
+type Job struct {
+	// UserHost is where the physicist works (and where skimmed data
+	// lands).
+	UserHost string
+	// Passes is how many times the analysis runs over the data set
+	// (histogram tweaks, cut scans, ...).
+	Passes int
+	// FlopPerEvent is the per-event analysis cost.
+	FlopPerEvent float64
+	// ResultBytes is the size of the aggregated result (histograms)
+	// shipped back per pass.
+	ResultBytes float64
+	// ChunkEvents is the streaming granularity for transfer/compute
+	// overlap (default 2000 events).
+	ChunkEvents int
+	// SkimSelectivity is the fraction of events the skim retains for
+	// further local analysis (default 1: keep everything). Remote and
+	// AtData passes must always scan the full set; post-skim local passes
+	// touch only the selected subset — that asymmetry is what the Site
+	// Manager's skim decision trades against the one-time copy.
+	SkimSelectivity float64
+}
+
+func (j *Job) setDefaults() {
+	if j.ChunkEvents == 0 {
+		j.ChunkEvents = 2000
+	}
+	if j.ResultBytes == 0 {
+		j.ResultBytes = 1 << 20
+	}
+	if j.SkimSelectivity == 0 {
+		j.SkimSelectivity = 1
+	}
+}
+
+// JobFromTemplate builds a Job from the CLEO/NILE HAT.
+func JobFromTemplate(tpl *hat.Template, userHost string, passes int) (Job, error) {
+	task, ok := tpl.Task("analyze")
+	if !ok {
+		return Job{}, fmt.Errorf("nile: template lacks analyze task")
+	}
+	return Job{
+		UserHost:     userHost,
+		Passes:       passes,
+		FlopPerEvent: task.FlopPerUnit,
+	}, nil
+}
+
+// Strategy is one way to execute the job.
+type Strategy int
+
+const (
+	// Remote streams records from the data site on every pass.
+	Remote Strategy = iota
+	// Skim copies the data set to the user's host once, then runs local
+	// passes.
+	Skim
+	// AtData runs the analysis at the data site and ships back results.
+	AtData
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Remote:
+		return "remote"
+	case Skim:
+		return "skim"
+	case AtData:
+		return "at-data"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Result reports an executed analysis.
+type Result struct {
+	Strategy   Strategy
+	Time       float64 // wall-clock (virtual) seconds for all passes
+	BytesMoved float64
+}
+
+// Execute runs the job against the dataset with the given strategy,
+// driving the topology's engine to completion.
+func Execute(tp *grid.Topology, ds Dataset, job Job, strategy Strategy) (*Result, error) {
+	job.setDefaults()
+	if err := validate(tp, ds, job); err != nil {
+		return nil, err
+	}
+	eng := tp.Engine
+	res := &Result{Strategy: strategy}
+	start := eng.Now()
+	finish := func() {
+		res.Time = eng.Now() - start
+		eng.Halt()
+	}
+
+	user := tp.Host(job.UserHost)
+	store := tp.Host(ds.Site)
+	eventsMB := float64(ds.Events) * ds.RecordBytes / 1e6
+	computeMflop := float64(ds.Events) * job.FlopPerEvent / 1e6
+	resultMB := job.ResultBytes / 1e6
+
+	switch strategy {
+	case Skim:
+		// One-time skim transfer of the full set, then local passes over
+		// the selected subset back to back.
+		res.BytesMoved = eventsMB * 1e6
+		localMflop := computeMflop * job.SkimSelectivity
+		pass := 0
+		var runPass func()
+		runPass = func() {
+			if pass >= job.Passes {
+				finish()
+				return
+			}
+			pass++
+			user.Submit(localMflop, runPass)
+		}
+		tp.Send(ds.Site, job.UserHost, eventsMB, runPass)
+
+	case AtData:
+		// Compute at the store; ship the small result back each pass.
+		res.BytesMoved = float64(job.Passes) * job.ResultBytes
+		pass := 0
+		var runPass func()
+		runPass = func() {
+			if pass >= job.Passes {
+				finish()
+				return
+			}
+			pass++
+			store.Submit(computeMflop, func() {
+				tp.Send(ds.Site, job.UserHost, resultMB, runPass)
+			})
+		}
+		runPass()
+
+	case Remote:
+		// Stream chunks each pass, overlapping transfer with compute.
+		res.BytesMoved = float64(job.Passes) * eventsMB * 1e6
+		chunks := (ds.Events + job.ChunkEvents - 1) / job.ChunkEvents
+		chunkMB := eventsMB / float64(chunks)
+		chunkMflop := computeMflop / float64(chunks)
+		pass := 0
+		var runPass func()
+		runPass = func() {
+			if pass >= job.Passes {
+				finish()
+				return
+			}
+			pass++
+			received, computed := 0, 0
+			busy := false
+			var pump func(k int)
+			var consume func()
+			consume = func() {
+				if computed == chunks {
+					runPass()
+					return
+				}
+				if busy || computed >= received {
+					return
+				}
+				busy = true
+				user.Submit(chunkMflop, func() {
+					busy = false
+					computed++
+					consume()
+				})
+			}
+			pump = func(k int) {
+				if k >= chunks {
+					return
+				}
+				tp.Send(ds.Site, job.UserHost, chunkMB, func() {
+					received++
+					consume()
+					pump(k + 1)
+				})
+			}
+			pump(0)
+		}
+		runPass()
+
+	default:
+		return nil, fmt.Errorf("nile: unknown strategy %v", strategy)
+	}
+
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	if res.Time == 0 && eng.Pending() == 0 && job.Passes > 0 {
+		// Completed at t==start only possible for zero work; otherwise
+		// the run stalled.
+		if computeMflop > 0 || eventsMB > 0 {
+			return nil, fmt.Errorf("nile: %v run stalled", strategy)
+		}
+	}
+	return res, nil
+}
+
+func validate(tp *grid.Topology, ds Dataset, job Job) error {
+	if tp.Host(ds.Site) == nil {
+		return fmt.Errorf("nile: unknown data site %q", ds.Site)
+	}
+	if tp.Host(job.UserHost) == nil {
+		return fmt.Errorf("nile: unknown user host %q", job.UserHost)
+	}
+	if ds.Events <= 0 || ds.RecordBytes <= 0 {
+		return fmt.Errorf("nile: dataset %q has no data", ds.Name)
+	}
+	if job.Passes <= 0 {
+		return fmt.Errorf("nile: job has no passes")
+	}
+	if job.FlopPerEvent < 0 {
+		return fmt.Errorf("nile: negative per-event cost")
+	}
+	if job.SkimSelectivity < 0 || job.SkimSelectivity > 1 {
+		return fmt.Errorf("nile: skim selectivity %v outside (0,1]", job.SkimSelectivity)
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package nile
+
+import (
+	"math"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// labTopology: a data store host and a user workstation over a shared
+// campus link, plus a second store for catalog tests.
+func labTopology(eng *sim.Engine, linkCross load.Source) *grid.Topology {
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "store1", Speed: 40, MemoryMB: 512})
+	tp.AddHost(grid.HostSpec{Name: "store2", Speed: 40, MemoryMB: 512})
+	tp.AddHost(grid.HostSpec{Name: "desk", Speed: 25, MemoryMB: 256})
+	l := tp.AddLink(grid.LinkSpec{Name: "campus", Latency: 0.002, Bandwidth: 4, CrossTraffic: linkCross})
+	tp.Attach("store1", l)
+	tp.Attach("store2", l)
+	tp.Attach("desk", l)
+	tp.Finalize()
+	return tp
+}
+
+func testJob(passes int) Job {
+	return Job{UserHost: "desk", Passes: passes, FlopPerEvent: 2.0e5}
+}
+
+func testDataset(events int) Dataset {
+	return Dataset{Name: "roar", Site: "store1", Events: events, RecordBytes: 20480}
+}
+
+func TestExecuteSkimMatchesHandComputation(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := labTopology(eng, nil)
+	ds := testDataset(10000) // 204.8 MB, 2000 Mflop
+	res, err := Execute(tp, ds, testJob(2), Skim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer: 204.8/4 = 51.2 s + 2 ms; compute: 2000/25 = 80 s per pass.
+	want := 51.2 + 0.002 + 2*80
+	if math.Abs(res.Time-want) > 0.5 {
+		t.Fatalf("skim run %v s, want ~%v", res.Time, want)
+	}
+	if res.BytesMoved != 10000*20480 {
+		t.Fatalf("bytes moved %v", res.BytesMoved)
+	}
+}
+
+func TestExecuteAtDataUsesStoreSpeed(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := labTopology(eng, nil)
+	ds := testDataset(10000)
+	res, err := Execute(tp, ds, testJob(1), AtData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 Mflop at 40 Mflop/s = 50 s + 1 MB result transfer (~0.25 s).
+	want := 50 + 0.25 + 0.002
+	if math.Abs(res.Time-want) > 0.5 {
+		t.Fatalf("at-data run %v s, want ~%v", res.Time, want)
+	}
+}
+
+func TestExecuteRemoteOverlapsTransferAndCompute(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := labTopology(eng, nil)
+	ds := testDataset(10000)
+	res, err := Execute(tp, ds, testJob(1), Remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer-bound pass: 51.2 s of streaming dominates 80 s of compute?
+	// Compute 80 s > transfer 51.2 s, so the pass is compute-bound; with
+	// overlap it must be close to max(80, 51.2) plus one chunk's latency,
+	// and strictly less than the serial sum.
+	if res.Time > 135 || res.Time < 80 {
+		t.Fatalf("remote run %v s, want between 80 (bound) and 131 (serial)", res.Time)
+	}
+	if res.Time > 100 {
+		t.Fatalf("remote run %v s shows no transfer/compute overlap", res.Time)
+	}
+}
+
+func TestSkimBeatsRemoteForManyPasses(t *testing.T) {
+	run := func(s Strategy, passes int) float64 {
+		eng := sim.NewEngine()
+		tp := labTopology(eng, nil)
+		job := testJob(passes)
+		job.SkimSelectivity = 0.5 // later passes touch half the events
+		res, err := Execute(tp, testDataset(20000), job, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	// One pass: skim's up-front copy makes it slower or comparable.
+	if run(Skim, 1) < run(Remote, 1) {
+		t.Fatal("skim should not beat remote on a single pass here")
+	}
+	// Ten passes: local data amortizes the copy.
+	if run(Skim, 10) >= run(Remote, 10) {
+		t.Fatal("skim should beat remote after many passes")
+	}
+}
+
+func TestSiteManagerChoosesMeasuredBest(t *testing.T) {
+	// With oracle-quality estimates, the chosen strategy's measured time
+	// must be the minimum of the three measured times.
+	for _, passes := range []int{1, 3, 8} {
+		times := map[Strategy]float64{}
+		for _, s := range []Strategy{Remote, Skim, AtData} {
+			eng := sim.NewEngine()
+			tp := labTopology(eng, nil)
+			res, err := Execute(tp, testDataset(20000), testJob(passes), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[s] = res.Time
+		}
+		eng := sim.NewEngine()
+		tp := labTopology(eng, nil)
+		sm := NewSiteManager(tp, oracle{tp})
+		choice, pred, err := sm.Choose(testDataset(20000), testJob(passes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := Remote
+		for s, tm := range times {
+			if tm < times[best] {
+				best = s
+			}
+		}
+		// Allow the choice to differ only if within 10% of the best.
+		if choice != best && times[choice] > times[best]*1.1 {
+			t.Fatalf("passes=%d: chose %v (measured %v), best %v (measured %v), predicted %v",
+				passes, choice, times[choice], best, times[best], pred)
+		}
+	}
+}
+
+// oracle adapts the topology's true state to the Estimates interface.
+type oracle struct{ tp *grid.Topology }
+
+func (o oracle) Availability(h string) float64      { return o.tp.Host(h).Availability() }
+func (o oracle) RouteBandwidth(a, b string) float64 { return o.tp.RouteBandwidth(a, b) }
+func (o oracle) RouteLatency(a, b string) float64   { return o.tp.RouteLatency(a, b) }
+
+func TestSkimCrossover(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := labTopology(eng, nil)
+	sm := NewSiteManager(tp, oracle{tp})
+	ds := testDataset(20000)
+	// Make transfer dominate: slow per-event compute relative to data.
+	job := Job{UserHost: "desk", Passes: 1, FlopPerEvent: 2.0e4}
+	cross, err := sm.SkimCrossover(ds, job, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross < 2 {
+		t.Fatalf("crossover %d: skim should not win immediately", cross)
+	}
+	if cross == 0 {
+		t.Fatal("skim never wins despite transfer-dominated passes")
+	}
+}
+
+func TestDistributedBeatsCentralized(t *testing.T) {
+	catalog := []Dataset{
+		{Name: "s1", Site: "store1", Events: 20000, RecordBytes: 20480},
+		{Name: "s2", Site: "store2", Events: 20000, RecordBytes: 20480},
+	}
+	eng := sim.NewEngine()
+	tp := labTopology(eng, nil)
+	dist, err := ExecuteDistributed(tp, catalog, testJob(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := sim.NewEngine()
+	tp2 := labTopology(eng2, nil)
+	central, err := CentralizedBaseline(tp2, catalog, testJob(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Time >= central.Time {
+		t.Fatalf("distributed %v not faster than centralized %v", dist.Time, central.Time)
+	}
+	if dist.BytesMoved >= central.BytesMoved {
+		t.Fatalf("distributed moved %v bytes, centralized %v", dist.BytesMoved, central.BytesMoved)
+	}
+}
+
+func TestContendedLinkShiftsDecisionToAtData(t *testing.T) {
+	// Saturated campus link: moving data is hopeless, computing at the
+	// store wins even though the store is also the data server.
+	eng := sim.NewEngine()
+	tp := labTopology(eng, load.Constant(20))
+	sm := NewSiteManager(tp, oracle{tp})
+	choice, _, err := sm.Choose(testDataset(20000), testJob(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice != AtData {
+		t.Fatalf("with a saturated link the site manager chose %v, want at-data", choice)
+	}
+}
+
+func TestJobFromTemplate(t *testing.T) {
+	job, err := JobFromTemplate(hat.Nile(1000), "desk", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.FlopPerEvent != 2.0e5 || job.Passes != 4 || job.UserHost != "desk" {
+		t.Fatalf("job %+v", job)
+	}
+	if _, err := JobFromTemplate(hat.Jacobi2D(10, 1), "desk", 1); err == nil {
+		t.Fatal("non-NILE template accepted")
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := labTopology(eng, nil)
+	if _, err := Execute(tp, Dataset{Name: "x", Site: "ghost", Events: 1, RecordBytes: 1}, testJob(1), Remote); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if _, err := Execute(tp, testDataset(0), testJob(1), Remote); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := Execute(tp, testDataset(10), testJob(0), Remote); err == nil {
+		t.Fatal("zero passes accepted")
+	}
+	if _, err := Execute(tp, testDataset(10), Job{UserHost: "ghost", Passes: 1}, Remote); err == nil {
+		t.Fatal("unknown user host accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Remote.String() != "remote" || Skim.String() != "skim" || AtData.String() != "at-data" {
+		t.Fatal("strategy strings wrong")
+	}
+}
+
+func BenchmarkRemoteAnalysis(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		tp := labTopology(eng, nil)
+		if _, err := Execute(tp, testDataset(5000), testJob(2), Remote); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

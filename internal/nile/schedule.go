@@ -1,0 +1,229 @@
+package nile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"apples/internal/grid"
+)
+
+// ShardPlan assigns one dataset shard to a compute host. When the host is
+// the shard's data site the records never leave the server; otherwise
+// they stream over the network with transfer/compute overlap.
+type ShardPlan struct {
+	Dataset   string
+	DataSite  string
+	Compute   string
+	Predicted float64 // seconds of work this plan adds to Compute
+}
+
+// AnalysisSchedule is a full multi-site assignment for one pass over a
+// sharded catalog.
+type AnalysisSchedule struct {
+	Plans []ShardPlan
+	// PredictedMakespan is the estimated completion time of the slowest
+	// compute host.
+	PredictedMakespan float64
+}
+
+// Local reports how many shards run at their own data site.
+func (s *AnalysisSchedule) Local() int {
+	n := 0
+	for _, p := range s.Plans {
+		if p.Compute == p.DataSite {
+			n++
+		}
+	}
+	return n
+}
+
+// PlanDistributed is the NILE Site Manager acting as a resource allocator
+// (the paper: "In the NILE system under development, resource allocation
+// will be added to the services provided by the Site Manager"): it
+// assigns every shard of the catalog to a compute host so the predicted
+// makespan is minimized, trading data locality against deliverable CPU
+// performance exactly as Section 3.3 prescribes — a far-away fast host
+// beats the local server only if the network can feed it.
+//
+// The assignment uses longest-processing-time-first list scheduling over
+// per-(shard, host) costs from the Estimates source.
+func PlanDistributed(tp *grid.Topology, catalog []Dataset, job Job, hosts []string, est Estimates) (*AnalysisSchedule, error) {
+	job.setDefaults()
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("nile: empty catalog")
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("nile: no candidate compute hosts")
+	}
+	for _, ds := range catalog {
+		if err := validate(tp, ds, job); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range hosts {
+		if tp.Host(h) == nil {
+			return nil, fmt.Errorf("nile: unknown compute host %q", h)
+		}
+	}
+
+	// cost of shard i on host h: compute overlapped with the stream from
+	// the data site (free if local).
+	cost := func(ds Dataset, host string) float64 {
+		rate := tp.Host(host).Speed * est.Availability(host)
+		if rate <= 0 {
+			return math.Inf(1)
+		}
+		compute := float64(ds.Events) * job.FlopPerEvent / 1e6 / rate
+		if host == ds.Site {
+			return compute
+		}
+		bw := est.RouteBandwidth(ds.Site, host)
+		if bw <= 0 {
+			return math.Inf(1)
+		}
+		xfer := float64(ds.Events)*ds.RecordBytes/1e6/bw + est.RouteLatency(ds.Site, host)
+		return math.Max(compute, xfer)
+	}
+
+	// LPT: biggest shards (by their best-case cost) placed first, each on
+	// the host whose completion time grows the least.
+	order := make([]int, len(catalog))
+	for i := range order {
+		order[i] = i
+	}
+	bestCase := make([]float64, len(catalog))
+	for i, ds := range catalog {
+		b := math.Inf(1)
+		for _, h := range hosts {
+			if c := cost(ds, h); c < b {
+				b = c
+			}
+		}
+		bestCase[i] = b
+	}
+	sort.SliceStable(order, func(a, b int) bool { return bestCase[order[a]] > bestCase[order[b]] })
+
+	loadPerHost := make(map[string]float64, len(hosts))
+	plans := make([]ShardPlan, len(catalog))
+	for _, idx := range order {
+		ds := catalog[idx]
+		bestHost, bestDone, bestCost := "", math.Inf(1), math.Inf(1)
+		for _, h := range hosts {
+			c := cost(ds, h)
+			done := loadPerHost[h] + c
+			if done < bestDone || (done == bestDone && h < bestHost) {
+				bestHost, bestDone, bestCost = h, done, c
+			}
+		}
+		if math.IsInf(bestDone, 1) {
+			return nil, fmt.Errorf("nile: shard %q unschedulable", ds.Name)
+		}
+		loadPerHost[bestHost] += bestCost
+		plans[idx] = ShardPlan{
+			Dataset:   ds.Name,
+			DataSite:  ds.Site,
+			Compute:   bestHost,
+			Predicted: bestCost,
+		}
+	}
+	makespan := 0.0
+	for _, l := range loadPerHost {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return &AnalysisSchedule{Plans: plans, PredictedMakespan: makespan}, nil
+}
+
+// ExecuteSchedule runs one analysis pass under the given assignment: all
+// shards execute concurrently, local shards compute in place, remote
+// shards stream their records in chunks overlapping compute, and every
+// shard ships its (small) result to the user host. The run completes when
+// the last shard's result lands.
+func ExecuteSchedule(tp *grid.Topology, catalog []Dataset, job Job, sched *AnalysisSchedule) (*Result, error) {
+	job.setDefaults()
+	if len(sched.Plans) != len(catalog) {
+		return nil, fmt.Errorf("nile: schedule covers %d shards, catalog has %d", len(sched.Plans), len(catalog))
+	}
+	byName := map[string]Dataset{}
+	for _, ds := range catalog {
+		byName[ds.Name] = ds
+	}
+	eng := tp.Engine
+	res := &Result{Strategy: AtData}
+	start := eng.Now()
+	remaining := len(sched.Plans)
+	finishOne := func() {
+		remaining--
+		if remaining == 0 {
+			res.Time = eng.Now() - start
+			eng.Halt()
+		}
+	}
+
+	for _, plan := range sched.Plans {
+		ds, ok := byName[plan.Dataset]
+		if !ok {
+			return nil, fmt.Errorf("nile: schedule references unknown shard %q", plan.Dataset)
+		}
+		host := tp.Host(plan.Compute)
+		if host == nil {
+			return nil, fmt.Errorf("nile: schedule references unknown host %q", plan.Compute)
+		}
+		computeMflop := float64(ds.Events) * job.FlopPerEvent / 1e6
+		shipResult := func() {
+			res.BytesMoved += job.ResultBytes
+			tp.Send(plan.Compute, job.UserHost, job.ResultBytes/1e6, finishOne)
+		}
+		if plan.Compute == ds.Site {
+			host.Submit(computeMflop, shipResult)
+			continue
+		}
+		// Remote shard: stream chunks, overlap with compute.
+		eventsMB := float64(ds.Events) * ds.RecordBytes / 1e6
+		chunks := (ds.Events + job.ChunkEvents - 1) / job.ChunkEvents
+		chunkMB := eventsMB / float64(chunks)
+		chunkMflop := computeMflop / float64(chunks)
+		res.BytesMoved += eventsMB * 1e6
+
+		received, computed := 0, 0
+		busy := false
+		var consume func()
+		consume = func() {
+			if computed == chunks {
+				shipResult()
+				return
+			}
+			if busy || computed >= received {
+				return
+			}
+			busy = true
+			host.Submit(chunkMflop, func() {
+				busy = false
+				computed++
+				consume()
+			})
+		}
+		var pump func(k int)
+		pump = func(k int) {
+			if k >= chunks {
+				return
+			}
+			tp.Send(ds.Site, plan.Compute, chunkMB, func() {
+				received++
+				consume()
+				pump(k + 1)
+			})
+		}
+		pump(0)
+	}
+
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("nile: scheduled analysis stalled with %d shards left", remaining)
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package nile
+
+import (
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// schedTopology: two store hosts (one optionally crushed by load), one
+// fast idle compute farm node, and the physicist's desk.
+func schedTopology(eng *sim.Engine, store2Load load.Source) *grid.Topology {
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "store1", Speed: 40, MemoryMB: 512})
+	tp.AddHost(grid.HostSpec{Name: "store2", Speed: 40, MemoryMB: 512, Load: store2Load})
+	tp.AddHost(grid.HostSpec{Name: "farm", Speed: 120, MemoryMB: 1024})
+	tp.AddHost(grid.HostSpec{Name: "desk", Speed: 25, MemoryMB: 256})
+	l := tp.AddLink(grid.LinkSpec{Name: "lan", Latency: 0.001, Bandwidth: 12})
+	for _, h := range []string{"store1", "store2", "farm", "desk"} {
+		tp.Attach(h, l)
+	}
+	tp.Finalize()
+	return tp
+}
+
+func schedCatalog(events int) []Dataset {
+	return []Dataset{
+		{Name: "s1", Site: "store1", Events: events, RecordBytes: 20480},
+		{Name: "s2", Site: "store2", Events: events, RecordBytes: 20480},
+	}
+}
+
+func TestPlanDistributedPrefersLocality(t *testing.T) {
+	// Quiet stores, slow network relative to compute: shards stay home.
+	eng := sim.NewEngine()
+	tp := schedTopology(eng, nil)
+	// Make the farm unattractive by excluding it: locality is then free.
+	sched, err := PlanDistributed(tp, schedCatalog(20000), testJob(1), []string{"store1", "store2"}, oracle{tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Local() != 2 {
+		t.Fatalf("local shards %d, want 2: %+v", sched.Local(), sched.Plans)
+	}
+	if sched.PredictedMakespan <= 0 {
+		t.Fatalf("makespan %v", sched.PredictedMakespan)
+	}
+}
+
+func TestPlanDistributedEvacuatesLoadedStore(t *testing.T) {
+	// store2 is crushed: its shard must stream to the idle farm node even
+	// though that moves 400 MB.
+	eng := sim.NewEngine()
+	tp := schedTopology(eng, load.Constant(20))
+	sched, err := PlanDistributed(tp, schedCatalog(20000), testJob(1),
+		[]string{"store1", "store2", "farm"}, oracle{tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sched.Plans {
+		if p.Dataset == "s2" && p.Compute == "store2" {
+			t.Fatalf("shard s2 left on the crushed store: %+v", sched.Plans)
+		}
+	}
+}
+
+func TestExecuteScheduleMatchesPlanShape(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := schedTopology(eng, load.Constant(20))
+	job := testJob(1)
+	sched, err := PlanDistributed(tp, schedCatalog(20000), job,
+		[]string{"store1", "store2", "farm"}, oracle{tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExecuteSchedule(tp, schedCatalog(20000), job, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Fatalf("measured %v", res.Time)
+	}
+	// The oracle-informed plan should be within 2x of its prediction.
+	if ratio := res.Time / sched.PredictedMakespan; ratio > 2 || ratio < 0.5 {
+		t.Fatalf("measured %v vs predicted %v", res.Time, sched.PredictedMakespan)
+	}
+}
+
+func TestScheduledBeatsDataLocalUnderSkew(t *testing.T) {
+	// With store2 crushed, the cost-based schedule must beat the naive
+	// data-local execution.
+	mk := func() *grid.Topology {
+		return schedTopology(sim.NewEngine(), load.Constant(20))
+	}
+	job := testJob(1)
+
+	tp1 := mk()
+	sched, err := PlanDistributed(tp1, schedCatalog(20000), job,
+		[]string{"store1", "store2", "farm"}, oracle{tp1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart, err := ExecuteSchedule(tp1, schedCatalog(20000), job, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tp2 := mk()
+	local, err := ExecuteDistributed(tp2, schedCatalog(20000), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.Time >= local.Time {
+		t.Fatalf("cost-based schedule %v not faster than data-local %v", smart.Time, local.Time)
+	}
+}
+
+func TestPlanDistributedErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := schedTopology(eng, nil)
+	if _, err := PlanDistributed(tp, nil, testJob(1), []string{"farm"}, oracle{tp}); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+	if _, err := PlanDistributed(tp, schedCatalog(10), testJob(1), nil, oracle{tp}); err == nil {
+		t.Fatal("no hosts accepted")
+	}
+	if _, err := PlanDistributed(tp, schedCatalog(10), testJob(1), []string{"ghost"}, oracle{tp}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestExecuteScheduleValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := schedTopology(eng, nil)
+	job := testJob(1)
+	if _, err := ExecuteSchedule(tp, schedCatalog(10), job, &AnalysisSchedule{}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	bad := &AnalysisSchedule{Plans: []ShardPlan{
+		{Dataset: "s1", DataSite: "store1", Compute: "ghost"},
+		{Dataset: "s2", DataSite: "store2", Compute: "store2"},
+	}}
+	if _, err := ExecuteSchedule(tp, schedCatalog(10), job, bad); err == nil {
+		t.Fatal("unknown compute host accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package nile
+
+import (
+	"fmt"
+	"math"
+
+	"apples/internal/grid"
+)
+
+// Estimates supplies the Site Manager's dynamic predictions. The AppLeS
+// Information implementations in internal/core satisfy this interface.
+type Estimates interface {
+	Availability(host string) float64
+	RouteBandwidth(a, b string) float64
+	RouteLatency(a, b string) float64
+}
+
+// SiteManager is the NILE component users submit analysis programs to: it
+// predicts each strategy's cost from dynamic information and picks the
+// cheapest (Section 2.1).
+type SiteManager struct {
+	tp   *grid.Topology
+	info Estimates
+}
+
+// NewSiteManager builds a site manager over the topology with the given
+// prediction source.
+func NewSiteManager(tp *grid.Topology, info Estimates) *SiteManager {
+	return &SiteManager{tp: tp, info: info}
+}
+
+// effectiveMflops is the forecast deliverable compute rate of a host.
+func (sm *SiteManager) effectiveMflops(host string) float64 {
+	h := sm.tp.Host(host)
+	if h == nil {
+		return 0
+	}
+	return h.Speed * sm.info.Availability(host)
+}
+
+// Predict estimates the total time of one strategy for the job.
+func (sm *SiteManager) Predict(ds Dataset, job Job, s Strategy) (float64, error) {
+	job.setDefaults()
+	if err := validate(sm.tp, ds, job); err != nil {
+		return 0, err
+	}
+	eventsMB := float64(ds.Events) * ds.RecordBytes / 1e6
+	computeMflop := float64(ds.Events) * job.FlopPerEvent / 1e6
+	bw := sm.info.RouteBandwidth(ds.Site, job.UserHost)
+	if bw <= 0 {
+		bw = 1e-6
+	}
+	lat := sm.info.RouteLatency(ds.Site, job.UserHost)
+	userRate := sm.effectiveMflops(job.UserHost)
+	storeRate := sm.effectiveMflops(ds.Site)
+	if userRate <= 0 || storeRate <= 0 {
+		return 0, fmt.Errorf("nile: no deliverable compute rate")
+	}
+	xfer := eventsMB/bw + lat
+	userCompute := computeMflop / userRate
+	storeCompute := computeMflop / storeRate
+	p := float64(job.Passes)
+
+	switch s {
+	case Remote:
+		// Transfer and compute overlap within a pass.
+		return p * math.Max(xfer, userCompute), nil
+	case Skim:
+		return xfer + p*userCompute*job.SkimSelectivity, nil
+	case AtData:
+		return p * (storeCompute + job.ResultBytes/1e6/bw + lat), nil
+	default:
+		return 0, fmt.Errorf("nile: unknown strategy %v", s)
+	}
+}
+
+// Choose returns the strategy with the minimum predicted time and the
+// prediction itself.
+func (sm *SiteManager) Choose(ds Dataset, job Job) (Strategy, float64, error) {
+	best, bestT := Remote, math.Inf(1)
+	for _, s := range []Strategy{Remote, Skim, AtData} {
+		t, err := sm.Predict(ds, job, s)
+		if err != nil {
+			return 0, 0, err
+		}
+		if t < bestT {
+			best, bestT = s, t
+		}
+	}
+	return best, bestT, nil
+}
+
+// SkimCrossover returns the smallest pass count at which Skim's predicted
+// time beats Remote's (0 if Skim never wins within maxPasses) — the
+// decision curve of experiment E6.
+func (sm *SiteManager) SkimCrossover(ds Dataset, job Job, maxPasses int) (int, error) {
+	for p := 1; p <= maxPasses; p++ {
+		job.Passes = p
+		r, err := sm.Predict(ds, job, Remote)
+		if err != nil {
+			return 0, err
+		}
+		k, err := sm.Predict(ds, job, Skim)
+		if err != nil {
+			return 0, err
+		}
+		if k < r {
+			return p, nil
+		}
+	}
+	return 0, nil
+}
+
+// ExecuteDistributed analyzes a sharded catalog in parallel: every shard
+// is processed at its own data site (one pass each; the data-parallel NILE
+// case) and the histogram results gather at the user host. Returns the
+// wall-clock time, which is bounded by the slowest site.
+func ExecuteDistributed(tp *grid.Topology, catalog []Dataset, job Job) (*Result, error) {
+	job.setDefaults()
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("nile: empty catalog")
+	}
+	for _, ds := range catalog {
+		if err := validate(tp, ds, job); err != nil {
+			return nil, err
+		}
+	}
+	eng := tp.Engine
+	res := &Result{Strategy: AtData}
+	start := eng.Now()
+	remaining := len(catalog) * job.Passes
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			res.Time = eng.Now() - start
+			eng.Halt()
+		}
+	}
+	for _, ds := range catalog {
+		ds := ds
+		store := tp.Host(ds.Site)
+		computeMflop := float64(ds.Events) * job.FlopPerEvent / 1e6
+		pass := 0
+		var runPass func()
+		runPass = func() {
+			if pass >= job.Passes {
+				return
+			}
+			pass++
+			store.Submit(computeMflop, func() {
+				tp.Send(ds.Site, job.UserHost, job.ResultBytes/1e6, func() {
+					done()
+					runPass()
+				})
+			})
+		}
+		runPass()
+		res.BytesMoved += float64(job.Passes) * job.ResultBytes
+	}
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CentralizedBaseline streams the whole catalog to the user host and
+// analyzes it there (the single-site alternative NILE exists to replace).
+func CentralizedBaseline(tp *grid.Topology, catalog []Dataset, job Job) (*Result, error) {
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("nile: empty catalog")
+	}
+	total := &Result{Strategy: Remote}
+	for _, ds := range catalog {
+		r, err := Execute(tp, ds, job, Remote)
+		if err != nil {
+			return nil, err
+		}
+		total.Time += r.Time
+		total.BytesMoved += r.BytesMoved
+	}
+	return total, nil
+}

@@ -1,0 +1,148 @@
+package nws
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+func TestBankEmptyNotReady(t *testing.T) {
+	b := NewBank()
+	if b.Ready() {
+		t.Fatal("empty bank is Ready")
+	}
+	if _, _, ok := b.Forecast(); ok {
+		t.Fatal("empty bank produced a forecast")
+	}
+}
+
+func TestBankConstantSeries(t *testing.T) {
+	b := NewBank()
+	for i := 0; i < 50; i++ {
+		b.Update(3)
+	}
+	v, _, ok := b.Forecast()
+	if !ok || math.Abs(v-3) > 1e-9 {
+		t.Fatalf("constant-series forecast %v ok=%v, want 3", v, ok)
+	}
+	rmse, ok := b.ErrorEstimate()
+	if !ok || rmse > 1e-9 {
+		t.Fatalf("constant-series RMSE %v, want 0", rmse)
+	}
+}
+
+func TestBankPicksLastValueOnPersistentSeries(t *testing.T) {
+	// A slow ramp is best predicted by last-value among our bank.
+	b := NewBank()
+	for i := 0; i < 200; i++ {
+		b.Update(float64(i) * 0.1)
+	}
+	_, by, ok := b.Forecast()
+	if !ok {
+		t.Fatal("no forecast")
+	}
+	if by != "last" && by != "exp_0.70" && by != "ar1" && by != "adaptive" {
+		t.Fatalf("ramp series selected %q, want a tracking forecaster", by)
+	}
+}
+
+func TestBankPicksRobustOnSpikySeries(t *testing.T) {
+	// Mostly 1 with occasional huge spikes: medians/means beat last-value,
+	// because last-value pays twice per spike.
+	b := NewBank()
+	for i := 0; i < 400; i++ {
+		v := 1.0
+		if i%20 == 19 {
+			v = 50
+		}
+		b.Update(v)
+	}
+	mse := b.MSE()
+	if mse["win_med_21"] >= mse["last"] {
+		t.Fatalf("median MSE %v should beat last-value MSE %v on spiky series",
+			mse["win_med_21"], mse["last"])
+	}
+	_, by, _ := b.Forecast()
+	if by == "last" {
+		t.Fatalf("bank selected last-value on spiky series (MSEs: %v)", mse)
+	}
+}
+
+// Property: the bank's selected forecaster has minimal MSE among all scored
+// forecasters — dynamic selection is exactly argmin.
+func TestBankSelectionIsArgminProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRand(seed)
+		src := load.NewAR1(rng.Fork(), 1, 1, 0.7, 0.4)
+		b := NewBank()
+		t0 := 0.0
+		for i := 0; i < 100; i++ {
+			v, until := src.Sample(t0)
+			b.Update(v)
+			t0 = until
+		}
+		_, by, ok := b.Forecast()
+		if !ok {
+			return false
+		}
+		mse := b.MSE()
+		best := math.Inf(1)
+		for _, v := range mse {
+			if v < best {
+				best = v
+			}
+		}
+		return mse[by] <= best+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankMAEPopulated(t *testing.T) {
+	b := NewBank()
+	for i := 0; i < 30; i++ {
+		b.Update(float64(i % 3))
+	}
+	mae := b.MAE()
+	if len(mae) == 0 {
+		t.Fatal("MAE map empty after 30 updates")
+	}
+	for name, v := range mae {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("forecaster %s MAE = %v", name, v)
+		}
+	}
+}
+
+func TestBankLastAndLen(t *testing.T) {
+	b := NewBank()
+	b.Update(4)
+	b.Update(9)
+	if b.Len() != 2 || b.Last() != 9 {
+		t.Fatalf("Len=%d Last=%v, want 2, 9", b.Len(), b.Last())
+	}
+}
+
+func BenchmarkBankUpdate(b *testing.B) {
+	bank := NewBank()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bank.Update(float64(i % 17))
+	}
+}
+
+func BenchmarkBankForecast(b *testing.B) {
+	bank := NewBank()
+	for i := 0; i < 1000; i++ {
+		bank.Update(float64(i % 17))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.Forecast()
+	}
+}

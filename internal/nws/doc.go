@@ -1,0 +1,14 @@
+// Package nws reimplements the Network Weather Service the paper's AppLeS
+// agents rely on for dynamic information: periodic sensing of CPU
+// availability and network capability, plus short-term forecasts of both.
+//
+// Forecasting follows the actual NWS design (Wolski's postcasting
+// approach): every monitored series feeds a bank of simple forecasters
+// (last value, running/sliding means, medians, exponential smoothing at
+// several gains, an online-fit AR(1), ...). Each new measurement first
+// scores every forecaster's previous prediction, then updates it; a
+// Forecast query returns the prediction of the forecaster with the lowest
+// accumulated error *on this series so far*. No single predictor wins on
+// all load processes — dynamic selection is what makes the service robust,
+// and the ablation benchmarks in this repository reproduce that effect.
+package nws

@@ -1,0 +1,349 @@
+package nws
+
+import "sort"
+
+// Forecaster is an online one-step-ahead predictor. Update feeds one
+// measurement; Forecast predicts the next one. Ready reports whether the
+// forecaster has enough history to predict.
+type Forecaster interface {
+	Name() string
+	Update(v float64)
+	Forecast() float64
+	Ready() bool
+}
+
+// --- last value ---
+
+type lastValue struct {
+	v    float64
+	seen bool
+}
+
+// NewLastValue predicts the next measurement equals the current one. Hard
+// to beat on strongly autocorrelated series like Unix load.
+func NewLastValue() Forecaster { return &lastValue{} }
+
+func (f *lastValue) Name() string      { return "last" }
+func (f *lastValue) Update(v float64)  { f.v, f.seen = v, true }
+func (f *lastValue) Forecast() float64 { return f.v }
+func (f *lastValue) Ready() bool       { return f.seen }
+
+// --- running mean ---
+
+type runningMean struct {
+	sum float64
+	n   int
+}
+
+// NewRunningMean predicts the mean of the entire history. Best for
+// stationary noisy series.
+func NewRunningMean() Forecaster { return &runningMean{} }
+
+func (f *runningMean) Name() string { return "run_mean" }
+func (f *runningMean) Update(v float64) {
+	f.sum += v
+	f.n++
+}
+func (f *runningMean) Forecast() float64 { return f.sum / float64(f.n) }
+func (f *runningMean) Ready() bool       { return f.n > 0 }
+
+// --- sliding window mean ---
+
+type slidingMean struct {
+	name string
+	buf  []float64
+	k    int
+	sum  float64
+}
+
+// NewSlidingMean predicts the mean of the last k measurements.
+func NewSlidingMean(k int, name string) Forecaster {
+	if k < 1 {
+		panic("nws: sliding window must be >= 1")
+	}
+	return &slidingMean{k: k, name: name}
+}
+
+func (f *slidingMean) Name() string { return f.name }
+func (f *slidingMean) Update(v float64) {
+	f.buf = append(f.buf, v)
+	f.sum += v
+	if len(f.buf) > f.k {
+		f.sum -= f.buf[0]
+		f.buf = f.buf[1:]
+	}
+}
+func (f *slidingMean) Forecast() float64 { return f.sum / float64(len(f.buf)) }
+func (f *slidingMean) Ready() bool       { return len(f.buf) > 0 }
+
+// --- sliding window median ---
+
+type slidingMedian struct {
+	name string
+	buf  []float64
+	k    int
+}
+
+// NewSlidingMedian predicts the median of the last k measurements; robust
+// to load spikes.
+func NewSlidingMedian(k int, name string) Forecaster {
+	if k < 1 {
+		panic("nws: sliding window must be >= 1")
+	}
+	return &slidingMedian{k: k, name: name}
+}
+
+func (f *slidingMedian) Name() string { return f.name }
+func (f *slidingMedian) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.k {
+		f.buf = f.buf[1:]
+	}
+}
+func (f *slidingMedian) Forecast() float64 {
+	tmp := append([]float64(nil), f.buf...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+func (f *slidingMedian) Ready() bool { return len(f.buf) > 0 }
+
+// --- exponential smoothing ---
+
+type expSmooth struct {
+	name  string
+	alpha float64
+	s     float64
+	seen  bool
+}
+
+// NewExpSmoothing predicts s(t) = alpha*v + (1-alpha)*s(t-1). Small alpha
+// tracks slow trends; large alpha approaches last-value.
+func NewExpSmoothing(alpha float64, name string) Forecaster {
+	if alpha <= 0 || alpha > 1 {
+		panic("nws: smoothing gain must be in (0,1]")
+	}
+	return &expSmooth{alpha: alpha, name: name}
+}
+
+func (f *expSmooth) Name() string { return f.name }
+func (f *expSmooth) Update(v float64) {
+	if !f.seen {
+		f.s, f.seen = v, true
+		return
+	}
+	f.s = f.alpha*v + (1-f.alpha)*f.s
+}
+func (f *expSmooth) Forecast() float64 { return f.s }
+func (f *expSmooth) Ready() bool       { return f.seen }
+
+// --- adaptive exponential smoothing ---
+
+type adaptiveSmooth struct {
+	s, err float64
+	absErr float64
+	seen   bool
+}
+
+// NewAdaptiveSmoothing is Trigg-Leach adaptive-response smoothing: the gain
+// is the |smoothed error| / smoothed |error| tracking signal, so it speeds
+// up after level shifts and settles on stable stretches.
+func NewAdaptiveSmoothing() Forecaster { return &adaptiveSmooth{} }
+
+func (f *adaptiveSmooth) Name() string { return "adaptive" }
+func (f *adaptiveSmooth) Update(v float64) {
+	if !f.seen {
+		f.s, f.seen = v, true
+		return
+	}
+	const beta = 0.2
+	e := v - f.s
+	f.err = beta*e + (1-beta)*f.err
+	ae := e
+	if ae < 0 {
+		ae = -ae
+	}
+	f.absErr = beta*ae + (1-beta)*f.absErr
+	gain := 0.2
+	if f.absErr > 1e-12 {
+		gain = f.err / f.absErr
+		if gain < 0 {
+			gain = -gain
+		}
+		if gain > 1 {
+			gain = 1
+		}
+	}
+	f.s += gain * e
+}
+func (f *adaptiveSmooth) Forecast() float64 { return f.s }
+func (f *adaptiveSmooth) Ready() bool       { return f.seen }
+
+// --- online AR(1) ---
+
+type ar1Fit struct {
+	prev     float64
+	seen     int
+	sumX     float64
+	sumXX    float64
+	sumLagXY float64
+	n        float64
+}
+
+// NewAR1Fit predicts with an AR(1) model whose mean and lag-1 coefficient
+// are estimated online from the whole history:
+//
+//	x(t+1) = mean + phi*(x(t) - mean)
+func NewAR1Fit() Forecaster { return &ar1Fit{} }
+
+func (f *ar1Fit) Name() string { return "ar1" }
+func (f *ar1Fit) Update(v float64) {
+	if f.seen > 0 {
+		f.sumLagXY += f.prev * v
+		f.n++
+	}
+	f.sumX += v
+	f.sumXX += v * v
+	f.seen++
+	f.prev = v
+}
+func (f *ar1Fit) Forecast() float64 {
+	mean := f.sumX / float64(f.seen)
+	phi := 0.0
+	if f.n >= 2 {
+		// lag-1 autocovariance / variance, both around the running mean
+		cov := f.sumLagXY/f.n - mean*mean
+		variance := f.sumXX/float64(f.seen) - mean*mean
+		if variance > 1e-12 {
+			phi = cov / variance
+			if phi > 1 {
+				phi = 1
+			}
+			if phi < -1 {
+				phi = -1
+			}
+		}
+	}
+	return mean + phi*(f.prev-mean)
+}
+func (f *ar1Fit) Ready() bool { return f.seen > 0 }
+
+// --- windowed AR(1) ---
+
+type windowedAR1 struct {
+	name string
+	buf  []float64
+	k    int
+}
+
+// NewWindowedAR1 fits the AR(1) mean and lag-1 coefficient over only the
+// last k measurements, so it re-converges quickly after regime shifts
+// that the whole-history NewAR1Fit averages away. Not part of the default
+// bank (the reproduced experiments fix that set); callers compose it via
+// NewBank(append(DefaultForecasters(), NewWindowedAR1(30, "war1_30"))...).
+func NewWindowedAR1(k int, name string) Forecaster {
+	if k < 3 {
+		panic("nws: windowed AR(1) needs k >= 3")
+	}
+	return &windowedAR1{k: k, name: name}
+}
+
+func (f *windowedAR1) Name() string { return f.name }
+func (f *windowedAR1) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.k {
+		f.buf = f.buf[1:]
+	}
+}
+func (f *windowedAR1) Forecast() float64 {
+	n := len(f.buf)
+	last := f.buf[n-1]
+	if n < 3 {
+		return last
+	}
+	mean, sumXX, sumLag := 0.0, 0.0, 0.0
+	for _, v := range f.buf {
+		mean += v
+	}
+	mean /= float64(n)
+	for i, v := range f.buf {
+		d := v - mean
+		sumXX += d * d
+		if i > 0 {
+			sumLag += (f.buf[i-1] - mean) * d
+		}
+	}
+	phi := 0.0
+	if sumXX > 1e-12 {
+		phi = sumLag / sumXX
+		if phi > 1 {
+			phi = 1
+		}
+		if phi < -1 {
+			phi = -1
+		}
+	}
+	return mean + phi*(last-mean)
+}
+func (f *windowedAR1) Ready() bool { return len(f.buf) > 0 }
+
+// --- trimmed sliding mean ---
+
+type trimmedMean struct {
+	name string
+	buf  []float64
+	k    int
+	trim int
+}
+
+// NewTrimmedMean predicts the mean of the last k measurements after
+// dropping the `trim` largest and smallest.
+func NewTrimmedMean(k, trim int, name string) Forecaster {
+	if k < 1 || trim < 0 || 2*trim >= k {
+		panic("nws: invalid trimmed-mean window")
+	}
+	return &trimmedMean{k: k, trim: trim, name: name}
+}
+
+func (f *trimmedMean) Name() string { return f.name }
+func (f *trimmedMean) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.k {
+		f.buf = f.buf[1:]
+	}
+}
+func (f *trimmedMean) Forecast() float64 {
+	tmp := append([]float64(nil), f.buf...)
+	sort.Float64s(tmp)
+	lo, hi := 0, len(tmp)
+	if len(tmp) > 2*f.trim {
+		lo, hi = f.trim, len(tmp)-f.trim
+	}
+	sum := 0.0
+	for _, v := range tmp[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+func (f *trimmedMean) Ready() bool { return len(f.buf) > 0 }
+
+// DefaultForecasters returns the standard NWS-style predictor bank.
+func DefaultForecasters() []Forecaster {
+	return []Forecaster{
+		NewLastValue(),
+		NewRunningMean(),
+		NewSlidingMean(5, "win_mean_5"),
+		NewSlidingMean(20, "win_mean_20"),
+		NewSlidingMedian(5, "win_med_5"),
+		NewSlidingMedian(21, "win_med_21"),
+		NewExpSmoothing(0.05, "exp_0.05"),
+		NewExpSmoothing(0.3, "exp_0.30"),
+		NewExpSmoothing(0.7, "exp_0.70"),
+		NewAdaptiveSmoothing(),
+		NewAR1Fit(),
+		NewTrimmedMean(15, 3, "trim_15_3"),
+	}
+}

@@ -1,0 +1,140 @@
+package nws
+
+import (
+	"math"
+	"testing"
+)
+
+func feed(f Forecaster, vals ...float64) {
+	for _, v := range vals {
+		f.Update(v)
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	f := NewLastValue()
+	if f.Ready() {
+		t.Fatal("fresh last-value is Ready")
+	}
+	feed(f, 1, 2, 7)
+	if !f.Ready() || f.Forecast() != 7 {
+		t.Fatalf("last-value forecast %v, want 7", f.Forecast())
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	f := NewRunningMean()
+	feed(f, 2, 4, 6)
+	if got := f.Forecast(); got != 4 {
+		t.Fatalf("running mean %v, want 4", got)
+	}
+}
+
+func TestSlidingMeanWindow(t *testing.T) {
+	f := NewSlidingMean(3, "w3")
+	feed(f, 100, 1, 2, 3)
+	if got := f.Forecast(); got != 2 {
+		t.Fatalf("sliding mean %v, want 2 (100 evicted)", got)
+	}
+}
+
+func TestSlidingMedianOddEven(t *testing.T) {
+	f := NewSlidingMedian(5, "m5")
+	feed(f, 1, 9, 3)
+	if got := f.Forecast(); got != 3 {
+		t.Fatalf("median of 1,9,3 = %v, want 3", got)
+	}
+	feed(f, 5)
+	if got := f.Forecast(); got != 4 {
+		t.Fatalf("median of 1,9,3,5 = %v, want 4", got)
+	}
+}
+
+func TestSlidingMedianRobustToSpike(t *testing.T) {
+	f := NewSlidingMedian(5, "m5")
+	feed(f, 1, 1, 1000, 1, 1)
+	if got := f.Forecast(); got != 1 {
+		t.Fatalf("median with spike %v, want 1", got)
+	}
+}
+
+func TestExpSmoothing(t *testing.T) {
+	f := NewExpSmoothing(0.5, "e")
+	feed(f, 10) // initializes s=10
+	feed(f, 20) // s = 15
+	if got := f.Forecast(); got != 15 {
+		t.Fatalf("exp smoothing %v, want 15", got)
+	}
+}
+
+func TestExpSmoothingBadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha=0 did not panic")
+		}
+	}()
+	NewExpSmoothing(0, "bad")
+}
+
+func TestAdaptiveSmoothingTracksLevelShift(t *testing.T) {
+	f := NewAdaptiveSmoothing()
+	for i := 0; i < 50; i++ {
+		f.Update(1)
+	}
+	for i := 0; i < 50; i++ {
+		f.Update(10)
+	}
+	if got := f.Forecast(); math.Abs(got-10) > 1 {
+		t.Fatalf("adaptive smoothing after shift = %v, want ~10", got)
+	}
+}
+
+func TestAR1FitConvergesOnAR1(t *testing.T) {
+	// Deterministic AR(1)-ish series: x -> mean + phi*(x-mean) with a
+	// two-point oscillation disturbance.
+	f := NewAR1Fit()
+	mean, phi := 5.0, 0.8
+	x := 9.0
+	for i := 0; i < 500; i++ {
+		f.Update(x)
+		d := 0.2
+		if i%2 == 0 {
+			d = -0.2
+		}
+		x = mean + phi*(x-mean) + d
+	}
+	pred := f.Forecast()
+	next := mean + phi*(x-mean)
+	if math.Abs(pred-next) > 0.8 {
+		t.Fatalf("AR1 fit forecast %v, want near %v", pred, next)
+	}
+}
+
+func TestTrimmedMeanDropsOutliers(t *testing.T) {
+	f := NewTrimmedMean(5, 1, "t")
+	feed(f, 1, 1, 1, 1, 100)
+	if got := f.Forecast(); got != 1 {
+		t.Fatalf("trimmed mean %v, want 1", got)
+	}
+}
+
+func TestTrimmedMeanSmallHistory(t *testing.T) {
+	f := NewTrimmedMean(5, 2, "t")
+	feed(f, 4)
+	if got := f.Forecast(); got != 4 {
+		t.Fatalf("trimmed mean with 1 sample %v, want 4", got)
+	}
+}
+
+func TestDefaultForecastersDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range DefaultForecasters() {
+		if seen[f.Name()] {
+			t.Fatalf("duplicate forecaster name %q", f.Name())
+		}
+		seen[f.Name()] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("bank has %d forecasters, want >= 10", len(seen))
+	}
+}

@@ -1,0 +1,93 @@
+package nws
+
+import (
+	"math"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+func TestBankMean(t *testing.T) {
+	b := NewBank()
+	if b.Mean() != 0 {
+		t.Fatalf("empty bank mean %v", b.Mean())
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		b.Update(v)
+	}
+	if b.Mean() != 2.5 {
+		t.Fatalf("mean %v, want 2.5", b.Mean())
+	}
+}
+
+func TestAvailabilityLongTermAveragesTransients(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	// Load alternates 0 and 3 every 50 s: availability alternates 1 and
+	// 0.25, mean 0.625. The one-step forecast tracks the current phase;
+	// the long-term estimate must sit near the mean.
+	var steps []load.Step
+	for i := 0; i < 40; i++ {
+		v := 0.0
+		if i%2 == 1 {
+			v = 3
+		}
+		steps = append(steps, load.Step{At: float64(i) * 50, Value: v})
+	}
+	h := tp.AddHost(grid.HostSpec{Name: "h", Speed: 10, MemoryMB: 64, Load: load.NewTrace(steps)})
+	tp.Finalize()
+	svc := NewService(eng, 10)
+	svc.WatchHost(h)
+	if err := eng.RunUntil(1990); err != nil {
+		t.Fatal(err)
+	}
+	lt, ok := svc.AvailabilityLongTerm("h")
+	if !ok {
+		t.Fatal("no long-term estimate")
+	}
+	if math.Abs(lt-0.625) > 0.05 {
+		t.Fatalf("long-term availability %v, want ~0.625", lt)
+	}
+	// The one-step forecast at the end of a phase should be near that
+	// phase's level, i.e. far from the mean at least sometimes.
+	fc, _ := svc.AvailabilityForecast("h")
+	if math.Abs(fc-lt) < 1e-6 {
+		t.Logf("forecast %v equals long-term %v (possible but unusual)", fc, lt)
+	}
+}
+
+func TestBandwidthLongTerm(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "a", Speed: 1, MemoryMB: 1})
+	tp.AddHost(grid.HostSpec{Name: "b", Speed: 1, MemoryMB: 1})
+	l := tp.AddLink(grid.LinkSpec{Name: "wire", Latency: 0, Bandwidth: 8, CrossTraffic: load.Constant(1)})
+	tp.Attach("a", l)
+	tp.Attach("b", l)
+	tp.Finalize()
+	svc := NewService(eng, 5)
+	svc.WatchLink(l)
+	if err := eng.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := svc.BandwidthLongTerm("wire")
+	if !ok || math.Abs(v-4) > 1e-9 {
+		t.Fatalf("long-term bandwidth %v ok=%v, want 4", v, ok)
+	}
+	if bw := svc.RouteBandwidthLongTerm(tp, "a", "b"); math.Abs(bw-4) > 1e-9 {
+		t.Fatalf("route long-term %v, want 4", bw)
+	}
+}
+
+func TestLongTermUnwatched(t *testing.T) {
+	eng := sim.NewEngine()
+	svc := NewService(eng, 10)
+	if _, ok := svc.AvailabilityLongTerm("ghost"); ok {
+		t.Fatal("unwatched host returned long-term estimate")
+	}
+	if _, ok := svc.BandwidthLongTerm("ghost"); ok {
+		t.Fatal("unwatched link returned long-term estimate")
+	}
+}

@@ -1,0 +1,92 @@
+package nws
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the serializable state of a Service: the raw measurement
+// series of every watched resource. The real NWS persists its sensor
+// history so forecasters survive restarts; we reproduce that by replaying
+// the series into fresh forecaster banks on restore, which reconstructs
+// both the predictions and the accumulated per-forecaster error state
+// exactly (forecasters are deterministic functions of their input
+// series).
+type Snapshot struct {
+	Version int                  `json:"version"`
+	Period  float64              `json:"period"`
+	CPU     map[string][]float64 `json:"cpu"`
+	Links   map[string][]float64 `json:"links"`
+}
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// Snapshot captures the service's measurement history.
+func (s *Service) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Version: snapshotVersion,
+		Period:  s.period,
+		CPU:     make(map[string][]float64, len(s.cpuSeries)),
+		Links:   make(map[string][]float64, len(s.bwSeries)),
+	}
+	for name, series := range s.cpuSeries {
+		snap.CPU[name] = append([]float64(nil), series...)
+	}
+	for name, series := range s.bwSeries {
+		snap.Links[name] = append([]float64(nil), series...)
+	}
+	return snap
+}
+
+// Restore replays a snapshot into the service, seeding (or re-seeding)
+// the forecaster banks of the named resources. Restored series count as
+// history; subsequent sensor measurements append to them. It must be
+// called before virtual time advances past the snapshot's horizon in a
+// meaningful way — typically right after NewService.
+func (s *Service) Restore(snap *Snapshot) error {
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("nws: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	for name, series := range snap.CPU {
+		bank := NewBank()
+		for _, v := range series {
+			bank.Update(v)
+		}
+		s.cpuBanks[name] = bank
+		s.cpuSeries[name] = append([]float64(nil), series...)
+	}
+	for name, series := range snap.Links {
+		bank := NewBank()
+		for _, v := range series {
+			bank.Update(v)
+		}
+		s.bwBanks[name] = bank
+		s.bwSeries[name] = append([]float64(nil), series...)
+	}
+	return nil
+}
+
+// WriteTo serializes the snapshot as JSON.
+func (snap *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return 0, fmt.Errorf("nws: encode snapshot: %w", err)
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadSnapshot deserializes a snapshot from JSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("nws: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("nws: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	return &snap, nil
+}

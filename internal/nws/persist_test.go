@@ -1,0 +1,148 @@
+package nws
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+func sensedService(t *testing.T, horizon float64) (*Service, *grid.Topology) {
+	t.Helper()
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 77})
+	svc := NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return svc, tp
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	svc, _ := sensedService(t, 500)
+	snap := svc.Snapshot()
+	if len(snap.CPU) != 8 || len(snap.Links) != 4 {
+		t.Fatalf("snapshot covers %d hosts / %d links", len(snap.CPU), len(snap.Links))
+	}
+
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restoring into a fresh service reproduces every forecast exactly:
+	// forecasters are deterministic functions of the series.
+	eng2 := sim.NewEngine()
+	svc2 := NewService(eng2, 10)
+	if err := svc2.Restore(back); err != nil {
+		t.Fatal(err)
+	}
+	for host := range snap.CPU {
+		want, okW := svc.AvailabilityForecast(host)
+		got, okG := svc2.AvailabilityForecast(host)
+		if okW != okG || want != got {
+			t.Fatalf("host %s forecast %v/%v vs restored %v/%v", host, want, okW, got, okG)
+		}
+		wlt, _ := svc.AvailabilityLongTerm(host)
+		glt, _ := svc2.AvailabilityLongTerm(host)
+		if wlt != glt {
+			t.Fatalf("host %s long-term %v vs restored %v", host, wlt, glt)
+		}
+	}
+	for link := range snap.Links {
+		want, _ := svc.BandwidthForecast(link)
+		got, _ := svc2.BandwidthForecast(link)
+		if want != got {
+			t.Fatalf("link %s forecast %v vs restored %v", link, want, got)
+		}
+	}
+}
+
+func TestRestoreThenWatchAppends(t *testing.T) {
+	svc, _ := sensedService(t, 300)
+	snap := svc.Snapshot()
+	before := len(snap.CPU["sparc2"])
+	if before == 0 {
+		t.Fatal("no sparc2 history in snapshot")
+	}
+
+	// Fresh engine + testbed; restore, then keep sensing.
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 77})
+	svc2 := NewService(eng, 10)
+	if err := svc2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	svc2.WatchTopology(tp)
+	if err := eng.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	after := svc2.Snapshot()
+	if got := len(after.CPU["sparc2"]); got != before+10 {
+		t.Fatalf("series length %d after restore+10 samples, want %d", got, before+10)
+	}
+	if svc2.CPUBank("sparc2").Len() != before+10 {
+		t.Fatalf("bank length %d, want %d", svc2.CPUBank("sparc2").Len(), before+10)
+	}
+}
+
+func TestReadSnapshotRejectsBadInput(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	svc := NewService(sim.NewEngine(), 10)
+	if err := svc.Restore(&Snapshot{Version: 99}); err == nil {
+		t.Fatal("Restore accepted wrong version")
+	}
+}
+
+// Property: snapshot -> JSON -> restore preserves forecasts for arbitrary
+// series.
+func TestSnapshotForecastProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%100) + 5
+		rng := sim.NewRand(seed)
+		src := load.NewAR1(rng, 1, 1, 0.8, 0.4)
+
+		eng := sim.NewEngine()
+		tp := grid.NewTopology(eng)
+		h := tp.AddHost(grid.HostSpec{Name: "h", Speed: 10, MemoryMB: 64, Load: src})
+		tp.Finalize()
+		svc := NewService(eng, 1)
+		svc.WatchHost(h)
+		if err := eng.RunUntil(float64(n)); err != nil {
+			return false
+		}
+
+		var buf bytes.Buffer
+		if _, err := svc.Snapshot().WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		svc2 := NewService(sim.NewEngine(), 1)
+		if err := svc2.Restore(back); err != nil {
+			return false
+		}
+		a, okA := svc.AvailabilityForecast("h")
+		b, okB := svc2.AvailabilityForecast("h")
+		return okA == okB && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

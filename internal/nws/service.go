@@ -1,0 +1,266 @@
+package nws
+
+import (
+	"fmt"
+	"sort"
+
+	"apples/internal/grid"
+	"apples/internal/sim"
+)
+
+// Service is the Network Weather Service instance for one metacomputer:
+// it owns periodic sensors for host CPU availability and link bandwidth,
+// and answers forecast queries for the scheduling agent.
+type Service struct {
+	eng    *sim.Engine
+	period float64
+
+	cpuBanks map[string]*Bank // host name -> availability series
+	bwBanks  map[string]*Bank // link name -> available-bandwidth series
+	tickers  []*sim.Ticker
+	hosts    map[string]*grid.Host
+	links    map[string]*grid.Link
+
+	watchedHosts map[string]bool
+	watchedLinks map[string]bool
+	// Raw measurement series, kept for snapshots (persist.go).
+	cpuSeries map[string][]float64
+	bwSeries  map[string][]float64
+}
+
+// NewService creates a service sampling every period seconds of virtual
+// time (the real NWS default is 10s for CPU sensors).
+func NewService(eng *sim.Engine, period float64) *Service {
+	if period <= 0 {
+		panic("nws: sensor period must be positive")
+	}
+	return &Service{
+		eng:          eng,
+		period:       period,
+		cpuBanks:     make(map[string]*Bank),
+		bwBanks:      make(map[string]*Bank),
+		hosts:        make(map[string]*grid.Host),
+		links:        make(map[string]*grid.Link),
+		watchedHosts: make(map[string]bool),
+		watchedLinks: make(map[string]bool),
+		cpuSeries:    make(map[string][]float64),
+		bwSeries:     make(map[string][]float64),
+	}
+}
+
+// WatchHost installs a CPU availability sensor on the host. A bank
+// restored from a snapshot keeps its history; new measurements append.
+func (s *Service) WatchHost(h *grid.Host) {
+	if s.watchedHosts[h.Name] {
+		return
+	}
+	s.watchedHosts[h.Name] = true
+	bank := s.cpuBanks[h.Name]
+	if bank == nil {
+		bank = NewBank()
+		s.cpuBanks[h.Name] = bank
+	}
+	s.hosts[h.Name] = h
+	name := h.Name
+	s.tickers = append(s.tickers, sim.NewTicker(s.eng, s.period, func(float64) {
+		v := h.Availability()
+		bank.Update(v)
+		s.cpuSeries[name] = append(s.cpuSeries[name], v)
+	}))
+}
+
+// WatchLink installs an available-bandwidth sensor on the link. A bank
+// restored from a snapshot keeps its history; new measurements append.
+func (s *Service) WatchLink(l *grid.Link) {
+	if s.watchedLinks[l.Name] {
+		return
+	}
+	s.watchedLinks[l.Name] = true
+	bank := s.bwBanks[l.Name]
+	if bank == nil {
+		bank = NewBank()
+		s.bwBanks[l.Name] = bank
+	}
+	s.links[l.Name] = l
+	name := l.Name
+	s.tickers = append(s.tickers, sim.NewTicker(s.eng, s.period, func(float64) {
+		v := l.AvailableBandwidth()
+		bank.Update(v)
+		s.bwSeries[name] = append(s.bwSeries[name], v)
+	}))
+}
+
+// WatchTopology installs sensors on every host and link of a topology.
+func (s *Service) WatchTopology(tp *grid.Topology) {
+	for _, h := range tp.Hosts() {
+		s.WatchHost(h)
+	}
+	for _, l := range tp.Links() {
+		s.WatchLink(l)
+	}
+}
+
+// Stop halts all sensors (e.g. before draining the simulation).
+func (s *Service) Stop() {
+	for _, t := range s.tickers {
+		t.Stop()
+	}
+	s.tickers = nil
+}
+
+// AvailabilityForecast predicts the CPU availability (0..1] of a host over
+// the scheduling time frame. ok is false if the host is unwatched or the
+// sensor has no history yet.
+func (s *Service) AvailabilityForecast(host string) (float64, bool) {
+	b := s.cpuBanks[host]
+	if b == nil || !b.Ready() {
+		return 0, false
+	}
+	v, _, ok := b.Forecast()
+	if !ok {
+		return 0, false
+	}
+	return clamp(v, 0.01, 1), true
+}
+
+// AvailabilityLongTerm returns the running-mean CPU availability of a
+// host — the estimate to use when the scheduled work will run for much
+// longer than one sensing period, so that transient load states average
+// out (Section 3.2: capability is assessed "for the time frame in which
+// the application will be scheduled").
+func (s *Service) AvailabilityLongTerm(host string) (float64, bool) {
+	b := s.cpuBanks[host]
+	if b == nil || b.Len() == 0 {
+		return 0, false
+	}
+	return clamp(b.Mean(), 0.01, 1), true
+}
+
+// BandwidthLongTerm returns the running-mean deliverable bandwidth of a
+// link (MB/s).
+func (s *Service) BandwidthLongTerm(link string) (float64, bool) {
+	b := s.bwBanks[link]
+	if b == nil || b.Len() == 0 {
+		return 0, false
+	}
+	v := b.Mean()
+	if v < 1e-6 {
+		v = 1e-6
+	}
+	return v, true
+}
+
+// RouteBandwidthLongTerm is the long-horizon analogue of
+// RouteBandwidthForecast.
+func (s *Service) RouteBandwidthLongTerm(tp *grid.Topology, a, b string) float64 {
+	if a == b {
+		return 1e30
+	}
+	bw := 1e30
+	for _, l := range tp.Route(a, b) {
+		v, ok := s.BandwidthLongTerm(l.Name)
+		if !ok {
+			v = l.Bandwidth
+		}
+		if v < bw {
+			bw = v
+		}
+	}
+	return bw
+}
+
+// AvailabilityError returns the RMSE of the selected availability
+// forecaster for the host, as a trust measure.
+func (s *Service) AvailabilityError(host string) (float64, bool) {
+	b := s.cpuBanks[host]
+	if b == nil {
+		return 0, false
+	}
+	return b.ErrorEstimate()
+}
+
+// BandwidthError returns the RMSE of the selected bandwidth forecaster
+// for the link, as a trust measure.
+func (s *Service) BandwidthError(link string) (float64, bool) {
+	b := s.bwBanks[link]
+	if b == nil {
+		return 0, false
+	}
+	return b.ErrorEstimate()
+}
+
+// BandwidthForecast predicts the deliverable bandwidth (MB/s) of a link.
+func (s *Service) BandwidthForecast(link string) (float64, bool) {
+	b := s.bwBanks[link]
+	if b == nil || !b.Ready() {
+		return 0, false
+	}
+	v, _, ok := b.Forecast()
+	if !ok {
+		return 0, false
+	}
+	if v < 1e-6 {
+		v = 1e-6
+	}
+	return v, true
+}
+
+// RouteBandwidthForecast predicts the bottleneck bandwidth along the route
+// from host a to host b in tp, falling back to dedicated capacity for
+// unwatched links.
+func (s *Service) RouteBandwidthForecast(tp *grid.Topology, a, b string) float64 {
+	if a == b {
+		return 1e30
+	}
+	bw := 1e30
+	for _, l := range tp.Route(a, b) {
+		v, ok := s.BandwidthForecast(l.Name)
+		if !ok {
+			v = l.Bandwidth
+		}
+		if v < bw {
+			bw = v
+		}
+	}
+	return bw
+}
+
+// CPUBank exposes a host's availability bank (for reports and tests).
+func (s *Service) CPUBank(host string) *Bank { return s.cpuBanks[host] }
+
+// LinkBank exposes a link's bandwidth bank (for reports and tests).
+func (s *Service) LinkBank(link string) *Bank { return s.bwBanks[link] }
+
+// Report returns a human-readable forecast table for everything watched.
+func (s *Service) Report() string {
+	var out string
+	var hosts []string
+	for n := range s.cpuBanks {
+		hosts = append(hosts, n)
+	}
+	sort.Strings(hosts)
+	for _, n := range hosts {
+		v, by, ok := s.cpuBanks[n].Forecast()
+		out += fmt.Sprintf("cpu  %-10s forecast=%6.3f by=%-12s ok=%v\n", n, v, by, ok)
+	}
+	var links []string
+	for n := range s.bwBanks {
+		links = append(links, n)
+	}
+	sort.Strings(links)
+	for _, n := range links {
+		v, by, ok := s.bwBanks[n].Forecast()
+		out += fmt.Sprintf("bw   %-14s forecast=%7.3f by=%-12s ok=%v\n", n, v, by, ok)
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

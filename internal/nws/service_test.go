@@ -1,0 +1,181 @@
+package nws
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+func TestServiceForecastsHostAvailability(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	h := tp.AddHost(grid.HostSpec{
+		Name: "h", Speed: 10, MemoryMB: 64,
+		Load: load.Constant(1), // availability 0.5 forever
+	})
+	tp.Finalize()
+
+	svc := NewService(eng, 10)
+	svc.WatchHost(h)
+	if err := eng.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := svc.AvailabilityForecast("h")
+	if !ok || math.Abs(v-0.5) > 1e-9 {
+		t.Fatalf("availability forecast %v ok=%v, want 0.5", v, ok)
+	}
+	if rmse, ok := svc.AvailabilityError("h"); !ok || rmse > 1e-9 {
+		t.Fatalf("availability RMSE %v ok=%v, want 0", rmse, ok)
+	}
+}
+
+func TestServiceForecastsLinkBandwidth(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "a", Speed: 1, MemoryMB: 1})
+	tp.AddHost(grid.HostSpec{Name: "b", Speed: 1, MemoryMB: 1})
+	l := tp.AddLink(grid.LinkSpec{
+		Name: "wire", Latency: 0, Bandwidth: 4,
+		CrossTraffic: load.Constant(1),
+	})
+	tp.Attach("a", l)
+	tp.Attach("b", l)
+	tp.Finalize()
+
+	svc := NewService(eng, 5)
+	svc.WatchLink(l)
+	if err := eng.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := svc.BandwidthForecast("wire")
+	if !ok || math.Abs(v-2) > 1e-9 {
+		t.Fatalf("bandwidth forecast %v ok=%v, want 2", v, ok)
+	}
+	if bw := svc.RouteBandwidthForecast(tp, "a", "b"); math.Abs(bw-2) > 1e-9 {
+		t.Fatalf("route bandwidth forecast %v, want 2", bw)
+	}
+}
+
+func TestServiceUnwatchedReturnsNotOK(t *testing.T) {
+	eng := sim.NewEngine()
+	svc := NewService(eng, 10)
+	if _, ok := svc.AvailabilityForecast("ghost"); ok {
+		t.Fatal("forecast for unwatched host returned ok")
+	}
+	if _, ok := svc.BandwidthForecast("ghost"); ok {
+		t.Fatal("forecast for unwatched link returned ok")
+	}
+}
+
+func TestServiceNoHistoryNotOK(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	h := tp.AddHost(grid.HostSpec{Name: "h", Speed: 1, MemoryMB: 1})
+	tp.Finalize()
+	svc := NewService(eng, 10)
+	svc.WatchHost(h)
+	// Clock has not advanced; no samples yet.
+	if _, ok := svc.AvailabilityForecast("h"); ok {
+		t.Fatal("forecast before first sample returned ok")
+	}
+}
+
+func TestWatchTopologyCoversEverything(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 5})
+	svc := NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(600); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tp.Hosts() {
+		if _, ok := svc.AvailabilityForecast(h.Name); !ok {
+			t.Errorf("no availability forecast for %s", h.Name)
+		}
+	}
+	for _, l := range tp.Links() {
+		if _, ok := svc.BandwidthForecast(l.Name); !ok {
+			t.Errorf("no bandwidth forecast for %s", l.Name)
+		}
+	}
+	rep := svc.Report()
+	if !strings.Contains(rep, "sparc2") || !strings.Contains(rep, "sdsc-fddi") {
+		t.Fatalf("report missing entries:\n%s", rep)
+	}
+}
+
+func TestServiceTracksChangingLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	// Load 0 for 500 s, then load 4 forever.
+	h := tp.AddHost(grid.HostSpec{
+		Name: "h", Speed: 10, MemoryMB: 64,
+		Load: load.NewTrace([]load.Step{{At: 0, Value: 0}, {At: 500, Value: 4}}),
+	})
+	tp.Finalize()
+	svc := NewService(eng, 10)
+	svc.WatchHost(h)
+
+	if err := eng.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := svc.AvailabilityForecast("h")
+	if math.Abs(v1-1) > 0.01 {
+		t.Fatalf("pre-shift forecast %v, want ~1", v1)
+	}
+	if err := eng.RunUntil(1500); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := svc.AvailabilityForecast("h")
+	if math.Abs(v2-0.2) > 0.05 {
+		t.Fatalf("post-shift forecast %v, want ~0.2", v2)
+	}
+}
+
+func TestServiceStopHaltsSensors(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	h := tp.AddHost(grid.HostSpec{Name: "h", Speed: 1, MemoryMB: 1})
+	tp.Finalize()
+	svc := NewService(eng, 10)
+	svc.WatchHost(h)
+	svc.Stop()
+	if err := eng.Run(); err != nil {
+		t.Fatal(err) // would never drain if sensors kept ticking
+	}
+}
+
+func TestForecastAccuracyOnTestbedBeatsNaiveStatic(t *testing.T) {
+	// On the loaded testbed, the NWS forecast of sparc2 availability must
+	// be closer to truth than assuming the machine is dedicated (av=1).
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 21})
+	svc := NewService(eng, 10)
+	svc.WatchTopology(tp)
+
+	var nwsErr, staticErr float64
+	n := 0
+	for i := 0; i < 100; i++ {
+		if err := eng.RunUntil(200 + float64(i)*10); err != nil {
+			t.Fatal(err)
+		}
+		fc, ok := svc.AvailabilityForecast("sparc2")
+		if !ok {
+			continue
+		}
+		truth := tp.Host("sparc2").Availability()
+		nwsErr += (fc - truth) * (fc - truth)
+		staticErr += (1 - truth) * (1 - truth)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no forecasts scored")
+	}
+	if nwsErr >= staticErr {
+		t.Fatalf("NWS MSE %v not better than static assumption MSE %v", nwsErr/float64(n), staticErr/float64(n))
+	}
+}

@@ -1,0 +1,75 @@
+package nws
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowedAR1RecoversAfterRegimeShift(t *testing.T) {
+	full := NewAR1Fit()
+	windowed := NewWindowedAR1(20, "war1_20")
+	// Long stretch at level 1, then a shift to level 5 with AR structure.
+	for i := 0; i < 300; i++ {
+		full.Update(1)
+		windowed.Update(1)
+	}
+	x := 5.0
+	for i := 0; i < 40; i++ {
+		full.Update(x)
+		windowed.Update(x)
+		x = 5 + 0.8*(x-5) + 0.05*float64(i%3-1)
+	}
+	next := 5 + 0.8*(x-5)
+	errFull := math.Abs(full.Forecast() - next)
+	errWin := math.Abs(windowed.Forecast() - next)
+	if errWin >= errFull {
+		t.Fatalf("windowed AR err %v should beat full-history AR err %v after a shift", errWin, errFull)
+	}
+}
+
+func TestWindowedAR1SmallHistory(t *testing.T) {
+	f := NewWindowedAR1(10, "w")
+	if f.Ready() {
+		t.Fatal("fresh forecaster Ready")
+	}
+	f.Update(2)
+	if !f.Ready() || f.Forecast() != 2 {
+		t.Fatalf("one-sample forecast %v", f.Forecast())
+	}
+	f.Update(2)
+	if f.Forecast() != 2 {
+		t.Fatalf("two-sample forecast %v", f.Forecast())
+	}
+}
+
+func TestWindowedAR1ConstantSeries(t *testing.T) {
+	f := NewWindowedAR1(10, "w")
+	for i := 0; i < 50; i++ {
+		f.Update(3)
+	}
+	if math.Abs(f.Forecast()-3) > 1e-9 {
+		t.Fatalf("constant series forecast %v", f.Forecast())
+	}
+}
+
+func TestWindowedAR1BadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=2 did not panic")
+		}
+	}()
+	NewWindowedAR1(2, "bad")
+}
+
+func TestWindowedAR1InCustomBank(t *testing.T) {
+	bank := NewBank(append(DefaultForecasters(), NewWindowedAR1(20, "war1_20"))...)
+	for i := 0; i < 100; i++ {
+		bank.Update(float64(i % 4))
+	}
+	if _, _, ok := bank.Forecast(); !ok {
+		t.Fatal("custom bank produced no forecast")
+	}
+	if _, scored := bank.MSE()["war1_20"]; !scored {
+		t.Fatal("windowed AR never scored in the bank")
+	}
+}

@@ -1,0 +1,70 @@
+package partition
+
+import "fmt"
+
+// BlockCyclic builds the HPF CYCLIC(k) row distribution: row blocks of
+// height k dealt round-robin to hosts. For a synchronous stencil code it
+// is usually a poor choice — every internal block boundary is a border
+// exchange, so communication grows with n/k — which makes it a useful
+// extra baseline: a plausible compile-time distribution whose cost
+// structure differs from both blocked and strip.
+func BlockCyclic(n int, hosts []string, blockRows int, borderBytesPerPoint float64) (*Placement, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("partition: no hosts")
+	}
+	if blockRows < 1 {
+		return nil, fmt.Errorf("partition: block height %d < 1", blockRows)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("partition: empty domain")
+	}
+
+	// Deal row blocks round-robin.
+	type block struct{ owner int }
+	var blocks []block
+	for start := 0; start < n; start += blockRows {
+		blocks = append(blocks, block{owner: (start / blockRows) % len(hosts)})
+	}
+	rowsOf := make([]int, len(hosts))
+	for i, b := range blocks {
+		h := b.owner
+		rows := blockRows
+		if (i+1)*blockRows > n {
+			rows = n - i*blockRows
+		}
+		rowsOf[h] += rows
+	}
+
+	// Border bytes between adjacent blocks with different owners.
+	edge := float64(n) * borderBytesPerPoint
+	borderBytes := make(map[[2]int]float64) // ordered host-index pair -> bytes
+	for i := 0; i+1 < len(blocks); i++ {
+		a, b := blocks[i].owner, blocks[i+1].owner
+		if a == b {
+			continue
+		}
+		borderBytes[[2]int{a, b}] += edge
+		borderBytes[[2]int{b, a}] += edge
+	}
+
+	p := &Placement{N: n, Kind: "block-cyclic"}
+	for hi, host := range hosts {
+		if rowsOf[hi] == 0 {
+			continue
+		}
+		a := Assignment{Host: host, Rows: rowsOf[hi], Points: rowsOf[hi] * n}
+		for hj, peer := range hosts {
+			if hj == hi {
+				continue
+			}
+			if bytes := borderBytes[[2]int{hi, hj}]; bytes > 0 {
+				a.Borders = append(a.Borders, Border{Peer: peer, Bytes: bytes})
+			}
+		}
+		p.Assignments = append(p.Assignments, a)
+	}
+	if p.TotalPoints() != n*n {
+		return nil, fmt.Errorf("partition: block-cyclic internal error: %d points", p.TotalPoints())
+	}
+	return p, nil
+}

@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockCyclicBasic(t *testing.T) {
+	p, err := BlockCyclic(100, []string{"a", "b"}, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 blocks of 10 rows dealt to 2 hosts: 50 rows each.
+	for _, asg := range p.Assignments {
+		if asg.Rows != 50 {
+			t.Fatalf("%s has %d rows, want 50", asg.Host, asg.Rows)
+		}
+	}
+	// Every internal boundary (9 of them) is an a<->b border: 9*100*8
+	// bytes each way.
+	for _, asg := range p.Assignments {
+		total := 0.0
+		for _, b := range asg.Borders {
+			total += b.Bytes
+		}
+		if total != 9*100*8 {
+			t.Fatalf("%s border bytes %v, want 7200", asg.Host, total)
+		}
+	}
+}
+
+func TestBlockCyclicRaggedTail(t *testing.T) {
+	p, err := BlockCyclic(25, []string{"a", "b", "c"}, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalPoints() != 625 {
+		t.Fatalf("points %d", p.TotalPoints())
+	}
+	// Blocks: rows 0-9 -> a, 10-19 -> b, 20-24 (5 rows) -> c.
+	want := map[string]int{"a": 10, "b": 10, "c": 5}
+	for _, asg := range p.Assignments {
+		if asg.Rows != want[asg.Host] {
+			t.Fatalf("%s rows %d, want %d", asg.Host, asg.Rows, want[asg.Host])
+		}
+	}
+}
+
+func TestBlockCyclicCommGrowsAsBlocksShrink(t *testing.T) {
+	comm := func(blockRows int) float64 {
+		p, err := BlockCyclic(120, []string{"a", "b", "c"}, blockRows, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, asg := range p.Assignments {
+			for _, b := range asg.Borders {
+				total += b.Bytes
+			}
+		}
+		return total
+	}
+	if comm(5) <= comm(40) {
+		t.Fatalf("cyclic(5) comm %v should exceed cyclic(40) comm %v", comm(5), comm(40))
+	}
+}
+
+func TestBlockCyclicErrors(t *testing.T) {
+	if _, err := BlockCyclic(10, nil, 2, 8); err == nil {
+		t.Fatal("no hosts accepted")
+	}
+	if _, err := BlockCyclic(10, []string{"a"}, 0, 8); err == nil {
+		t.Fatal("zero block height accepted")
+	}
+	if _, err := BlockCyclic(0, []string{"a"}, 2, 8); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}
+
+// Property: block-cyclic placements always validate and cover the domain.
+func TestBlockCyclicProperty(t *testing.T) {
+	f := func(nRaw, kRaw, hRaw uint8) bool {
+		n := 10 + int(nRaw)%120
+		k := 1 + int(kRaw)%15
+		nh := 1 + int(hRaw)%5
+		hosts := make([]string, nh)
+		for i := range hosts {
+			hosts[i] = string(rune('a' + i))
+		}
+		p, err := BlockCyclic(n, hosts, k, 8)
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil && p.TotalPoints() == n*n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

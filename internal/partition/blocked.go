@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+)
+
+// Blocked builds the HPF-style Uniform/Blocked partition: the domain is
+// cut into an r x c grid of equal 2D blocks, one per host, with r*c =
+// len(hosts) chosen as the most balanced factorization. Every host gets
+// the same area regardless of its speed or load — exactly the
+// compile-time baseline the paper compares against in Figures 5 and 6.
+func Blocked(n int, hosts []string, borderBytesPerPoint float64) (*Placement, error) {
+	p := len(hosts)
+	if p == 0 {
+		return nil, fmt.Errorf("partition: no hosts")
+	}
+	r, c := balancedFactors(p)
+	if n < r || n < c {
+		return nil, fmt.Errorf("partition: %dx%d grid cannot cover %dx%d blocks", n, n, r, c)
+	}
+
+	rowHeights := evenCut(n, r)
+	colWidths := evenCut(n, c)
+
+	place := &Placement{N: n, Kind: "blocked"}
+	idx := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			h := hosts[idx(i, j)]
+			a := Assignment{
+				Host:   h,
+				Points: rowHeights[i] * colWidths[j],
+			}
+			// Borders: shared edges with the four neighbors.
+			if i > 0 {
+				a.Borders = append(a.Borders, Border{Peer: hosts[idx(i-1, j)], Bytes: float64(colWidths[j]) * borderBytesPerPoint})
+			}
+			if i < r-1 {
+				a.Borders = append(a.Borders, Border{Peer: hosts[idx(i+1, j)], Bytes: float64(colWidths[j]) * borderBytesPerPoint})
+			}
+			if j > 0 {
+				a.Borders = append(a.Borders, Border{Peer: hosts[idx(i, j-1)], Bytes: float64(rowHeights[i]) * borderBytesPerPoint})
+			}
+			if j < c-1 {
+				a.Borders = append(a.Borders, Border{Peer: hosts[idx(i, j+1)], Bytes: float64(rowHeights[i]) * borderBytesPerPoint})
+			}
+			place.Assignments = append(place.Assignments, a)
+		}
+	}
+	return place, nil
+}
+
+// balancedFactors returns the factor pair (r, c) of p with r <= c and the
+// smallest difference — the squarest process grid.
+func balancedFactors(p int) (int, int) {
+	best := 1
+	for f := 1; f*f <= p; f++ {
+		if p%f == 0 {
+			best = f
+		}
+	}
+	return best, p / best
+}
+
+// evenCut splits n into k near-equal positive integers summing to n.
+func evenCut(n, k int) []int {
+	out := make([]int, k)
+	base := n / k
+	extra := n % k
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// BlockedPredictTime evaluates the cost model on a blocked placement: the
+// per-iteration time is max over hosts of points*P_i + C_i where C_i is
+// derived from the host's border bytes and the per-host bandwidth estimate
+// provided by the caller.
+func BlockedPredictTime(p *Placement, secPerPoint map[string]float64, borderSec func(a Assignment) float64) float64 {
+	worst := 0.0
+	for _, a := range p.Assignments {
+		sp, ok := secPerPoint[a.Host]
+		if !ok {
+			return math.Inf(1)
+		}
+		t := float64(a.Points)*sp + borderSec(a)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

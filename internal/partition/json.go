@@ -1,0 +1,32 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTo serializes the placement as JSON, so a chosen schedule can be
+// stored, inspected, or replayed later (the placement struct is already
+// plain data).
+func (p *Placement) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return 0, fmt.Errorf("partition: encode placement: %w", err)
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadPlacement deserializes and validates a placement written by
+// WriteTo.
+func ReadPlacement(r io.Reader) (*Placement, error) {
+	var p Placement
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("partition: decode placement: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

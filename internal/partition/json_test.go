@@ -1,0 +1,45 @@
+package partition
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlacementJSONRoundTrip(t *testing.T) {
+	p, _, err := TimeBalanced(100, []HostCost{
+		{Host: "a", SecPerPoint: 1e-6, CommSec: 0.01},
+		{Host: "b", SecPerPoint: 2e-6, CommSec: 0.02},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlacement(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != p.N || back.Kind != p.Kind || back.TotalPoints() != p.TotalPoints() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, p)
+	}
+	for i := range p.Assignments {
+		if back.Assignments[i].Host != p.Assignments[i].Host ||
+			back.Assignments[i].Points != p.Assignments[i].Points {
+			t.Fatalf("assignment %d mismatch", i)
+		}
+	}
+}
+
+func TestReadPlacementRejectsCorrupt(t *testing.T) {
+	if _, err := ReadPlacement(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid JSON, invalid placement (points don't cover N^2).
+	bad := `{"N":10,"Kind":"strip","Assignments":[{"Host":"a","Points":5,"Rows":1}]}`
+	if _, err := ReadPlacement(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid placement accepted")
+	}
+}

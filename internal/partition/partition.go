@@ -1,0 +1,187 @@
+// Package partition implements the data decompositions compared in the
+// paper's Jacobi2D experiments:
+//
+//   - the AppLeS time-balanced non-uniform strip partition (Figure 3),
+//     which equalizes T_i = A_i*P_i + C_i across heterogeneous, loaded
+//     processors and respects per-host memory capacity;
+//   - the static non-uniform strip partition parameterized only by CPU
+//     speeds (Figure 4);
+//   - the HPF-style uniform blocked partition (the compile-time baseline
+//     in Figures 5 and 6);
+//   - a uniform strip partition.
+//
+// A Placement abstracts the geometry away from the execution engine: each
+// assignment carries its point count, memory need, and per-neighbor border
+// traffic, which is all the simulated Jacobi run requires.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Border is one communication edge of an assignment: Bytes are sent to and
+// received from Peer on every iteration.
+type Border struct {
+	Peer  string
+	Bytes float64
+}
+
+// Assignment is one host's share of the domain.
+type Assignment struct {
+	Host    string
+	Points  int      // grid points owned
+	Rows    int      // strip rows (0 for non-strip decompositions)
+	Borders []Border // per-iteration exchanges
+}
+
+// Placement is a complete mapping of the N x N domain onto hosts.
+type Placement struct {
+	N           int
+	Kind        string // "strip", "blocked"
+	Assignments []Assignment
+}
+
+// TotalPoints sums the points across assignments.
+func (p *Placement) TotalPoints() int {
+	total := 0
+	for _, a := range p.Assignments {
+		total += a.Points
+	}
+	return total
+}
+
+// Hosts returns the host names carrying non-zero work, in placement order.
+func (p *Placement) Hosts() []string {
+	var out []string
+	for _, a := range p.Assignments {
+		if a.Points > 0 {
+			out = append(out, a.Host)
+		}
+	}
+	return out
+}
+
+// Fraction returns the share of the domain assigned to host (0 when
+// absent).
+func (p *Placement) Fraction(host string) float64 {
+	n2 := float64(p.N) * float64(p.N)
+	for _, a := range p.Assignments {
+		if a.Host == host {
+			return float64(a.Points) / n2
+		}
+	}
+	return 0
+}
+
+// Validate checks the placement invariants: points sum to N^2, no negative
+// shares, borders reference hosts in the placement, border symmetry.
+func (p *Placement) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("partition: non-positive N %d", p.N)
+	}
+	if got, want := p.TotalPoints(), p.N*p.N; got != want {
+		return fmt.Errorf("partition: points sum to %d, want %d", got, want)
+	}
+	idx := map[string]*Assignment{}
+	for i := range p.Assignments {
+		a := &p.Assignments[i]
+		if a.Points < 0 || a.Rows < 0 {
+			return fmt.Errorf("partition: negative share on %s", a.Host)
+		}
+		if _, dup := idx[a.Host]; dup {
+			return fmt.Errorf("partition: host %s appears twice", a.Host)
+		}
+		idx[a.Host] = a
+	}
+	for _, a := range p.Assignments {
+		for _, b := range a.Borders {
+			peer, ok := idx[b.Peer]
+			if !ok {
+				return fmt.Errorf("partition: %s borders unknown host %s", a.Host, b.Peer)
+			}
+			if b.Bytes < 0 {
+				return fmt.Errorf("partition: negative border bytes %s->%s", a.Host, b.Peer)
+			}
+			found := false
+			for _, bb := range peer.Borders {
+				if bb.Peer == a.Host && bb.Bytes == b.Bytes {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("partition: asymmetric border %s<->%s", a.Host, b.Peer)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the placement as a compact per-host share table.
+func (p *Placement) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s partition of %dx%d:", p.Kind, p.N, p.N)
+	for _, a := range p.Assignments {
+		fmt.Fprintf(&sb, " %s=%.1f%%", a.Host, 100*p.Fraction(a.Host))
+	}
+	return sb.String()
+}
+
+// largestRemainder apportions total units proportionally to weights,
+// guaranteeing the exact total and non-negative integer shares
+// (Hamilton's method). Zero or negative weights get zero.
+func largestRemainder(weights []float64, total int) []int {
+	n := len(weights)
+	out := make([]int, n)
+	sum := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum == 0 || total <= 0 {
+		return out
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	assigned := 0
+	fracs := make([]frac, 0, n)
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		exact := float64(total) * w / sum
+		fl := math.Floor(exact)
+		out[i] = int(fl)
+		assigned += int(fl)
+		fracs = append(fracs, frac{i, exact - fl})
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for k := 0; assigned < total && k < len(fracs); k++ {
+		out[fracs[k].idx]++
+		assigned++
+	}
+	// Degenerate rounding shortfall (all remainders zero): dump on the
+	// largest weight.
+	for assigned < total {
+		best := 0
+		for i := range weights {
+			if weights[i] > weights[best] {
+				best = i
+			}
+		}
+		out[best]++
+		assigned++
+	}
+	return out
+}

@@ -1,0 +1,413 @@
+package partition
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformStrip(t *testing.T) {
+	p, err := UniformStrip(100, []string{"a", "b", "c", "d"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range p.Assignments {
+		if a.Rows != 25 {
+			t.Fatalf("uniform strip rows %d, want 25", a.Rows)
+		}
+	}
+}
+
+func TestUniformStripRemainder(t *testing.T) {
+	p, err := UniformStrip(10, []string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rows := []int{}
+	for _, a := range p.Assignments {
+		rows = append(rows, a.Rows)
+	}
+	sum := 0
+	for _, r := range rows {
+		sum += r
+		if r < 3 || r > 4 {
+			t.Fatalf("rows %v not near-uniform", rows)
+		}
+	}
+	if sum != 10 {
+		t.Fatalf("rows sum %d, want 10", sum)
+	}
+}
+
+func TestStripBorderWiring(t *testing.T) {
+	p, err := UniformStrip(90, []string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End strips have one border, middle has two, each 90*8 bytes.
+	for _, a := range p.Assignments {
+		want := 2
+		if a.Host == "a" || a.Host == "c" {
+			want = 1
+		}
+		if len(a.Borders) != want {
+			t.Fatalf("%s has %d borders, want %d", a.Host, len(a.Borders), want)
+		}
+		for _, b := range a.Borders {
+			if b.Bytes != 720 {
+				t.Fatalf("border bytes %v, want 720", b.Bytes)
+			}
+		}
+	}
+}
+
+func TestWeightedStripProportional(t *testing.T) {
+	p, err := WeightedStrip(100, []string{"fast", "slow"}, []float64{3, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Fraction("fast"); math.Abs(f-0.75) > 0.01 {
+		t.Fatalf("fast fraction %v, want 0.75", f)
+	}
+}
+
+func TestWeightedStripZeroWeightDropsHost(t *testing.T) {
+	p, err := WeightedStrip(100, []string{"a", "b", "c"}, []float64{1, 0, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Assignments) != 2 {
+		t.Fatalf("zero-weight host kept: %v", p.Hosts())
+	}
+	// a and c become adjacent strips.
+	if p.Assignments[0].Borders[0].Peer != "c" {
+		t.Fatalf("borders not re-wired after drop: %+v", p.Assignments)
+	}
+}
+
+func TestWeightedStripErrors(t *testing.T) {
+	if _, err := WeightedStrip(10, []string{"a"}, []float64{1, 2}, 8); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := WeightedStrip(10, []string{"a"}, []float64{-1}, 8); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := WeightedStrip(10, []string{"a", "b"}, []float64{0, 0}, 8); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+}
+
+func TestTimeBalancedEqualHosts(t *testing.T) {
+	costs := []HostCost{
+		{Host: "a", SecPerPoint: 1e-6, CommSec: 0.01},
+		{Host: "b", SecPerPoint: 1e-6, CommSec: 0.01},
+	}
+	p, T, err := TimeBalanced(100, costs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Fraction("a")-0.5) > 0.01 {
+		t.Fatalf("equal hosts got %v / %v", p.Fraction("a"), p.Fraction("b"))
+	}
+	// T = A*P + C = 5000*1e-6 + 0.01
+	if math.Abs(T-0.015) > 1e-9 {
+		t.Fatalf("predicted T %v, want 0.015", T)
+	}
+}
+
+func TestTimeBalancedFavorsFastHost(t *testing.T) {
+	costs := []HostCost{
+		{Host: "fast", SecPerPoint: 1e-6, CommSec: 0.01},
+		{Host: "slow", SecPerPoint: 4e-6, CommSec: 0.01},
+	}
+	p, _, err := TimeBalanced(200, costs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffast, fslow := p.Fraction("fast"), p.Fraction("slow")
+	if math.Abs(ffast-0.8) > 0.02 || math.Abs(fslow-0.2) > 0.02 {
+		t.Fatalf("fractions fast=%v slow=%v, want 0.8/0.2", ffast, fslow)
+	}
+}
+
+func TestTimeBalancedDropsUselessHost(t *testing.T) {
+	// Host c's communication cost alone exceeds the balanced time, so
+	// including it would slow the application: it must be dropped.
+	costs := []HostCost{
+		{Host: "a", SecPerPoint: 1e-6, CommSec: 0.001},
+		{Host: "b", SecPerPoint: 1e-6, CommSec: 0.001},
+		{Host: "c", SecPerPoint: 1e-6, CommSec: 100},
+	}
+	p, _, err := TimeBalanced(100, costs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fraction("c") != 0 {
+		t.Fatalf("expensive host kept with fraction %v", p.Fraction("c"))
+	}
+}
+
+func TestTimeBalancedHonorsMemoryCap(t *testing.T) {
+	costs := []HostCost{
+		{Host: "big", SecPerPoint: 1e-6, CommSec: 0.001, MaxPoints: 3000},
+		{Host: "small", SecPerPoint: 1e-6, CommSec: 0.001, MaxPoints: 1e9},
+	}
+	p, _, err := TimeBalanced(100, costs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range p.Assignments {
+		if a.Host == "big" && a.Points > 3100 {
+			t.Fatalf("cap violated: big has %d points", a.Points)
+		}
+	}
+	if p.TotalPoints() != 10000 {
+		t.Fatalf("total %d, want 10000", p.TotalPoints())
+	}
+}
+
+func TestTimeBalancedRelaxesInfeasibleCaps(t *testing.T) {
+	// Aggregate capacity (6000) < domain (10000): caps are scaled so the
+	// domain still fits and the placement stays balanced.
+	costs := []HostCost{
+		{Host: "a", SecPerPoint: 1e-6, CommSec: 0, MaxPoints: 3000},
+		{Host: "b", SecPerPoint: 1e-6, CommSec: 0, MaxPoints: 3000},
+	}
+	p, _, err := TimeBalanced(100, costs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalPoints() != 10000 {
+		t.Fatalf("total %d, want 10000", p.TotalPoints())
+	}
+}
+
+func TestTimeBalancedErrors(t *testing.T) {
+	if _, _, err := TimeBalanced(10, nil, 8); err == nil {
+		t.Fatal("empty costs accepted")
+	}
+	if _, _, err := TimeBalanced(10, []HostCost{{Host: "a", SecPerPoint: 0}}, 8); err == nil {
+		t.Fatal("zero P_i accepted")
+	}
+	if _, _, err := TimeBalanced(10, []HostCost{{Host: "a", SecPerPoint: 1, CommSec: -1}}, 8); err == nil {
+		t.Fatal("negative C_i accepted")
+	}
+}
+
+func TestPredictStripTime(t *testing.T) {
+	costs := []HostCost{
+		{Host: "a", SecPerPoint: 1e-6, CommSec: 0.01},
+		{Host: "b", SecPerPoint: 2e-6, CommSec: 0.02},
+	}
+	p, _ := UniformStrip(100, []string{"a", "b"}, 8)
+	got := PredictStripTime(p, costs)
+	want := 5000*2e-6 + 0.02 // b dominates
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("predicted %v, want %v", got, want)
+	}
+	if v := PredictStripTime(p, costs[:1]); !math.IsInf(v, 1) {
+		t.Fatalf("unknown host predicted %v, want +Inf", v)
+	}
+}
+
+func TestBlockedSquareFourHosts(t *testing.T) {
+	p, err := Blocked(100, []string{"a", "b", "c", "d"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range p.Assignments {
+		if a.Points != 2500 {
+			t.Fatalf("blocked 2x2 block has %d points, want 2500", a.Points)
+		}
+		if len(a.Borders) != 2 {
+			t.Fatalf("corner block has %d borders, want 2", len(a.Borders))
+		}
+	}
+}
+
+func TestBlockedEightHosts(t *testing.T) {
+	hosts := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+	p, err := Blocked(200, hosts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalPoints() != 40000 {
+		t.Fatalf("total %d, want 40000", p.TotalPoints())
+	}
+	// 8 = 2x4 grid; every host has equal area.
+	for _, a := range p.Assignments {
+		if a.Points != 5000 {
+			t.Fatalf("block %s has %d points, want 5000", a.Host, a.Points)
+		}
+	}
+}
+
+func TestBlockedPrimeCount(t *testing.T) {
+	p, err := Blocked(105, []string{"a", "b", "c", "d", "e", "f", "g"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 7 hosts -> 1x7 strips of columns.
+	if p.TotalPoints() != 105*105 {
+		t.Fatalf("total %d", p.TotalPoints())
+	}
+}
+
+func TestBalancedFactors(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 4: {2, 2}, 8: {2, 4}, 12: {3, 4}, 7: {1, 7}, 36: {6, 6}}
+	for p, want := range cases {
+		r, c := balancedFactors(p)
+		if r != want[0] || c != want[1] {
+			t.Errorf("balancedFactors(%d) = %d,%d, want %v", p, r, c, want)
+		}
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	p, _ := UniformStrip(10, []string{"a", "b"}, 8)
+	s := p.String()
+	if !strings.Contains(s, "strip") || !strings.Contains(s, "a=") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p, _ := UniformStrip(10, []string{"a", "b"}, 8)
+	p.Assignments[0].Points += 5
+	if err := p.Validate(); err == nil {
+		t.Fatal("points-sum corruption not caught")
+	}
+	p, _ = UniformStrip(10, []string{"a", "b"}, 8)
+	p.Assignments[0].Borders[0].Bytes = 999
+	if err := p.Validate(); err == nil {
+		t.Fatal("asymmetric border not caught")
+	}
+}
+
+// Property: for arbitrary positive costs, TimeBalanced covers the domain
+// exactly, never assigns negative work, and used hosts' predicted times
+// are within the discretization error of each other.
+func TestTimeBalancedProperty(t *testing.T) {
+	f := func(rawP [4]uint8, rawC [4]uint8) bool {
+		n := 64
+		costs := make([]HostCost, 4)
+		for i := range costs {
+			costs[i] = HostCost{
+				Host:        string(rune('a' + i)),
+				SecPerPoint: 1e-6 * (1 + float64(rawP[i]%50)),
+				CommSec:     1e-4 * float64(rawC[i]%20),
+			}
+		}
+		p, T, err := TimeBalanced(n, costs, 8)
+		if err != nil {
+			return false
+		}
+		if p.Validate() != nil {
+			return false
+		}
+		if p.TotalPoints() != n*n {
+			return false
+		}
+		// Each kept host's predicted time must not exceed T by more than
+		// one row's worth of work.
+		byHost := map[string]HostCost{}
+		for _, c := range costs {
+			byHost[c.Host] = c
+		}
+		for _, a := range p.Assignments {
+			c := byHost[a.Host]
+			ti := float64(a.Points)*c.SecPerPoint + c.CommSec
+			slack := float64(n) * c.SecPerPoint // one row
+			if ti > T+slack+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: largestRemainder always sums to the target with non-negative
+// parts.
+func TestLargestRemainderProperty(t *testing.T) {
+	f := func(raw []uint8, totalRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		weights := make([]float64, len(raw))
+		anyPos := false
+		for i, r := range raw {
+			weights[i] = float64(r)
+			if r > 0 {
+				anyPos = true
+			}
+		}
+		total := int(totalRaw % 5000)
+		out := largestRemainder(weights, total)
+		sum := 0
+		for i, v := range out {
+			if v < 0 {
+				return false
+			}
+			if weights[i] == 0 && v != 0 {
+				return false
+			}
+			sum += v
+		}
+		if !anyPos || total == 0 {
+			return sum == 0
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTimeBalanced(b *testing.B) {
+	costs := make([]HostCost, 10)
+	for i := range costs {
+		costs[i] = HostCost{
+			Host:        string(rune('a' + i)),
+			SecPerPoint: 1e-6 * float64(1+i),
+			CommSec:     1e-3 * float64(i%3),
+			MaxPoints:   4e5,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TimeBalanced(2000, costs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package react
+
+import (
+	"fmt"
+	"math"
+
+	"apples/internal/grid"
+)
+
+// ChainStage is one stage of an N-stage heterogeneous pipeline — the
+// generalization of 3D-REACT's two tasks to the paper's broader vision of
+// coupled instruments and computers ("remote sensors and/or experimental
+// instruments and general-purpose computers can be productively coupled",
+// Section 1).
+type ChainStage struct {
+	Name string
+	// Host executes the stage.
+	Host string
+	// SecPerUnit is the stage's dedicated-machine processing time per
+	// work unit; ambient load on the host stretches it.
+	SecPerUnit float64
+	// OutBytesPerUnit is the data volume shipped per unit to the next
+	// stage (ignored for the last stage).
+	OutBytesPerUnit float64
+}
+
+// ChainResult reports an executed chain run.
+type ChainResult struct {
+	Time float64
+	// StageStallSec is how long each stage (after the first) sat idle
+	// waiting for input once fed.
+	StageStallSec []float64
+	Batches       int
+}
+
+// PredictChain models an N-stage pipeline with batch size u over S units:
+// the run fills through every stage and link once, then advances at the
+// bottleneck stage/link rate:
+//
+//	total = sum_i tS_i + sum_i tX_i + (K-1)*max(all)
+//
+// where tS_i = u*Sec_i + Eps (per-batch software overhead) and tX_i =
+// latency_i + u*bytes_i/bandwidth_i.
+func PredictChain(tp *grid.Topology, stages []ChainStage, S, u int, opt Options) (float64, error) {
+	opt.setDefaults()
+	if len(stages) < 1 {
+		return 0, fmt.Errorf("react: empty chain")
+	}
+	if u < 1 || S < 1 {
+		return 0, fmt.Errorf("react: need positive unit and total")
+	}
+	k := (S + u - 1) / u
+	fill, bottleneck := 0.0, 0.0
+	for i, st := range stages {
+		if tp.Host(st.Host) == nil {
+			return 0, fmt.Errorf("react: chain stage %q on unknown host %q", st.Name, st.Host)
+		}
+		tS := float64(u)*st.SecPerUnit + opt.MsgOverheadSec
+		fill += tS
+		bottleneck = math.Max(bottleneck, tS)
+		if i+1 < len(stages) {
+			next := stages[i+1]
+			bw := tp.RouteDedicatedBandwidth(st.Host, next.Host)
+			lat := tp.RouteLatency(st.Host, next.Host)
+			tX := lat + float64(u)*st.OutBytesPerUnit/1e6/bw
+			fill += tX
+			bottleneck = math.Max(bottleneck, tX)
+		}
+	}
+	return fill + float64(k-1)*bottleneck, nil
+}
+
+// RunChain executes the chain on the simulated metacomputer: stage 0
+// produces batches of u units; every stage processes a batch, forwards it
+// downstream, and the run ends when the last stage finishes batch K.
+func RunChain(tp *grid.Topology, stages []ChainStage, S, u int, opt Options) (*ChainResult, error) {
+	opt.setDefaults()
+	if len(stages) < 1 {
+		return nil, fmt.Errorf("react: empty chain")
+	}
+	if u < 1 || S < 1 {
+		return nil, fmt.Errorf("react: need positive unit and total")
+	}
+	hosts := make([]*grid.Host, len(stages))
+	for i, st := range stages {
+		h := tp.Host(st.Host)
+		if h == nil {
+			return nil, fmt.Errorf("react: chain stage %q on unknown host %q", st.Name, st.Host)
+		}
+		hosts[i] = h
+	}
+
+	eng := tp.Engine
+	k := (S + u - 1) / u
+	res := &ChainResult{Batches: k, StageStallSec: make([]float64, len(stages))}
+	start := eng.Now()
+
+	// Per-stage state.
+	type stageState struct {
+		queue     []int // batch unit counts awaiting processing
+		busy      bool
+		idleSince float64
+		fed       bool
+	}
+	states := make([]*stageState, len(stages))
+	for i := range states {
+		states[i] = &stageState{}
+	}
+	doneBatches := 0
+
+	var startWork func(i int)
+	deliver := func(i, units int) {
+		st := states[i]
+		st.queue = append(st.queue, units)
+		if !st.busy {
+			if st.fed {
+				res.StageStallSec[i] += eng.Now() - st.idleSince
+			}
+			st.fed = true
+			startWork(i)
+		}
+	}
+
+	startWork = func(i int) {
+		st := states[i]
+		if len(st.queue) == 0 {
+			st.busy = false
+			st.idleSince = eng.Now()
+			return
+		}
+		units := st.queue[0]
+		st.queue = st.queue[1:]
+		st.busy = true
+		work := (float64(units)*stages[i].SecPerUnit + opt.MsgOverheadSec) * hosts[i].Speed
+		hosts[i].Submit(work, func() {
+			if i+1 < len(stages) {
+				sizeMB := float64(units) * stages[i].OutBytesPerUnit / 1e6
+				tp.Send(stages[i].Host, stages[i+1].Host, sizeMB, func() {
+					deliver(i+1, units)
+				})
+			} else {
+				doneBatches++
+				if doneBatches == k {
+					res.Time = eng.Now() - start
+					eng.Halt()
+					return
+				}
+			}
+			startWork(i)
+		})
+	}
+
+	// Feed stage 0 all batches up front (it self-schedules sequentially).
+	for rem, b := S, 0; rem > 0 && b < k; b++ {
+		units := u
+		if rem < u {
+			units = rem
+		}
+		states[0].queue = append(states[0].queue, units)
+		rem -= units
+	}
+	states[0].fed = true
+	startWork(0)
+
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	if doneBatches < k {
+		return nil, fmt.Errorf("react: chain stalled at %d/%d batches", doneBatches, k)
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package react
+
+import (
+	"math"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// chainTopology: three dedicated hosts in a line over two links.
+func chainTopology(eng *sim.Engine) *grid.Topology {
+	tp := grid.NewTopology(eng)
+	tp.AddHost(grid.HostSpec{Name: "instrument", Speed: 10, MemoryMB: 64})
+	tp.AddHost(grid.HostSpec{Name: "preproc", Speed: 50, MemoryMB: 256})
+	tp.AddHost(grid.HostSpec{Name: "super", Speed: 200, MemoryMB: 1024})
+	l1 := tp.AddLink(grid.LinkSpec{Name: "field-link", Latency: 0.02, Bandwidth: 2, Dedicated: true})
+	l2 := tp.AddLink(grid.LinkSpec{Name: "campus", Latency: 0.002, Bandwidth: 10, Dedicated: true})
+	tp.Attach("instrument", l1)
+	tp.Attach("preproc", l1)
+	tp.Attach("preproc", l2)
+	tp.Attach("super", l2)
+	tp.Finalize()
+	return tp
+}
+
+func sensorStages() []ChainStage {
+	return []ChainStage{
+		{Name: "acquire", Host: "instrument", SecPerUnit: 0.5, OutBytesPerUnit: 2e5},
+		{Name: "calibrate", Host: "preproc", SecPerUnit: 0.2, OutBytesPerUnit: 1e5},
+		{Name: "analyze", Host: "super", SecPerUnit: 0.8},
+	}
+}
+
+func TestChainSimulationMatchesModel(t *testing.T) {
+	for _, u := range []int{2, 5, 10} {
+		eng := sim.NewEngine()
+		tp := chainTopology(eng)
+		pred, err := PredictChain(tp, sensorStages(), 100, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunChain(tp, sensorStages(), 100, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.Time-pred) / pred; rel > 0.06 {
+			t.Errorf("u=%d: simulated %v vs modeled %v (%.1f%% off)", u, res.Time, pred, 100*rel)
+		}
+	}
+}
+
+func TestChainBottleneckIsSlowestStage(t *testing.T) {
+	// The analyze stage (0.8 s/unit) dominates; total ~= S * 0.8 + fill.
+	eng := sim.NewEngine()
+	tp := chainTopology(eng)
+	res, err := RunChain(tp, sensorStages(), 100, 5, Options{MsgOverheadSec: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := 100 * 0.8
+	if res.Time < lower {
+		t.Fatalf("chain %v faster than its bottleneck allows (%v)", res.Time, lower)
+	}
+	if res.Time > lower*1.3 {
+		t.Fatalf("chain %v much slower than bottleneck bound %v: no overlap?", res.Time, lower)
+	}
+}
+
+func TestChainStallAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := chainTopology(eng)
+	res, err := RunChain(tp, sensorStages(), 60, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The analyze stage is the bottleneck: once fed it should rarely
+	// starve; the fast preproc stage starves constantly (it waits on the
+	// slow instrument).
+	if res.StageStallSec[1] <= res.StageStallSec[2] {
+		t.Fatalf("stalls: preproc %v should exceed analyze %v",
+			res.StageStallSec[1], res.StageStallSec[2])
+	}
+}
+
+func TestChainTwoStageConsistentWithPipelineShape(t *testing.T) {
+	// A 2-stage chain behaves like the 3D-REACT pipeline: interior batch
+	// sizes beat both extremes.
+	eng := sim.NewEngine()
+	tp := chainTopology(eng)
+	stages := sensorStages()[:2]
+	bestU, bestT := 0, math.Inf(1)
+	var t1, tBig float64
+	for u := 1; u <= 200; u++ {
+		v, err := PredictChain(tp, stages, 200, u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u == 1 {
+			t1 = v
+		}
+		if u == 200 {
+			tBig = v
+		}
+		if v < bestT {
+			bestU, bestT = u, v
+		}
+	}
+	if bestU <= 1 || bestU >= 200 {
+		t.Fatalf("optimum at boundary u=%d", bestU)
+	}
+	if bestT >= t1 || bestT >= tBig {
+		t.Fatalf("no interior optimum: t(1)=%v t(%d)=%v t(200)=%v", t1, bestU, bestT, tBig)
+	}
+}
+
+func TestChainOnLoadedHost(t *testing.T) {
+	// Ambient load on the bottleneck stage stretches the whole chain.
+	mk := func(loaded bool) float64 {
+		eng := sim.NewEngine()
+		tp := chainTopology(eng)
+		if loaded {
+			tp.Host("super").SetLoad(load.Constant(1))
+		}
+		res, err := RunChain(tp, sensorStages(), 60, 5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	quiet, loaded := mk(false), mk(true)
+	if loaded < 1.5*quiet {
+		t.Fatalf("load on bottleneck: %v vs quiet %v, want ~2x", loaded, quiet)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := chainTopology(eng)
+	if _, err := RunChain(tp, nil, 10, 2, Options{}); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	if _, err := RunChain(tp, sensorStages(), 0, 2, Options{}); err == nil {
+		t.Fatal("zero units accepted")
+	}
+	bad := sensorStages()
+	bad[1].Host = "ghost"
+	if _, err := RunChain(tp, bad, 10, 2, Options{}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if _, err := PredictChain(tp, bad, 10, 2, Options{}); err == nil {
+		t.Fatal("predict accepted unknown host")
+	}
+}
+
+func TestChainRaggedLastBatch(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := chainTopology(eng)
+	res, err := RunChain(tp, sensorStages(), 23, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 5 {
+		t.Fatalf("batches %d, want 5", res.Batches)
+	}
+}

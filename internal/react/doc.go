@@ -1,0 +1,25 @@
+// Package react models 3D-REACT (Sections 2.2-2.3): the task-parallel
+// CASA metacomputing application that solves a six-dimensional Schrödinger
+// equation as two coupled tasks — local hyperspherical surface function
+// (LHSF) calculation feeding logarithmic-derivative propagation plus
+// asymptotic analysis (Log-D/ASY) — pipelined across two dedicated
+// supercomputers.
+//
+// The package provides both the developers' analytic pipeline performance
+// model (the one the paper says they used to derive the correct pipeline
+// size from endpoint speeds and the intervening link) and a discrete-event
+// execution of the pipeline on the simulated CASA testbed, so the model
+// can be validated against "measured" behaviour.
+//
+// The reproduced results (experiment E5):
+//
+//   - single-site execution on either machine exceeds 16 hours, while the
+//     distributed pipeline takes just under 5 hours;
+//   - the pipeline unit trades producer stalls (too small: per-subdomain
+//     data-conversion/message overhead dominates) against fill/drain and
+//     buffering cost (too large), with an interior optimum in the paper's
+//     5-20 surface-function range;
+//   - the second-phase variant in which, once all surface functions are
+//     resident on both machines, both compute additional Log-D sets with
+//     no interprocessor communication.
+package react

@@ -1,0 +1,162 @@
+package react
+
+import (
+	"fmt"
+	"math"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+)
+
+// Options tunes the pipeline model beyond what the HAT carries.
+type Options struct {
+	// MsgOverheadSec is the fixed per-subdomain software cost on the
+	// producer: machine-format conversion of the surface-function data
+	// (the Cray->Delta float conversion of Section 2.3) plus message
+	// protocol costs. Default 12 s.
+	MsgOverheadSec float64
+	// ASYSec is the asymptotic-analysis cost appended after the last
+	// subdomain (it is "not computationally intensive"). Default 120 s.
+	ASYSec float64
+	// StagingPenalty multiplies the per-unit cost of the fraction of a
+	// single-site run's surface-function set that exceeds machine memory
+	// (disk staging). Default 2.5.
+	StagingPenalty float64
+	// ExtraLogDSets is the second-phase variant: additional full Log-D
+	// derivations computed after the pipeline completes, with every
+	// surface function already resident on both machines.
+	ExtraLogDSets int
+	// Repetitions is the number of full LHSF+LogD passes: the ASY
+	// analysis "may direct the entire computation ... to be repeated if
+	// termination conditions are not met" (Section 2.2). Default 1.
+	Repetitions int
+}
+
+func (o *Options) setDefaults() {
+	if o.MsgOverheadSec == 0 {
+		o.MsgOverheadSec = 12
+	}
+	if o.ASYSec == 0 {
+		o.ASYSec = 120
+	}
+	if o.StagingPenalty == 0 {
+		o.StagingPenalty = 2.5
+	}
+	if o.Repetitions == 0 {
+		o.Repetitions = 1
+	}
+}
+
+// secPerUnit returns the seconds one machine needs per surface function
+// for the given task, honoring the per-architecture implementation.
+func secPerUnit(h *grid.Host, task hat.Task) float64 {
+	return task.FlopPerUnit / 1e6 / (h.Speed * task.SpeedFactorOn(h.Arch))
+}
+
+// Model is the analytic pipeline performance model the 3D-REACT
+// developers parameterized with candidate task-to-machine mappings.
+type Model struct {
+	Producer, Consumer string
+	S                  int     // total surface functions
+	TL, TD             float64 // sec per unit: LHSF on producer, Log-D on consumer
+	Eps                float64 // per-subdomain fixed overhead (conversion+protocol)
+	Latency            float64 // route latency, sec
+	SecPerUnitXfer     float64 // transfer seconds per surface function
+	ASY                float64
+}
+
+// NewModel builds the model for a producer/consumer mapping on tp.
+func NewModel(tp *grid.Topology, tpl *hat.Template, producer, consumer string, opt Options) (*Model, error) {
+	opt.setDefaults()
+	ph, ch := tp.Host(producer), tp.Host(consumer)
+	if ph == nil || ch == nil {
+		return nil, fmt.Errorf("react: unknown machine %q or %q", producer, consumer)
+	}
+	lhsf, ok := tpl.Task("lhsf")
+	if !ok {
+		return nil, fmt.Errorf("react: template lacks lhsf task")
+	}
+	logd, ok := tpl.Task("logd")
+	if !ok {
+		return nil, fmt.Errorf("react: template lacks logd task")
+	}
+	var comm hat.Comm
+	for _, c := range tpl.Comms {
+		if c.Pattern == hat.PipelineFlow {
+			comm = c
+		}
+	}
+	bw := tp.RouteDedicatedBandwidth(producer, consumer)
+	return &Model{
+		Producer:       producer,
+		Consumer:       consumer,
+		S:              tpl.Iterations,
+		TL:             secPerUnit(ph, lhsf),
+		TD:             secPerUnit(ch, logd),
+		Eps:            opt.MsgOverheadSec,
+		Latency:        tp.RouteLatency(producer, consumer),
+		SecPerUnitXfer: comm.BytesPerUnit / 1e6 / bw,
+		ASY:            opt.ASYSec,
+	}, nil
+}
+
+// Predict returns the modeled wall-clock seconds for pipeline unit u: a
+// three-stage pipeline (produce, transfer, consume) with K = ceil(S/u)
+// subdomains,
+//
+//	total = tP + tX + (K-1)*max(tP, tX, tC) + tC + ASY
+//
+// where tP = u*TL + Eps, tX = Latency + u*xfer, tC = u*TD.
+func (m *Model) Predict(u int) float64 {
+	if u < 1 {
+		return math.Inf(1)
+	}
+	k := (m.S + u - 1) / u
+	tP := float64(u)*m.TL + m.Eps
+	tX := m.Latency + float64(u)*m.SecPerUnitXfer
+	tC := float64(u) * m.TD
+	bottleneck := math.Max(tP, math.Max(tX, tC))
+	return tP + tX + float64(k-1)*bottleneck + tC + m.ASY
+}
+
+// BestUnit sweeps the template's pipeline-unit range and returns the unit
+// with the minimum predicted time, with ties broken toward smaller units.
+func (m *Model) BestUnit(minU, maxU int) (int, float64) {
+	if minU < 1 {
+		minU = 1
+	}
+	if maxU < minU {
+		maxU = minU
+	}
+	bestU, bestT := minU, math.Inf(1)
+	for u := minU; u <= maxU; u++ {
+		if t := m.Predict(u); t < bestT {
+			bestU, bestT = u, t
+		}
+	}
+	return bestU, bestT
+}
+
+// PredictSingleSite models running both tasks sequentially on one machine:
+// every surface function is computed, stored, then propagated. When the
+// stored surface-function set exceeds machine memory, the excess fraction
+// pays the staging penalty (the C90 "did not have enough memory to allow
+// both ... to be run in parallel as one application", Section 2.3).
+func PredictSingleSite(tp *grid.Topology, tpl *hat.Template, host string, opt Options) (float64, error) {
+	opt.setDefaults()
+	h := tp.Host(host)
+	if h == nil {
+		return 0, fmt.Errorf("react: unknown machine %q", host)
+	}
+	lhsf, _ := tpl.Task("lhsf")
+	logd, _ := tpl.Task("logd")
+	s := float64(tpl.Iterations)
+	per := secPerUnit(h, lhsf) + secPerUnit(h, logd)
+	storeMB := s * lhsf.BytesPerUnit / 1e6
+	mult := 1.0
+	if storeMB > h.MemoryMB {
+		spill := (storeMB - h.MemoryMB) / storeMB
+		mult = 1 + spill*(opt.StagingPenalty-1)
+	}
+	return s*per*mult + opt.ASYSec, nil
+}

@@ -1,0 +1,236 @@
+package react
+
+import (
+	"fmt"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+)
+
+// Result reports an executed pipeline run.
+type Result struct {
+	// Time is total wall-clock (virtual) seconds including ASY and any
+	// second-phase Log-D sets.
+	Time float64
+	// ConsumerStallSec is how long the Log-D machine sat idle waiting for
+	// surface-function data after its first batch arrived — the paper's
+	// "Log-D computations will stop while they wait for more LHSF data".
+	ConsumerStallSec float64
+	// PeakQueuedBatches is the maximum number of completed-but-unconsumed
+	// subdomains buffered at the consumer (the buffering cost side).
+	PeakQueuedBatches int
+	// Batches is the number of pipeline subdomains processed.
+	Batches int
+}
+
+// RunPipeline executes the two-task pipeline on the topology: `producer`
+// computes LHSF subdomains of `unit` surface functions and streams them to
+// `consumer`, which runs Log-D on each and the ASY analysis at the end.
+// The run drives the topology's engine until completion.
+func RunPipeline(tp *grid.Topology, tpl *hat.Template, producer, consumer string, unit int, opt Options) (*Result, error) {
+	opt.setDefaults()
+	if unit < 1 {
+		return nil, fmt.Errorf("react: pipeline unit %d < 1", unit)
+	}
+	ph, ch := tp.Host(producer), tp.Host(consumer)
+	if ph == nil || ch == nil {
+		return nil, fmt.Errorf("react: unknown machine %q or %q", producer, consumer)
+	}
+	lhsf, ok := tpl.Task("lhsf")
+	if !ok {
+		return nil, fmt.Errorf("react: template lacks lhsf task")
+	}
+	logd, ok := tpl.Task("logd")
+	if !ok {
+		return nil, fmt.Errorf("react: template lacks logd task")
+	}
+	var comm hat.Comm
+	for _, c := range tpl.Comms {
+		if c.Pattern == hat.PipelineFlow {
+			comm = c
+		}
+	}
+	s := tpl.Iterations
+	if s < 1 {
+		return nil, fmt.Errorf("react: template has no surface functions")
+	}
+
+	eng := tp.Engine
+	res := &Result{}
+	start := eng.Now()
+
+	type batch struct{ units int }
+	// Split S into subdomains of `unit` functions (last one may be short).
+	var batches []batch
+	for rem := s; rem > 0; rem -= unit {
+		u := unit
+		if rem < unit {
+			u = rem
+		}
+		batches = append(batches, batch{units: u})
+	}
+	res.Batches = len(batches)
+
+	produceWork := func(u int) float64 {
+		return float64(u)*lhsf.FlopPerUnit/1e6/lhsf.SpeedFactorOn(ph.Arch) + opt.MsgOverheadSec*ph.Speed
+	}
+	consumeWork := func(u int) float64 {
+		return float64(u) * logd.FlopPerUnit / 1e6 / logd.SpeedFactorOn(ch.Arch)
+	}
+
+	var (
+		queue        []int // queued batch unit counts at the consumer
+		consumerBusy bool
+		consumed     int
+		rep          = 1
+		idleSince    float64
+		everFed      bool
+		afterASY     func()
+	)
+
+	var consumeNext func()
+	consumeNext = func() {
+		if len(queue) == 0 {
+			consumerBusy = false
+			idleSince = eng.Now()
+			return
+		}
+		u := queue[0]
+		queue = queue[1:]
+		consumerBusy = true
+		ch.Submit(consumeWork(u), func() {
+			consumed++
+			if consumed == len(batches) {
+				// ASY on the consumer, then repeat, second phase, or done.
+				ch.Submit(opt.ASYSec*ch.Speed, afterASY)
+				return
+			}
+			consumeNext()
+		})
+	}
+
+	enqueue := func(u int) {
+		queue = append(queue, u)
+		if len(queue) > res.PeakQueuedBatches {
+			res.PeakQueuedBatches = len(queue)
+		}
+		if !consumerBusy {
+			if everFed {
+				res.ConsumerStallSec += eng.Now() - idleSince
+			}
+			everFed = true
+			consumeNext()
+		}
+	}
+
+	var produce func(k int)
+	produce = func(k int) {
+		if k >= len(batches) {
+			return
+		}
+		u := batches[k].units
+		ph.Submit(produceWork(u), func() {
+			tp.Send(producer, consumer, float64(u)*comm.BytesPerUnit/1e6, func() {
+				enqueue(u)
+			})
+			produce(k + 1)
+		})
+	}
+
+	afterASY = func() {
+		if rep < opt.Repetitions {
+			// Termination conditions unmet: ASY directs the entire
+			// computation (LHSF and then LogD/ASY) to be repeated. The
+			// consumer idles until the first new subdomain arrives.
+			rep++
+			consumed = 0
+			consumerBusy = false
+			idleSince = eng.Now()
+			produce(0)
+			return
+		}
+		res.Batches = len(batches) * rep
+		if opt.ExtraLogDSets > 0 {
+			// Second phase: every surface function is now resident on both
+			// machines, so both compute additional Log-D sets with no
+			// interprocessor communication (Section 2.3).
+			speedP := ph.Speed * logd.SpeedFactorOn(ph.Arch)
+			speedC := ch.Speed * logd.SpeedFactorOn(ch.Arch)
+			totalUnits := float64(opt.ExtraLogDSets * s)
+			shareP := totalUnits * speedP / (speedP + speedC)
+			shareC := totalUnits - shareP
+			remaining := 2
+			done := func() {
+				remaining--
+				if remaining == 0 {
+					res.Time = eng.Now() - start
+					eng.Halt()
+				}
+			}
+			ph.Submit(shareP*logd.FlopPerUnit/1e6/logd.SpeedFactorOn(ph.Arch), done)
+			ch.Submit(shareC*logd.FlopPerUnit/1e6/logd.SpeedFactorOn(ch.Arch), done)
+			return
+		}
+		res.Time = eng.Now() - start
+		eng.Halt()
+	}
+
+	produce(0)
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	if res.Time == 0 && consumed < len(batches) {
+		return nil, fmt.Errorf("react: pipeline stalled after %d/%d batches", consumed, len(batches))
+	}
+	return res, nil
+}
+
+// RunSingleSite executes the sequential single-machine variant on the
+// simulator (compute every LHSF, stage, then propagate), with the staging
+// penalty applied as extra work when the surface-function set exceeds
+// memory.
+func RunSingleSite(tp *grid.Topology, tpl *hat.Template, host string, opt Options) (*Result, error) {
+	opt.setDefaults()
+	h := tp.Host(host)
+	if h == nil {
+		return nil, fmt.Errorf("react: unknown machine %q", host)
+	}
+	predicted, err := PredictSingleSite(tp, tpl, host, opt)
+	if err != nil {
+		return nil, err
+	}
+	eng := tp.Engine
+	res := &Result{Batches: 1}
+	start := eng.Now()
+	// The machine is dedicated; submit the staged sequential computation
+	// as one task whose work equals the modeled time.
+	h.Submit(predicted*h.Speed, func() {
+		res.Time = eng.Now() - start
+		eng.Halt()
+	})
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ChooseMapping evaluates both task-to-machine mappings with the analytic
+// model (the paper's approach: "parameterized an analytical performance
+// model with potential task-to-machine mappings") and returns the better
+// producer/consumer assignment with its best pipeline unit.
+func ChooseMapping(tp *grid.Topology, tpl *hat.Template, a, b string, opt Options) (producer, consumer string, unit int, predicted float64, err error) {
+	m1, err := NewModel(tp, tpl, a, b, opt)
+	if err != nil {
+		return "", "", 0, 0, err
+	}
+	m2, err := NewModel(tp, tpl, b, a, opt)
+	if err != nil {
+		return "", "", 0, 0, err
+	}
+	u1, t1 := m1.BestUnit(tpl.PipelineUnitMin, tpl.PipelineUnitMax)
+	u2, t2 := m2.BestUnit(tpl.PipelineUnitMin, tpl.PipelineUnitMax)
+	if t1 <= t2 {
+		return a, b, u1, t1, nil
+	}
+	return b, a, u2, t2, nil
+}

@@ -1,0 +1,245 @@
+package react
+
+import (
+	"math"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/sim"
+)
+
+const surfaceFunctions = 600
+
+func casa(t testing.TB) (*grid.Topology, *hat.Template) {
+	tp := grid.CASA(sim.NewEngine())
+	return tp, hat.React3D(surfaceFunctions)
+}
+
+func hours(sec float64) float64 { return sec / 3600 }
+
+func TestSingleSiteExceeds16Hours(t *testing.T) {
+	tp, tpl := casa(t)
+	for _, m := range []string{"c90", "paragon"} {
+		pred, err := PredictSingleSite(tp, tpl, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hours(pred) < 15 {
+			t.Errorf("single-site %s predicted %.1f h, paper reports >16 h", m, hours(pred))
+		}
+		if hours(pred) > 30 {
+			t.Errorf("single-site %s predicted %.1f h, implausibly slow", m, hours(pred))
+		}
+	}
+}
+
+func TestDistributedUnder5Hours(t *testing.T) {
+	tp, tpl := casa(t)
+	m, err := NewModel(tp, tpl, "c90", "paragon", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, pred := m.BestUnit(tpl.PipelineUnitMin, tpl.PipelineUnitMax)
+	if u < tpl.PipelineUnitMin || u > tpl.PipelineUnitMax {
+		t.Fatalf("best unit %d outside template range", u)
+	}
+	if hours(pred) > 5.5 || hours(pred) < 3.5 {
+		t.Fatalf("distributed predicted %.2f h, paper reports just under 5 h", hours(pred))
+	}
+}
+
+func TestDistributedSpeedupShape(t *testing.T) {
+	// The headline result: >16 h single site, <5 h distributed, i.e. a
+	// speedup of roughly 3.2-3.5x from two machines plus overlap.
+	tp, tpl := casa(t)
+	single, err := PredictSingleSite(tp, tpl, "c90", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(tp, tpl, "c90", "paragon", Options{})
+	_, dist := m.BestUnit(tpl.PipelineUnitMin, tpl.PipelineUnitMax)
+	speedup := single / dist
+	if speedup < 2.5 || speedup > 4.5 {
+		t.Fatalf("speedup %.2f, want the paper's ~3.3x shape", speedup)
+	}
+}
+
+func TestPipelineUnitTradeoff(t *testing.T) {
+	tp, tpl := casa(t)
+	m, err := NewModel(tp, tpl, "c90", "paragon", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSmall := m.Predict(1)
+	tLarge := m.Predict(surfaceFunctions) // one giant subdomain: no overlap
+	bestU, tBest := m.BestUnit(1, surfaceFunctions)
+	if tBest >= tSmall || tBest >= tLarge {
+		t.Fatalf("no interior optimum: t(1)=%v t(best=%d)=%v t(S)=%v", tSmall, bestU, tBest, tLarge)
+	}
+	// Both pathologies must be visibly worse, per Section 2.3.
+	if tSmall < tBest*1.02 {
+		t.Fatalf("tiny pipeline unit not penalized: %v vs %v", tSmall, tBest)
+	}
+	if tLarge < tBest*1.5 {
+		t.Fatalf("giant pipeline unit not penalized: %v vs %v", tLarge, tBest)
+	}
+}
+
+func TestSimulationMatchesModel(t *testing.T) {
+	for _, u := range []int{5, 10, 20} {
+		tp := grid.CASA(sim.NewEngine())
+		tpl := hat.React3D(surfaceFunctions)
+		m, err := NewModel(tp, tpl, "c90", "paragon", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := m.Predict(u)
+		res, err := RunPipeline(tp, tpl, "c90", "paragon", u, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.Time-pred) / pred; rel > 0.05 {
+			t.Errorf("u=%d: simulated %v vs modeled %v (%.1f%% off)", u, res.Time, pred, 100*rel)
+		}
+	}
+}
+
+func TestRunSingleSiteMatchesPrediction(t *testing.T) {
+	tp, tpl := casa(t)
+	pred, _ := PredictSingleSite(tp, tpl, "c90", Options{})
+	res, err := RunSingleSite(tp, tpl, "c90", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Time-pred)/pred > 1e-6 {
+		t.Fatalf("single-site run %v vs prediction %v", res.Time, pred)
+	}
+}
+
+func TestConsumerStallsWithTinyUnit(t *testing.T) {
+	tp := grid.CASA(sim.NewEngine())
+	tpl := hat.React3D(120)
+	res, err := RunPipeline(tp, tpl, "c90", "paragon", 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConsumerStallSec <= 0 {
+		t.Fatal("unit=1 pipeline shows no consumer stall")
+	}
+	tp2 := grid.CASA(sim.NewEngine())
+	res2, err := RunPipeline(tp2, tpl, "c90", "paragon", 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ConsumerStallSec >= res.ConsumerStallSec {
+		t.Fatalf("stall should shrink with bigger units: u=1 %v, u=20 %v",
+			res.ConsumerStallSec, res2.ConsumerStallSec)
+	}
+}
+
+func TestChooseMappingPicksC90Producer(t *testing.T) {
+	tp, tpl := casa(t)
+	prod, cons, unit, pred, err := ChooseMapping(tp, tpl, "c90", "paragon", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LHSF vectorizes (C90), Log-D's best implementation is the MPP one:
+	// the model must discover the paper's actual mapping.
+	if prod != "c90" || cons != "paragon" {
+		t.Fatalf("mapping %s->%s, want c90->paragon", prod, cons)
+	}
+	if unit < tpl.PipelineUnitMin || unit > tpl.PipelineUnitMax {
+		t.Fatalf("unit %d outside 5-20", unit)
+	}
+	if pred <= 0 {
+		t.Fatalf("predicted %v", pred)
+	}
+}
+
+func TestSecondPhaseScalesBothMachines(t *testing.T) {
+	tpl := hat.React3D(120)
+	run := func(extra int) float64 {
+		tp := grid.CASA(sim.NewEngine())
+		res, err := RunPipeline(tp, tpl, "c90", "paragon", 10, Options{ExtraLogDSets: extra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	base := run(0)
+	withExtra := run(1)
+	added := withExtra - base
+	if added <= 0 {
+		t.Fatalf("second phase added %v s", added)
+	}
+	// Both machines share the extra set with no communication: the added
+	// time must be well under a consumer-only serial pass.
+	logd, _ := tpl.Task("logd")
+	tp := grid.CASA(sim.NewEngine())
+	consumerOnly := 120 * logd.FlopPerUnit / 1e6 / tp.Host("paragon").Speed
+	if added > 0.75*consumerOnly {
+		t.Fatalf("second phase %v s, want clearly faster than consumer-only %v s", added, consumerOnly)
+	}
+}
+
+func TestPipelineQueueBuffering(t *testing.T) {
+	// Make the consumer the bottleneck by flipping the mapping: paragon
+	// produces slowly... actually flip so producer is much faster:
+	// paragon runs LHSF poorly, so c90->paragon has producer bottleneck;
+	// to see buffering, use paragon as consumer with giant units is not
+	// enough. Instead run c90 as both fast producer and slow consumer:
+	// map consumer role onto the slower logd implementation (c90).
+	tp := grid.CASA(sim.NewEngine())
+	tpl := hat.React3D(120)
+	res, err := RunPipeline(tp, tpl, "paragon", "c90", 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakQueuedBatches < 0 {
+		t.Fatal("negative queue depth")
+	}
+	if res.Batches != 12 {
+		t.Fatalf("batches %d, want 12", res.Batches)
+	}
+}
+
+func TestRunPipelineErrors(t *testing.T) {
+	tp, tpl := casa(t)
+	if _, err := RunPipeline(tp, tpl, "ghost", "paragon", 10, Options{}); err == nil {
+		t.Fatal("unknown producer accepted")
+	}
+	if _, err := RunPipeline(tp, tpl, "c90", "paragon", 0, Options{}); err == nil {
+		t.Fatal("zero unit accepted")
+	}
+	if _, err := RunSingleSite(tp, tpl, "ghost", Options{}); err == nil {
+		t.Fatal("unknown single-site machine accepted")
+	}
+	bad := hat.Jacobi2D(100, 10)
+	if _, err := RunPipeline(tp, bad, "c90", "paragon", 10, Options{}); err == nil {
+		t.Fatal("template without lhsf accepted")
+	}
+}
+
+func TestLastShortBatchHandled(t *testing.T) {
+	tp := grid.CASA(sim.NewEngine())
+	tpl := hat.React3D(103) // 103 = 10*10 + 3
+	res, err := RunPipeline(tp, tpl, "c90", "paragon", 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 11 {
+		t.Fatalf("batches %d, want 11", res.Batches)
+	}
+}
+
+func BenchmarkPipelineRun(b *testing.B) {
+	tpl := hat.React3D(surfaceFunctions)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp := grid.CASA(sim.NewEngine())
+		if _, err := RunPipeline(tp, tpl, "c90", "paragon", 14, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package react
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/sim"
+)
+
+func TestRepetitionsScaleRuntime(t *testing.T) {
+	tpl := hat.React3D(100)
+	run := func(reps int) (*Result, float64) {
+		tp := grid.CASA(sim.NewEngine())
+		res, err := RunPipeline(tp, tpl, "c90", "paragon", 10, Options{Repetitions: reps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.Time
+	}
+	res1, t1 := run(1)
+	res3, t3 := run(3)
+	if res1.Batches != 10 || res3.Batches != 30 {
+		t.Fatalf("batches %d / %d, want 10 / 30", res1.Batches, res3.Batches)
+	}
+	// Three full LHSF+LogD+ASY passes: close to 3x one pass.
+	if ratio := t3 / t1; math.Abs(ratio-3) > 0.1 {
+		t.Fatalf("3 repetitions took %.2fx one repetition, want ~3x", ratio)
+	}
+}
+
+func TestRepetitionsWithSecondPhase(t *testing.T) {
+	tpl := hat.React3D(60)
+	tp := grid.CASA(sim.NewEngine())
+	res, err := RunPipeline(tp, tpl, "c90", "paragon", 10, Options{Repetitions: 2, ExtraLogDSets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 12 {
+		t.Fatalf("batches %d, want 12 (two passes of 6)", res.Batches)
+	}
+	if res.Time <= 0 {
+		t.Fatalf("time %v", res.Time)
+	}
+}
+
+func TestDescribeTopology(t *testing.T) {
+	tp := grid.CASA(sim.NewEngine())
+	out := tp.Describe()
+	for _, want := range []string{"hippi-sonet", "c90", "paragon", "dedicated", "Mflop/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe() missing %q:\n%s", want, out)
+		}
+	}
+}

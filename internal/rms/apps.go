@@ -1,0 +1,156 @@
+package rms
+
+import (
+	"fmt"
+	"math"
+
+	"apples/internal/grid"
+)
+
+// Tags used by the bundled collective patterns.
+const (
+	tagWork   = 100
+	tagResult = 101
+	tagToken  = 102
+)
+
+// MasterWorkerResult reports a completed farm run.
+type MasterWorkerResult struct {
+	Time       float64
+	ChunksDone map[string]int // host -> chunks completed
+}
+
+// RunMasterWorker farms `chunks` independent work units (each chunkMflop
+// of computation, with chunkMB of input shipped per unit and a small
+// result returned) from a master host to worker hosts, self-scheduling
+// style: each worker requests the next chunk when it finishes. This is
+// the classic PVM pattern, and on heterogeneous loaded hosts it
+// demonstrates why deliverable performance — not nominal speed — decides
+// how many chunks each machine ends up with.
+func RunMasterWorker(tp *grid.Topology, master string, workers []string, chunks int, chunkMflop, chunkMB float64) (*MasterWorkerResult, error) {
+	if chunks <= 0 || len(workers) == 0 {
+		return nil, fmt.Errorf("rms: master-worker needs chunks and workers")
+	}
+	m := New(tp)
+	eng := tp.Engine
+	res := &MasterWorkerResult{ChunksDone: map[string]int{}}
+	start := eng.Now()
+
+	var masterTask *Task
+	next := 0
+	done := 0
+
+	assign := func(worker TaskID) {
+		if next >= chunks {
+			masterTask.Send(worker, tagWork, 1e-6, -1) // poison pill
+			return
+		}
+		masterTask.Send(worker, tagWork, chunkMB, next)
+		next++
+	}
+
+	_, err := m.Spawn(master, func(t *Task) {
+		masterTask = t
+		var collect func(Message)
+		collect = func(msg Message) {
+			done++
+			host := m.tasks[msg.From].hostName
+			res.ChunksDone[host]++
+			if done == chunks {
+				res.Time = eng.Now() - start
+				eng.Halt()
+				return
+			}
+			assign(msg.From)
+			t.Recv(tagResult, collect)
+		}
+		t.Recv(tagResult, collect)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, w := range workers {
+		_, err := m.Spawn(w, func(t *Task) {
+			var work func(Message)
+			work = func(msg Message) {
+				if idx, _ := msg.Payload.(int); idx < 0 {
+					t.Exit()
+					return
+				}
+				t.Compute(chunkMflop, func() {
+					t.Send(masterTask.ID(), tagResult, 0.01, nil)
+				})
+				t.Recv(tagWork, work)
+			}
+			t.Recv(tagWork, work)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Initial distribution: one chunk per worker (bounded self-scheduling).
+	for id := TaskID(2); int(id) <= len(workers)+1; id++ {
+		assign(id)
+	}
+
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	if done < chunks {
+		return nil, fmt.Errorf("rms: farm stalled at %d/%d chunks", done, chunks)
+	}
+	return res, nil
+}
+
+// RunRing passes a token of tokenMB around a ring of hosts `rounds`
+// times, returning the total wall-clock time — a latency/bandwidth
+// microbenchmark for the substrate.
+func RunRing(tp *grid.Topology, hosts []string, rounds int, tokenMB float64) (float64, error) {
+	if len(hosts) < 2 || rounds < 1 {
+		return 0, fmt.Errorf("rms: ring needs >=2 hosts and >=1 round")
+	}
+	m := New(tp)
+	eng := tp.Engine
+	start := eng.Now()
+	total := 0.0
+
+	ids := make([]TaskID, len(hosts))
+	hops := 0
+	want := rounds * len(hosts)
+	for i, h := range hosts {
+		i := i
+		id, err := m.Spawn(h, func(t *Task) {
+			var pass func(Message)
+			pass = func(msg Message) {
+				hops++
+				if hops == want {
+					total = eng.Now() - start
+					eng.Halt()
+					return
+				}
+				t.Send(ids[(i+1)%len(ids)], tagToken, tokenMB, nil)
+				t.Recv(tagToken, pass)
+			}
+			t.Recv(tagToken, pass)
+		})
+		if err != nil {
+			return 0, err
+		}
+		ids[i] = id
+	}
+	// Kick off: host 0 sends to host 1.
+	first := m.Task(ids[0])
+	first.Send(ids[1%len(ids)], tagToken, tokenMB, nil)
+	// The kick counts as the first hop's send; account by expecting one
+	// extra delivery at task 1. (hops counts deliveries; want stays as
+	// rounds*len(hosts) with the initial send being hop 1's delivery.)
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	if math.IsNaN(total) || total <= 0 {
+		return 0, fmt.Errorf("rms: ring did not complete")
+	}
+	return total, nil
+}

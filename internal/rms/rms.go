@@ -1,0 +1,184 @@
+// Package rms is a PVM-flavored message-passing resource-management
+// substrate over the simulated metacomputer.
+//
+// The paper is explicit that AppLeS agents "are not resource management
+// systems; they rely on systems such as Globus, Legion, PVM, etc. to
+// perform that function", and the 1996 prototype actuated through PVM.
+// This package reproduces the relevant slice of that substrate: a virtual
+// machine spanning the topology's hosts, task spawning, asynchronous
+// typed-tag message passing with real network cost, and computation that
+// shares each host's CPU with ambient load and other tasks.
+//
+// Tasks are event-driven (callback style, matching the simulation
+// substrate): a task body registers its initial behaviour at spawn time
+// and reacts to Compute completions and Recv deliveries.
+package rms
+
+import (
+	"fmt"
+
+	"apples/internal/grid"
+)
+
+// TaskID identifies a spawned task within its Machine (PVM's "tid").
+type TaskID int
+
+// Message is one delivered message.
+type Message struct {
+	From    TaskID
+	Tag     int
+	SizeMB  float64
+	Payload any
+}
+
+// Machine is a PVM-style virtual machine configured over a topology.
+type Machine struct {
+	tp    *grid.Topology
+	tasks map[TaskID]*Task
+	next  TaskID
+	alive int
+}
+
+// New builds an empty virtual machine over the topology.
+func New(tp *grid.Topology) *Machine {
+	return &Machine{tp: tp, tasks: make(map[TaskID]*Task), next: 1}
+}
+
+// Task is one spawned task. All methods must be called from the
+// simulation's event context (task bodies and callbacks).
+type Task struct {
+	id       TaskID
+	hostName string
+	host     *grid.Host
+	m        *Machine
+
+	mailbox map[int][]Message
+	waiting map[int][]func(Message)
+	exited  bool
+}
+
+// Spawn starts a task on the named host; body runs immediately to
+// register the task's initial behaviour. It returns the new task's ID.
+func (m *Machine) Spawn(host string, body func(t *Task)) (TaskID, error) {
+	h := m.tp.Host(host)
+	if h == nil {
+		return 0, fmt.Errorf("rms: spawn on unknown host %q", host)
+	}
+	t := &Task{
+		id:       m.next,
+		hostName: host,
+		host:     h,
+		m:        m,
+		mailbox:  make(map[int][]Message),
+		waiting:  make(map[int][]func(Message)),
+	}
+	m.next++
+	m.tasks[t.id] = t
+	m.alive++
+	body(t)
+	return t.id, nil
+}
+
+// Alive reports how many spawned tasks have not exited.
+func (m *Machine) Alive() int { return m.alive }
+
+// Task returns a live task by ID (nil if unknown or exited).
+func (m *Machine) Task(id TaskID) *Task {
+	t := m.tasks[id]
+	if t == nil || t.exited {
+		return nil
+	}
+	return t
+}
+
+// ID returns the task's identifier.
+func (t *Task) ID() TaskID { return t.id }
+
+// Host returns the host the task runs on.
+func (t *Task) Host() string { return t.hostName }
+
+// Compute performs mflop of work on the task's host (sharing the CPU
+// with ambient load and every other task there), then calls then.
+func (t *Task) Compute(mflop float64, then func()) {
+	if t.exited {
+		return
+	}
+	t.host.Submit(mflop, func() {
+		if !t.exited && then != nil {
+			then()
+		}
+	})
+}
+
+// Send transfers sizeMB to the destination task with the given tag; the
+// message is delivered after the (contended) network transfer completes.
+// Sends to exited or unknown tasks are dropped, as in PVM.
+func (t *Task) Send(to TaskID, tag int, sizeMB float64, payload any) {
+	dst := t.m.tasks[to]
+	if dst == nil {
+		return
+	}
+	msg := Message{From: t.id, Tag: tag, SizeMB: sizeMB, Payload: payload}
+	t.m.tp.Send(t.hostName, dst.hostName, sizeMB, func() {
+		dst.deliver(msg)
+	})
+}
+
+// Recv registers a one-shot receive for the tag: the handler fires with
+// the first matching message (immediately, if one is already queued).
+func (t *Task) Recv(tag int, handler func(Message)) {
+	if t.exited {
+		return
+	}
+	if q := t.mailbox[tag]; len(q) > 0 {
+		msg := q[0]
+		t.mailbox[tag] = q[1:]
+		handler(msg)
+		return
+	}
+	t.waiting[tag] = append(t.waiting[tag], handler)
+}
+
+// RecvN collects n messages with the tag and then calls done with all of
+// them (a gather).
+func (t *Task) RecvN(tag, n int, done func([]Message)) {
+	if n <= 0 {
+		done(nil)
+		return
+	}
+	collected := make([]Message, 0, n)
+	var one func(Message)
+	one = func(m Message) {
+		collected = append(collected, m)
+		if len(collected) == n {
+			done(collected)
+			return
+		}
+		t.Recv(tag, one)
+	}
+	t.Recv(tag, one)
+}
+
+// Exit terminates the task: pending receives are dropped and future
+// messages to it are discarded.
+func (t *Task) Exit() {
+	if t.exited {
+		return
+	}
+	t.exited = true
+	t.waiting = make(map[int][]func(Message))
+	t.m.alive--
+}
+
+func (t *Task) deliver(msg Message) {
+	if t.exited {
+		return
+	}
+	if q := t.waiting[msg.Tag]; len(q) > 0 {
+		h := q[0]
+		t.waiting[msg.Tag] = q[1:]
+		h(msg)
+		return
+	}
+	t.mailbox[msg.Tag] = append(t.mailbox[msg.Tag], msg)
+}

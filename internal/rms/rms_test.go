@@ -1,0 +1,260 @@
+package rms
+
+import (
+	"math"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+// lanTopology: four hosts on one dedicated LAN.
+func lanTopology(eng *sim.Engine, speeds []float64, loads []load.Source) *grid.Topology {
+	tp := grid.NewTopology(eng)
+	l := tp.AddLink(grid.LinkSpec{Name: "lan", Latency: 0.001, Bandwidth: 10, Dedicated: true})
+	for i, s := range speeds {
+		name := string(rune('a' + i))
+		var src load.Source
+		if loads != nil {
+			src = loads[i]
+		}
+		tp.AddHost(grid.HostSpec{Name: name, Speed: s, MemoryMB: 256, Load: src})
+		tp.Attach(name, l)
+	}
+	tp.Finalize()
+	return tp
+}
+
+func TestSpawnAndCompute(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10}, nil)
+	m := New(tp)
+	var doneAt float64
+	id, err := m.Spawn("a", func(task *Task) {
+		task.Compute(50, func() { doneAt = eng.Now() })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || m.Alive() != 1 {
+		t.Fatalf("id=%d alive=%d", id, m.Alive())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(doneAt-5) > 1e-9 {
+		t.Fatalf("compute finished at %v, want 5", doneAt)
+	}
+}
+
+func TestSpawnUnknownHost(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10}, nil)
+	if _, err := New(tp).Spawn("ghost", func(*Task) {}); err == nil {
+		t.Fatal("spawn on unknown host accepted")
+	}
+}
+
+func TestSendRecvPingPong(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10}, nil)
+	m := New(tp)
+	var finish float64
+	var aTask *Task
+	var bID TaskID
+	_, err := m.Spawn("a", func(task *Task) {
+		aTask = task
+		task.Recv(7, func(msg Message) {
+			finish = eng.Now()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bID, err = m.Spawn("b", func(task *Task) {
+		task.Recv(7, func(msg Message) {
+			task.Send(msg.From, 7, 1, nil) // pong
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aTask.Send(bID, 7, 1, "ping")
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two hops: 2 * (1 ms latency + 1 MB / 10 MB/s) = 0.202 s.
+	if math.Abs(finish-0.202) > 1e-9 {
+		t.Fatalf("ping-pong took %v, want 0.202", finish)
+	}
+}
+
+func TestRecvBeforeAndAfterDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10}, nil)
+	m := New(tp)
+	var got []int
+	var recvTask *Task
+	_, err := m.Spawn("a", func(task *Task) { recvTask = task })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sender *Task
+	_, err = m.Spawn("b", func(task *Task) { sender = task })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Message arrives before any Recv is posted: it must queue.
+	sender.Send(recvTask.ID(), 1, 0.001, 41)
+	eng.Schedule(1, func() {
+		recvTask.Recv(1, func(msg Message) { got = append(got, msg.Payload.(int)) })
+		// And a Recv posted before the next message waits for it.
+		recvTask.Recv(1, func(msg Message) { got = append(got, msg.Payload.(int)) })
+		sender.Send(recvTask.ID(), 1, 0.001, 42)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 41 || got[1] != 42 {
+		t.Fatalf("got %v, want [41 42]", got)
+	}
+}
+
+func TestTagsDoNotCross(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10}, nil)
+	m := New(tp)
+	var tag2Payload any
+	var recvTask *Task
+	m.Spawn("a", func(task *Task) {
+		recvTask = task
+		task.Recv(2, func(msg Message) { tag2Payload = msg.Payload })
+	})
+	var sender *Task
+	m.Spawn("b", func(task *Task) { sender = task })
+	sender.Send(recvTask.ID(), 1, 0.001, "one")
+	sender.Send(recvTask.ID(), 2, 0.001, "two")
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tag2Payload != "two" {
+		t.Fatalf("tag-2 receive got %v", tag2Payload)
+	}
+}
+
+func TestRecvNGathers(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10, 10, 10}, nil)
+	m := New(tp)
+	var gathered int
+	var root *Task
+	m.Spawn("a", func(task *Task) {
+		root = task
+		task.RecvN(5, 3, func(msgs []Message) { gathered = len(msgs) })
+	})
+	for _, h := range []string{"b", "c", "d"} {
+		m.Spawn(h, func(task *Task) {
+			task.Send(root.ID(), 5, 0.001, nil)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gathered != 3 {
+		t.Fatalf("gathered %d, want 3", gathered)
+	}
+}
+
+func TestExitDropsTask(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10}, nil)
+	m := New(tp)
+	fired := false
+	var victim *Task
+	m.Spawn("a", func(task *Task) {
+		victim = task
+		task.Recv(1, func(Message) { fired = true })
+	})
+	var sender *Task
+	m.Spawn("b", func(task *Task) { sender = task })
+	victim.Exit()
+	sender.Send(victim.ID(), 1, 0.001, nil)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("message delivered to exited task")
+	}
+	if m.Alive() != 1 {
+		t.Fatalf("alive %d, want 1", m.Alive())
+	}
+	if m.Task(victim.ID()) != nil {
+		t.Fatal("exited task still visible")
+	}
+}
+
+func TestRingTime(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10, 10, 10}, nil)
+	total, err := RunRing(tp, []string{"a", "b", "c", "d"}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 hops * (0.001 + 0.1) = 1.212 s.
+	if math.Abs(total-1.212) > 1e-9 {
+		t.Fatalf("ring took %v, want 1.212", total)
+	}
+}
+
+func TestMasterWorkerBalancesByDeliverableSpeed(t *testing.T) {
+	eng := sim.NewEngine()
+	// Worker b is nominally as fast as c but crushed by load: the
+	// self-scheduling farm must give it far fewer chunks.
+	tp := lanTopology(eng, []float64{10, 40, 40},
+		[]load.Source{nil, load.Constant(7), nil})
+	res, err := RunMasterWorker(tp, "a", []string{"b", "c"}, 60, 20, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunksDone["b"]+res.ChunksDone["c"] != 60 {
+		t.Fatalf("chunks %v", res.ChunksDone)
+	}
+	if res.ChunksDone["c"] < 4*res.ChunksDone["b"] {
+		t.Fatalf("loaded worker got %d of 60 chunks, free worker %d: self-scheduling failed",
+			res.ChunksDone["b"], res.ChunksDone["c"])
+	}
+	if res.Time <= 0 {
+		t.Fatalf("time %v", res.Time)
+	}
+}
+
+func TestMasterWorkerValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10}, nil)
+	if _, err := RunMasterWorker(tp, "a", nil, 10, 1, 0.1); err == nil {
+		t.Fatal("no workers accepted")
+	}
+	if _, err := RunMasterWorker(tp, "a", []string{"b"}, 0, 1, 0.1); err == nil {
+		t.Fatal("zero chunks accepted")
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := lanTopology(eng, []float64{10, 10}, nil)
+	if _, err := RunRing(tp, []string{"a"}, 1, 1); err == nil {
+		t.Fatal("one-host ring accepted")
+	}
+}
+
+func BenchmarkMasterWorker(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		tp := lanTopology(eng, []float64{10, 40, 40, 40}, nil)
+		if _, err := RunMasterWorker(tp, "a", []string{"b", "c", "d"}, 100, 10, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine used as the execution substrate for the simulated metacomputer.
+//
+// The engine keeps a virtual clock (seconds, float64) and a priority queue
+// of events. Events scheduled for the same instant fire in the order they
+// were scheduled (FIFO tie-breaking), which makes runs fully deterministic:
+// two simulations built with the same seed produce bit-identical traces.
+//
+// The package also provides a seeded random-number façade (Rand) with the
+// distributions the load generators need, and a Ticker helper for periodic
+// activities such as NWS sensors.
+package sim

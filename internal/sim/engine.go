@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. It runs with the
+// engine clock set to the event's time.
+type Handler func()
+
+// Event is a scheduled callback. It is returned by Schedule/ScheduleAt so
+// callers can cancel it before it fires.
+type Event struct {
+	time    float64
+	seq     uint64 // FIFO tie-breaker for simultaneous events
+	index   int    // position in the heap, -1 when not queued
+	handler Handler
+}
+
+// Time returns the virtual time at which the event fires (or fired).
+func (e *Event) Time() float64 { return e.time }
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	limit  uint64 // safety cap on total events; 0 means none
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// SetEventLimit installs a safety cap on the total number of dispatched
+// events. Run returns ErrEventLimit once the cap is exceeded. Zero disables
+// the cap.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// ErrEventLimit is returned by Run when the engine's event cap is hit. It
+// almost always indicates a scheduling loop in the model.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Schedule queues fn to run delay seconds from now. A negative or NaN delay
+// panics: the model attempted to schedule into the past.
+func (e *Engine) Schedule(delay float64, fn Handler) *Event {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, e.now))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time t. Scheduling before
+// the current time panics.
+func (e *Engine) ScheduleAt(t float64, fn Handler) *Event {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %v before now %v", t, e.now))
+	}
+	ev := &Event{time: t, seq: e.seq, handler: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending (false if it already fired or was cancelled).
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.handler = nil
+	return true
+}
+
+// Reschedule cancels ev (if pending) and schedules its handler delay seconds
+// from now, returning the new event. The old pointer becomes invalid.
+func (e *Engine) Reschedule(ev *Event, delay float64) *Event {
+	h := ev.handler
+	e.Cancel(ev)
+	if h == nil {
+		panic("sim: Reschedule of fired event")
+	}
+	return e.Schedule(delay, h)
+}
+
+// Step dispatches the single earliest pending event, advancing the clock to
+// its time. It reports false when no events are pending.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	e.now = ev.time
+	e.fired++
+	h := ev.handler
+	ev.handler = nil
+	h()
+	return true
+}
+
+// Run dispatches events until the queue drains or Halt is called. It returns
+// ErrEventLimit if the safety cap is exceeded.
+func (e *Engine) Run() error {
+	return e.RunUntil(math.Inf(1))
+}
+
+// RunUntil dispatches events with time <= horizon. Events beyond the horizon
+// stay queued; the clock is advanced to the horizon if the run was not
+// halted early and the horizon is finite.
+func (e *Engine) RunUntil(horizon float64) error {
+	e.halted = false
+	for e.queue.Len() > 0 && !e.halted {
+		if e.queue.peek().time > horizon {
+			break
+		}
+		if e.limit > 0 && e.fired >= e.limit {
+			return ErrEventLimit
+		}
+		e.Step()
+	}
+	if !e.halted && !math.IsInf(horizon, 1) && horizon > e.now {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Halt stops Run/RunUntil after the currently dispatching event returns.
+func (e *Engine) Halt() { e.halted = true }

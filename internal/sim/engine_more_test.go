@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRescheduleFiredEventPanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reschedule of fired event did not panic")
+		}
+	}()
+	e.Reschedule(ev, 1)
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(1, func() {})
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(3.5, func() {})
+	if ev.Time() != 3.5 {
+		t.Fatalf("Event.Time() = %v", ev.Time())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestRunUntilInfiniteHorizonKeepsClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(2, func() {})
+	if err := e.RunUntil(math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("clock %v after infinite-horizon drain, want 2", e.Now())
+	}
+}
+
+func TestStepManually(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.Schedule(1, func() { hits++ })
+	e.Schedule(2, func() { hits++ })
+	if !e.Step() || hits != 1 || e.Now() != 1 {
+		t.Fatalf("first Step: hits=%d now=%v", hits, e.Now())
+	}
+	if !e.Step() || hits != 2 {
+		t.Fatalf("second Step: hits=%d", hits)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestCancelNilEvent(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 || e.Fired() != 0 {
+		t.Fatalf("fresh engine has pending=%d fired=%d", e.Pending(), e.Fired())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final clock %v, want 3", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	var rec func()
+	n := 0
+	rec = func() {
+		times = append(times, e.Now())
+		n++
+		if n < 4 {
+			e.Schedule(2, rec)
+		}
+	}
+	e.Schedule(1, rec)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5, 7}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel returned true")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	evs := make([]*Event, 20)
+	for i := range evs {
+		i := i
+		evs[i] = e.Schedule(float64(20-i), func() { fired = append(fired, i) })
+	}
+	// Cancel every third event.
+	for i := 0; i < len(evs); i += 3 {
+		e.Cancel(evs[i])
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range fired {
+		if id%3 == 0 {
+			t.Fatalf("cancelled event %d fired", id)
+		}
+	}
+	if len(fired) != 13 {
+		t.Fatalf("fired %d events, want 13", len(fired))
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	ev := e.Schedule(1, func() { at = e.Now() })
+	e.Reschedule(ev, 5)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Fatalf("rescheduled event fired at %v, want 5", at)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 10} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want first three", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %v, want horizon 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10 || len(fired) != 4 {
+		t.Fatalf("resume failed: now=%v fired=%v", e.Now(), fired)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i+1), func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("halt did not stop dispatch: count=%d", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending=%d after halt, want 7", e.Pending())
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(100)
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(1, loop)
+	if err := e.Run(); err != ErrEventLimit {
+		t.Fatalf("Run = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestScheduleNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(NaN) did not panic")
+		}
+	}()
+	NewEngine().Schedule(math.NaN(), func() {})
+}
+
+// Property: for any batch of non-negative delays, events fire in sorted
+// order and the final clock equals the maximum delay.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []float64
+		for _, r := range raw {
+			d := float64(r) / 8
+			e.Schedule(d, func() { fired = append(fired, d) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		want := make([]float64, len(raw))
+		for i, r := range raw {
+			want[i] = float64(r) / 8
+		}
+		sort.Float64s(want)
+		return e.Now() == want[len(want)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%97), func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

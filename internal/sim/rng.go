@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random source with the distributions the load
+// generators and workload builders need. It wraps math/rand with an explicit
+// seed so every simulation component can own an independent stream.
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent stream from this one. Forked streams are
+// themselves deterministic: the same parent state yields the same child.
+func (g *Rand) Fork() *Rand {
+	return NewRand(g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *Rand) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0,n).
+func (g *Rand) Intn(n int) int { return g.r.Intn(n) }
+
+// Uniform returns a uniform sample in [lo,hi).
+func (g *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exp returns an exponential sample with the given mean (not rate). A
+// non-positive mean returns 0.
+func (g *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal sample with the given mean and standard deviation.
+func (g *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// LogNormal returns exp(Normal(mu, sigma)).
+func (g *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// Pareto returns a bounded Pareto-like heavy-tailed sample with minimum xm
+// and shape alpha (> 0).
+func (g *Rand) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bool returns true with probability p.
+func (g *Rand) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0,n).
+func (g *Rand) Perm(n int) []int { return g.r.Perm(n) }

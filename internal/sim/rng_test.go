@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewRand(7)
+	c1 := a.Fork()
+	// Fork consumed parent state; a fresh parent forks the same child.
+	b := NewRand(7)
+	c2 := b.Fork()
+	for i := 0; i < 100; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatalf("forked streams not reproducible at draw %d", i)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRand(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(4)
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.1 {
+		t.Fatalf("Exp(4) sample mean %v, want ~4", mean)
+	}
+	if g.Exp(0) != 0 || g.Exp(-1) != 0 {
+		t.Fatal("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRand(9)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Normal mean %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("Normal stddev %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	g := NewRand(11)
+	for i := 0; i < 10000; i++ {
+		if v := g.Pareto(1.5, 2); v < 1.5 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRand(13)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRand(17)
+	p := g.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

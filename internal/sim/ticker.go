@@ -1,0 +1,58 @@
+package sim
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// NWS sensors and load generators use it for periodic sampling.
+type Ticker struct {
+	eng    *Engine
+	period float64
+	fn     func(now float64)
+	ev     *Event
+	stop   bool
+	ticks  uint64
+	max    uint64 // 0 = unbounded
+}
+
+// NewTicker schedules fn every period seconds starting period seconds from
+// now. period must be positive.
+func NewTicker(eng *Engine, period float64, fn func(now float64)) *Ticker {
+	if period <= 0 {
+		panic("sim: Ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// NewTickerN is NewTicker limited to max firings.
+func NewTickerN(eng *Engine, period float64, max uint64, fn func(now float64)) *Ticker {
+	t := NewTicker(eng, period, fn)
+	t.max = max
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.period, t.fire)
+}
+
+func (t *Ticker) fire() {
+	if t.stop {
+		return
+	}
+	t.ticks++
+	t.fn(t.eng.Now())
+	if t.stop || (t.max > 0 && t.ticks >= t.max) {
+		return
+	}
+	t.arm()
+}
+
+// Stop prevents any further firings.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+	}
+}
+
+// Ticks reports how many times the callback has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }

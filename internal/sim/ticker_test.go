@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+func TestTickerPeriodic(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	tk := NewTicker(e, 2, func(now float64) { times = append(times, now) })
+	if err := e.RunUntil(9); err != nil {
+		t.Fatal(err)
+	}
+	tk.Stop()
+	want := []float64{2, 4, 6, 8}
+	if len(times) != len(want) {
+		t.Fatalf("ticks at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerStopMidRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, 1, func(now float64) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop, want 3", count)
+	}
+	if tk.Ticks() != 3 {
+		t.Fatalf("Ticks() = %d, want 3", tk.Ticks())
+	}
+}
+
+func TestTickerN(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	NewTickerN(e, 1, 5, func(now float64) { count++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("TickerN fired %d, want 5", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	NewTicker(NewEngine(), 0, func(float64) {})
+}

@@ -1,0 +1,89 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: the paper presents averages of back-to-back runs, and a
+// faithful harness should also expose the spread those averages hide.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary. An empty sample returns the zero value.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(n)
+	if n > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.SD = math.Sqrt(ss / float64(n-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}
+
+// CI95 returns the 95% confidence half-width of the mean under the
+// normal approximation (0 for samples smaller than 2).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.SD / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± sd (n=N)".
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.SD, s.N)
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample SD of this classic set is ~2.138.
+	if math.Abs(s.SD-2.1381) > 1e-3 {
+		t.Fatalf("SD %v", s.SD)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median %v", s.Median)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.String() != "n/a" {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.SD != 0 || s.Median != 3 || s.CI95() != 0 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	want := 1.96 * s.SD / 2
+	if math.Abs(s.CI95()-want) > 1e-12 {
+		t.Fatalf("CI95 %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := map[float64]float64{0: 10, 20: 10, 50: 30, 90: 50, 100: 50}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile not NaN")
+	}
+}
+
+// Property: mean lies within [min, max]; SD is non-negative; median within
+// range.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.SD >= 0 && s.Median >= s.Min && s.Median <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

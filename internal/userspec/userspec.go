@@ -1,0 +1,159 @@
+// Package userspec implements the User Specifications (US) component of an
+// AppLeS agent: the user's performance criterion, access rights, resource
+// preferences, and implementation constraints (Sections 3.1, 3.5, 4.1).
+//
+// User specifications act as a filter over the resources and schedules the
+// agent may consider — the paper's examples are the CLEO/NILE requirement
+// that every processor run a CORBA ORB, and the Jacobi2D user's directive
+// that only strip decompositions be planned.
+package userspec
+
+import (
+	"fmt"
+	"sort"
+
+	"apples/internal/grid"
+)
+
+// Metric is the user's individual performance criterion (Section 3.1).
+type Metric int
+
+const (
+	// MinExecutionTime minimizes wall-clock execution time (Jacobi2D).
+	MinExecutionTime Metric = iota
+	// MaxSpeedup maximizes speedup over the best single-machine run
+	// (3D-REACT).
+	MaxSpeedup
+	// MinCost minimizes charged resource cost (cycle cost weighted time).
+	MinCost
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MinExecutionTime:
+		return "min-execution-time"
+	case MaxSpeedup:
+		return "max-speedup"
+	case MinCost:
+		return "min-cost"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Spec is one user's scheduling directives.
+type Spec struct {
+	// Metric selects the objective the Performance Estimator optimizes.
+	Metric Metric
+
+	// Accessible lists hosts the user has accounts on. Empty means all
+	// hosts in the topology.
+	Accessible []string
+	// Logins records the login identifier per host or site, used by the
+	// Actuator. Purely informational to scheduling but part of the US in
+	// the paper.
+	Logins map[string]string
+	// Excluded hosts are never considered.
+	Excluded []string
+	// RequiredFeatures must all be advertised by a host (e.g. "corba").
+	RequiredFeatures []string
+	// PreferredSites, when non-empty, orders candidate resources so these
+	// administrative domains are tried first.
+	PreferredSites []string
+
+	// Decomposition restricts the Planner's strategy; Jacobi2D's user
+	// specified "strip" because non-strip predictions were too complex.
+	Decomposition string
+
+	// MaxResourceSets caps how many candidate resource sets the Resource
+	// Selector may hand to the Planner (0 = planner default).
+	MaxResourceSets int
+
+	// MinHostMemoryMB filters out hosts too small to matter, and
+	// CostPerCPUHour supports the MinCost metric.
+	MinHostMemoryMB float64
+	CostPerCPUHour  map[string]float64
+}
+
+// Filter returns the hosts the user may schedule on, in deterministic
+// order: preferred sites first, then by descending dedicated speed, then
+// name. This is the "feasible resource" filtering step of Section 4.2.
+func (s *Spec) Filter(hosts []*grid.Host) []*grid.Host {
+	allowed := map[string]bool{}
+	for _, n := range s.Accessible {
+		allowed[n] = true
+	}
+	excluded := map[string]bool{}
+	for _, n := range s.Excluded {
+		excluded[n] = true
+	}
+	prefSite := map[string]int{}
+	for i, site := range s.PreferredSites {
+		prefSite[site] = len(s.PreferredSites) - i
+	}
+
+	var out []*grid.Host
+	for _, h := range hosts {
+		if len(allowed) > 0 && !allowed[h.Name] {
+			continue
+		}
+		if excluded[h.Name] {
+			continue
+		}
+		if h.MemoryMB < s.MinHostMemoryMB {
+			continue
+		}
+		ok := true
+		for _, f := range s.RequiredFeatures {
+			if !h.HasFeature(f) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := prefSite[out[i].Site], prefSite[out[j].Site]
+		if pi != pj {
+			return pi > pj
+		}
+		if out[i].Speed != out[j].Speed {
+			return out[i].Speed > out[j].Speed
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CostRate returns the user's charge rate for a host in cost units per CPU
+// hour (0 when unknown), for the MinCost metric.
+func (s *Spec) CostRate(host string) float64 {
+	return s.CostPerCPUHour[host]
+}
+
+// Validate checks internal consistency.
+func (s *Spec) Validate() error {
+	seen := map[string]bool{}
+	for _, n := range s.Accessible {
+		if seen[n] {
+			return fmt.Errorf("userspec: duplicate accessible host %q", n)
+		}
+		seen[n] = true
+	}
+	for _, n := range s.Excluded {
+		if seen[n] {
+			return fmt.Errorf("userspec: host %q both accessible and excluded", n)
+		}
+	}
+	if s.MaxResourceSets < 0 {
+		return fmt.Errorf("userspec: negative MaxResourceSets")
+	}
+	if s.MinHostMemoryMB < 0 {
+		return fmt.Errorf("userspec: negative MinHostMemoryMB")
+	}
+	return nil
+}

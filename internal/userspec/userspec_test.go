@@ -1,0 +1,137 @@
+package userspec
+
+import (
+	"strings"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/sim"
+)
+
+func testbed(t *testing.T) *grid.Topology {
+	t.Helper()
+	return grid.SDSCPCL(sim.NewEngine(), grid.TestbedOptions{Seed: 1, Quiet: true, WithSP2: true})
+}
+
+func names(hosts []*grid.Host) []string {
+	out := make([]string, len(hosts))
+	for i, h := range hosts {
+		out[i] = h.Name
+	}
+	return out
+}
+
+func TestFilterEmptySpecKeepsAll(t *testing.T) {
+	tp := testbed(t)
+	s := &Spec{}
+	got := s.Filter(tp.Hosts())
+	if len(got) != 10 {
+		t.Fatalf("empty spec filtered to %d hosts, want 10", len(got))
+	}
+}
+
+func TestFilterAccessible(t *testing.T) {
+	tp := testbed(t)
+	s := &Spec{Accessible: []string{"alpha1", "sparc2"}}
+	got := names(s.Filter(tp.Hosts()))
+	if len(got) != 2 {
+		t.Fatalf("accessible filter -> %v", got)
+	}
+}
+
+func TestFilterExcluded(t *testing.T) {
+	tp := testbed(t)
+	s := &Spec{Excluded: []string{"sparc2"}}
+	for _, n := range names(s.Filter(tp.Hosts())) {
+		if n == "sparc2" {
+			t.Fatal("excluded host survived filter")
+		}
+	}
+}
+
+func TestFilterRequiredFeature(t *testing.T) {
+	tp := testbed(t)
+	// Only the alphas advertise corba in the testbed (the paper's
+	// CLEO/NILE constraint).
+	s := &Spec{RequiredFeatures: []string{"corba"}}
+	got := names(s.Filter(tp.Hosts()))
+	if len(got) != 4 {
+		t.Fatalf("corba filter -> %v, want the 4 alphas", got)
+	}
+	for _, n := range got {
+		if !strings.HasPrefix(n, "alpha") {
+			t.Fatalf("corba filter admitted %s", n)
+		}
+	}
+}
+
+func TestFilterMemoryFloor(t *testing.T) {
+	tp := testbed(t)
+	s := &Spec{MinHostMemoryMB: 100}
+	for _, h := range s.Filter(tp.Hosts()) {
+		if h.MemoryMB < 100 {
+			t.Fatalf("memory floor admitted %s with %v MB", h.Name, h.MemoryMB)
+		}
+	}
+}
+
+func TestFilterOrderPreferredSitesFirst(t *testing.T) {
+	tp := testbed(t)
+	s := &Spec{PreferredSites: []string{"PCL"}}
+	got := s.Filter(tp.Hosts())
+	if got[0].Site != "PCL" {
+		t.Fatalf("first host %s at %s, want PCL first", got[0].Name, got[0].Site)
+	}
+	// Within PCL, fastest first.
+	if got[0].Name != "rs6000a" {
+		t.Fatalf("fastest PCL host first: got %s", got[0].Name)
+	}
+}
+
+func TestFilterOrderBySpeedThenName(t *testing.T) {
+	tp := testbed(t)
+	s := &Spec{}
+	got := s.Filter(tp.Hosts())
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Speed < got[i].Speed {
+			t.Fatalf("hosts not ordered by descending speed: %v", names(got))
+		}
+	}
+	if got[0].Name != "sp2a" {
+		t.Fatalf("fastest host first: got %s", got[0].Name)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Spec{Accessible: []string{"a", "b"}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Spec{Accessible: []string{"a", "a"}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate accessible host accepted")
+	}
+	bad2 := &Spec{Accessible: []string{"a"}, Excluded: []string{"a"}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("accessible+excluded host accepted")
+	}
+	bad3 := &Spec{MaxResourceSets: -1}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("negative MaxResourceSets accepted")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MinExecutionTime.String() != "min-execution-time" ||
+		MaxSpeedup.String() != "max-speedup" ||
+		MinCost.String() != "min-cost" {
+		t.Fatal("metric strings wrong")
+	}
+}
+
+func TestCostRate(t *testing.T) {
+	s := &Spec{CostPerCPUHour: map[string]float64{"c90": 500}}
+	if s.CostRate("c90") != 500 || s.CostRate("ghost") != 0 {
+		t.Fatal("CostRate lookup wrong")
+	}
+}
