@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-evaluate tables clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage of the parallel candidate-evaluation engine. The core
+# package holds the worker pool, snapshot, and determinism tests; the
+# root package exercises the facade against the same engine.
+race:
+	$(GO) test -race ./internal/core/... .
+
+vet:
+	$(GO) vet ./...
+
+# Full reproduction benchmarks (paper figures + ablations).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Candidate-evaluation engine sweep only: pool size x evaluation mode.
+bench-evaluate:
+	$(GO) test -bench=BenchmarkEvaluate -benchmem -benchtime=3x .
+
+# Paper-style tables via the experiment driver.
+tables:
+	$(GO) run ./cmd/expt -quick
+
+clean:
+	$(GO) clean ./...

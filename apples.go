@@ -162,12 +162,26 @@ func NileTemplate(events int) *Template { return hat.Nile(events) }
 
 // The AppLeS agent.
 type (
-	// Agent is an application-level scheduler for one application.
+	// Agent is an application-level scheduler for one application. Its
+	// Candidates(n, k) accessor returns the top-k evaluated resource sets
+	// sorted ascending by score without committing to a schedule;
+	// ScheduleExplained(n, k) returns both the chosen schedule and that
+	// ranking.
 	Agent = core.Agent
 	// AgentSchedule is the coordinator's chosen schedule.
 	AgentSchedule = core.Schedule
+	// AgentOption configures NewAgent (see WithSpillFactor,
+	// WithParallelism, WithPruning, WithInfoSnapshot).
+	AgentOption = core.AgentOption
+	// Candidate is one evaluated resource set or pipeline mapping, the
+	// shared explain currency of Agent.ScheduleExplained/Candidates and
+	// PipelineAgent.ScheduleExplained/Candidates.
+	Candidate = core.Candidate
 	// Information is the agent's dynamic-information source.
 	Information = core.Information
+	// InfoSnapshot is an immutable point-in-time resolution of an
+	// Information source (the agent takes one per scheduling round).
+	InfoSnapshot = core.InfoSnapshot
 	// Actuator implements a schedule on the target system.
 	Actuator = core.Actuator
 	// ActuatorFunc adapts a function to Actuator.
@@ -176,14 +190,49 @@ type (
 	Placement = partition.Placement
 )
 
-// NewAgent assembles an AppLeS from its information pool.
-func NewAgent(tp *Topology, tpl *Template, spec *UserSpec, info Information) (*Agent, error) {
-	return core.NewAgent(tp, tpl, spec, info)
+// NewAgent assembles an AppLeS from its information pool. Options tune
+// the candidate-evaluation engine; by default the agent snapshots its
+// information source once per round and evaluates candidate sets on a
+// GOMAXPROCS-wide worker pool, making exactly the decision sequential
+// evaluation would.
+func NewAgent(tp *Topology, tpl *Template, spec *UserSpec, info Information, opts ...AgentOption) (*Agent, error) {
+	return core.NewAgent(tp, tpl, spec, info, opts...)
 }
+
+// Agent construction options.
+var (
+	// WithSpillFactor sets the estimator's out-of-memory penalty
+	// (replaces writing the deprecated Agent.SpillFactor field).
+	WithSpillFactor = core.WithSpillFactor
+	// WithParallelism bounds the evaluation worker pool (0 = GOMAXPROCS,
+	// 1 = sequential).
+	WithParallelism = core.WithParallelism
+	// WithPruning enables best-so-far candidate pruning.
+	WithPruning = core.WithPruning
+	// WithInfoSnapshot toggles the per-round information snapshot
+	// (default on; disable only for ablation).
+	WithInfoSnapshot = core.WithInfoSnapshot
+)
+
+// SnapshotInformation freezes an Information source over a host set.
+var SnapshotInformation = core.SnapshotInformation
+
+// Sentinel errors, for errors.Is instead of string matching.
+var (
+	// ErrNoFeasibleHosts: the user specification filters out every host.
+	ErrNoFeasibleHosts = core.ErrNoFeasibleHosts
+	// ErrNoFeasiblePlan: no candidate produced a feasible plan.
+	ErrNoFeasiblePlan = core.ErrNoFeasiblePlan
+	// ErrBadTemplate: the template does not fit the agent blueprint.
+	ErrBadTemplate = core.ErrBadTemplate
+)
 
 // Pipeline blueprint (the Section 4.2 agent for 3D-REACT-shaped codes).
 type (
-	// PipelineAgent schedules two-task pipelined applications.
+	// PipelineAgent schedules two-task pipelined applications. Like
+	// Agent, it exposes Candidates(k) and ScheduleExplained(k) returning
+	// the shared Candidate ranking (single-site mappings have one host,
+	// pipeline mappings [producer, consumer] plus the tuned Unit).
 	PipelineAgent = core.PipelineAgent
 	// PipelineSchedule is its chosen mapping + pipeline unit.
 	PipelineSchedule = core.PipelineSchedule

@@ -1,6 +1,7 @@
 package apples_test
 
 import (
+	"errors"
 	"testing"
 
 	"apples"
@@ -103,6 +104,59 @@ func TestFacadeExplainAndBlockCyclic(t *testing.T) {
 	}
 	if res.Time <= 0 {
 		t.Fatalf("block-cyclic run time %v", res.Time)
+	}
+}
+
+// TestFacadeAgentOptionsAndErrors covers the functional-options surface
+// and typed sentinel errors as re-exported by the facade.
+func TestFacadeAgentOptionsAndErrors(t *testing.T) {
+	eng := apples.NewEngine()
+	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: 5, Quiet: true})
+
+	seq, err := apples.NewAgent(tp, apples.JacobiTemplate(600, 10), &apples.UserSpec{},
+		apples.OracleInformation(tp),
+		apples.WithParallelism(1), apples.WithInfoSnapshot(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := apples.NewAgent(tp, apples.JacobiTemplate(600, 10), &apples.UserSpec{},
+		apples.OracleInformation(tp),
+		apples.WithParallelism(4), apples.WithPruning(true), apples.WithSpillFactor(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Schedule(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match spill factors so only the evaluation mode differs.
+	seq.SpillFactor = 30
+	want, err := seq.Schedule(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PredictedTotal != want.PredictedTotal {
+		t.Fatalf("parallel+pruned %v != sequential %v", got.PredictedTotal, want.PredictedTotal)
+	}
+
+	// Candidates accessor on the facade alias.
+	top, err := par.Candidates(600, 2)
+	if err != nil || len(top) != 2 {
+		t.Fatalf("Candidates: %v %v", top, err)
+	}
+
+	// Typed errors flow through the facade.
+	blocked, err := apples.NewAgent(tp, apples.JacobiTemplate(600, 10),
+		&apples.UserSpec{Accessible: []string{"nope"}}, apples.OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blocked.Schedule(600); !errors.Is(err, apples.ErrNoFeasibleHosts) {
+		t.Fatalf("want ErrNoFeasibleHosts, got %v", err)
+	}
+	if _, err := apples.NewAgent(tp, apples.ReactTemplate(100), &apples.UserSpec{},
+		apples.OracleInformation(tp)); !errors.Is(err, apples.ErrBadTemplate) {
+		t.Fatalf("want ErrBadTemplate, got %v", err)
 	}
 }
 

@@ -10,8 +10,59 @@ package apples_test
 import (
 	"testing"
 
+	"apples/internal/core"
 	"apples/internal/expt"
 )
+
+// BenchmarkEvaluate sweeps the candidate-evaluation engine across pool
+// sizes and evaluation modes on warmed NWS-backed cluster-of-clusters
+// scenarios. The 8- and 12-host pools enumerate every subset (255 and
+// 4095 candidate sets); 32 and 64 hosts use desirability prefixes.
+// "sequential" is the legacy loop (no snapshot, one worker, re-querying
+// the information source per set); "snapshot" resolves the pool once;
+// "parallel" adds the worker pool; "pruned" adds best-so-far pruning.
+func BenchmarkEvaluate(b *testing.B) {
+	pools := []struct {
+		name          string
+		clusters, per int
+	}{
+		{"8host", 2, 4},
+		{"12host", 3, 4},
+		{"32host", 8, 4},
+		{"64host", 8, 8},
+	}
+	modes := []struct {
+		name string
+		opts []core.AgentOption
+	}{
+		{"sequential", []core.AgentOption{core.WithParallelism(1), core.WithInfoSnapshot(false)}},
+		{"snapshot", []core.AgentOption{core.WithParallelism(1)}},
+		{"parallel", []core.AgentOption{core.WithParallelism(4)}},
+		{"pruned", []core.AgentOption{core.WithParallelism(4), core.WithPruning(true)}},
+	}
+	const n = 2000
+	for _, p := range pools {
+		for _, m := range modes {
+			b.Run(p.name+"/"+m.name, func(b *testing.B) {
+				agent, err := expt.NewScaleAgent(p.clusters, p.per, n, 11, m.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var considered int
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sched, err := agent.Schedule(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					considered = sched.CandidatesConsidered
+				}
+				b.ReportMetric(float64(considered), "candidate_sets")
+			})
+		}
+	}
+}
 
 // BenchmarkFig3ApplesPartition regenerates Figure 3: the AppLeS partition
 // of Jacobi2D on the loaded SDSC/PCL network.

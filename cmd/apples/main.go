@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,9 @@ func main() {
 	topo := flag.Bool("topology", false, "print the testbed (Figure 2) and exit")
 	viaRMS := flag.Bool("rms", false, "actuate through the PVM-style rms substrate")
 	explain := flag.Int("explain", 0, "also print the top-K candidate schedules the agent weighed")
+	parallel := flag.Int("parallel", 0, "candidate-evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
+	prune := flag.Bool("prune", false, "skip candidate sets whose compute lower bound exceeds the best so far")
+	spill := flag.Float64("spill", 25, "estimator out-of-memory penalty multiplier")
 	saveSched := flag.String("save-schedule", "", "write the chosen placement as JSON to this file")
 	loadSched := flag.String("load-schedule", "", "skip scheduling; execute the placement JSON from this file")
 	flag.Parse()
@@ -86,7 +90,10 @@ func main() {
 	}
 
 	tpl := apples.JacobiTemplate(*n, *iters)
-	agent, err := apples.NewAgent(tp, tpl, &apples.UserSpec{Decomposition: "strip"}, source)
+	agent, err := apples.NewAgent(tp, tpl, &apples.UserSpec{Decomposition: "strip"}, source,
+		apples.WithParallelism(*parallel),
+		apples.WithPruning(*prune),
+		apples.WithSpillFactor(*spill))
 	if err != nil {
 		fail(err)
 	}
@@ -141,5 +148,15 @@ func main() {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "apples:", err)
+	// The agent returns typed errors; match them for actionable hints
+	// instead of parsing message text.
+	switch {
+	case errors.Is(err, apples.ErrNoFeasibleHosts):
+		fmt.Fprintln(os.Stderr, "apples: hint: the user specification excluded every host; relax its filters")
+	case errors.Is(err, apples.ErrNoFeasiblePlan):
+		fmt.Fprintln(os.Stderr, "apples: hint: no resource set can hold this problem; try a smaller -n or -sp2")
+	case errors.Is(err, apples.ErrBadTemplate):
+		fmt.Fprintln(os.Stderr, "apples: hint: the application template does not fit this agent blueprint")
+	}
 	os.Exit(1)
 }

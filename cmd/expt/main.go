@@ -12,17 +12,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"apples"
 	"apples/internal/expt"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,all")
 	seed := flag.Int64("seed", 11, "base seed for ambient load")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
@@ -56,6 +58,16 @@ func main() {
 		}
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "expt %s: %v\n", name, err)
+			// Typed failures carry a usable hint; match them instead of
+			// the message text.
+			switch {
+			case errors.Is(err, apples.ErrNoFeasibleHosts):
+				fmt.Fprintln(os.Stderr, "expt: the user specification excluded every host in the testbed")
+			case errors.Is(err, apples.ErrNoFeasiblePlan):
+				fmt.Fprintln(os.Stderr, "expt: no resource set could hold the problem; shrink -n or grow the pool")
+			case errors.Is(err, apples.ErrBadTemplate):
+				fmt.Fprintln(os.Stderr, "expt: the application template does not fit the agent blueprint")
+			}
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -227,6 +239,19 @@ func main() {
 			return err
 		}
 		fmt.Print(expt.FormatScalability(rows))
+		return nil
+	})
+
+	run("sched", func() error {
+		sizes := [][2]int{{2, 4}, {3, 4}, {8, 4}, {8, 8}}
+		if *quick {
+			sizes = [][2]int{{2, 4}, {3, 4}}
+		}
+		rows, err := expt.SchedLatency(sizes, 2000, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(expt.FormatSchedLatency(rows))
 		return nil
 	})
 

@@ -24,7 +24,10 @@ type Schedule struct {
 	// Hosts lists the selected resources in strip-chain order.
 	Hosts []string
 	// CandidatesConsidered counts resource sets evaluated, and
-	// CandidatesPlanned those that produced a feasible plan.
+	// CandidatesPlanned those that produced a feasible plan. With
+	// WithPruning enabled, sets skipped by the bound are not planned, so
+	// CandidatesPlanned can be lower (and timing-dependent under parallel
+	// evaluation); the selected schedule itself never changes.
 	CandidatesConsidered int
 	CandidatesPlanned    int
 	// InfoSource names the information pool variant used.
@@ -62,62 +65,139 @@ type Agent struct {
 	// SpillFactor mirrors the execution substrate's out-of-memory penalty
 	// so the estimator prices spills honestly (default 25, matching
 	// jacobi.Config).
+	//
+	// Deprecated: pass WithSpillFactor to NewAgent instead. Writing the
+	// field still works for this release; it is read at every scheduling
+	// round.
 	SpillFactor float64
+
+	// parallelism bounds the candidate-evaluation worker pool (0 =
+	// GOMAXPROCS, 1 = sequential). See WithParallelism.
+	parallelism int
+	// pruning enables best-so-far candidate pruning. See WithPruning.
+	pruning bool
+	// snapshot resolves the information pool once per round (default
+	// true). See WithInfoSnapshot.
+	snapshot bool
 }
 
 // NewAgent assembles an agent from its information pool: the application
 // template (HAT), the user specification (US), and a dynamic information
-// source (NWS, oracle, or static).
-func NewAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info Information) (*Agent, error) {
+// source (NWS, oracle, or static). Options tune the evaluation engine;
+// the zero-option agent evaluates candidates in parallel over GOMAXPROCS
+// workers against a per-round information snapshot and makes exactly the
+// decision the sequential path would.
+func NewAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info Information, opts ...AgentOption) (*Agent, error) {
 	if err := tpl.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %w: %w", ErrBadTemplate, err)
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if tpl.Paradigm != hat.DataParallel || len(tpl.Tasks) != 1 {
-		return nil, fmt.Errorf("core: the Jacobi blueprint schedules single-task data-parallel templates, got %s with %d tasks",
-			tpl.Paradigm, len(tpl.Tasks))
+		return nil, fmt.Errorf("core: %w: the Jacobi blueprint schedules single-task data-parallel templates, got %s with %d tasks",
+			ErrBadTemplate, tpl.Paradigm, len(tpl.Tasks))
 	}
 	if spec.Decomposition != "" && spec.Decomposition != "strip" {
 		return nil, fmt.Errorf("core: planner supports strip decompositions, user requested %q", spec.Decomposition)
 	}
-	return &Agent{tp: tp, tpl: tpl, spec: spec, info: info, SpillFactor: 25}, nil
+	a := &Agent{tp: tp, tpl: tpl, spec: spec, info: info, SpillFactor: 25, snapshot: true}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(a)
+		}
+	}
+	return a, nil
 }
 
-// Candidate is one evaluated resource set, exposed by ScheduleExplained
-// so users can see what the Coordinator weighed.
+// clone copies the agent with its evaluation configuration, for derived
+// agents (e.g. the dedicated-offer agent in WaitOrRun).
+func (a *Agent) clone() *Agent {
+	c := *a
+	return &c
+}
+
+// Candidate is one evaluated resource set (or, for the pipeline
+// blueprint, one task mapping), exposed by ScheduleExplained and
+// Candidates so users can see what the Coordinator weighed.
 type Candidate struct {
 	Hosts             []string
 	PredictedIterTime float64
 	PredictedTotal    float64
 	// Score is the user-metric objective (lower is better).
 	Score float64
-	// Placement is the planned decomposition for this set.
+	// Placement is the planned decomposition for this set (nil for
+	// pipeline candidates).
 	Placement *partition.Placement
+	// Unit is the pipeline transfer unit for pipeline candidates; 0 for
+	// data-parallel candidates and single-site mappings.
+	Unit int
+}
+
+// rankCandidates returns a copy of cands sorted ascending by score (ties
+// keep evaluation order) and truncated to k when k > 0.
+func rankCandidates(cands []Candidate, k int) []Candidate {
+	ranked := append([]Candidate(nil), cands...)
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score < ranked[j].Score })
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
 }
 
 // evaluate runs select -> plan -> estimate over every candidate set and
-// returns the scored candidates plus bookkeeping.
+// returns the scored candidates (in selector order) plus bookkeeping.
+//
+// The round proceeds in three steps:
+//
+//  1. snapshot the information pool for the filtered hosts, so every
+//     availability/bandwidth/latency value is resolved exactly once;
+//  2. fan the candidate sets out to a bounded worker pool, each worker
+//     planning and estimating against the immutable snapshot and writing
+//     its result into a per-index slot;
+//  3. reduce in index order, which makes the outcome independent of
+//     goroutine interleaving: the same candidates are feasible with the
+//     same scores, so the eventual (score, index) minimum is the one the
+//     sequential loop would have picked.
+//
+// With pruning enabled, workers additionally share the best score seen so
+// far and skip sets whose compute-time lower bound (balanced compute on
+// the set's aggregate deliverable speed, ignoring communication and
+// spill) already exceeds it. The bound never overestimates, so a pruned
+// set could not have won; pruning only reduces CandidatesPlanned.
 func (a *Agent) evaluate(n int) ([]Candidate, int, error) {
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("core: non-positive problem size %d", n)
 	}
 	pool := a.spec.Filter(a.tp.Hosts())
 	if len(pool) == 0 {
-		return nil, 0, fmt.Errorf("core: user specification filters out every host")
+		return nil, 0, fmt.Errorf("core: %w: user specification filters out every host", ErrNoFeasibleHosts)
 	}
-	rs := &resourceSelector{tp: a.tp, info: a.info}
-	pl := &planner{tp: a.tp, tpl: a.tpl, info: a.info}
-	es := &estimator{
-		tp:            a.tp,
-		spec:          a.spec,
-		bytesPerPoint: a.tpl.Tasks[0].BytesPerUnit,
-		spillFactor:   a.SpillFactor,
-		iterations:    max(a.tpl.Iterations, 1),
+	info := a.info
+	workers := a.parallelism
+	if a.snapshot {
+		names := make([]string, len(pool))
+		for i, h := range pool {
+			names[i] = h.Name
+		}
+		info = SnapshotInformation(a.info, names)
+	} else {
+		// Without the snapshot, workers would race on the underlying
+		// Information source (forecast banks are not thread-safe).
+		workers = 1
 	}
+	rs := &resourceSelector{tp: a.tp, info: info}
+	pl := &planner{tp: a.tp, tpl: a.tpl, info: info}
+	es := newEstimator(a.tp, a.spec, a.tpl.Tasks[0].BytesPerUnit, a.SpillFactor, max(a.tpl.Iterations, 1))
 
-	sets := rs.candidates(pool, a.spec.MaxResourceSets)
+	var sets [][]*grid.Host
+	if a.snapshot {
+		sets = rs.candidates(pool, a.spec.MaxResourceSets)
+	} else {
+		// Legacy enumeration: re-query the source per set, as the
+		// pre-snapshot engine did (see candidatesDirect).
+		sets = rs.candidatesDirect(pool, a.spec.MaxResourceSets)
+	}
 
 	// Solo baseline for the speedup metric: best predicted single-host
 	// total.
@@ -134,26 +214,96 @@ func (a *Agent) evaluate(n int) ([]Candidate, int, error) {
 		}
 	}
 
-	var cands []Candidate
-	for _, set := range sets {
+	// Pruning needs a per-host seconds-per-point floor; it is only sound
+	// for objectives that equal predicted total time.
+	pruneActive := a.pruning && a.spec.Metric == userspec.MinExecutionTime
+	var secPP map[string]float64
+	var incumbent *bestScore
+	if pruneActive {
+		secPP = a.secondsPerPoint(pool, info)
+		incumbent = newBestScore()
+	}
+
+	results := make([]Candidate, len(sets))
+	feasible := make([]bool, len(sets))
+	runIndexed(len(sets), workers, func(i int) {
+		set := sets[i]
+		if pruneActive {
+			if lb := computeLowerBound(set, secPP, n, es.iterations); lb > incumbent.load() {
+				return
+			}
+		}
 		p, costs, _, err := pl.plan(n, set)
 		if err != nil {
-			continue
+			return
 		}
 		iterT := es.iterTime(p, costs)
 		hosts := make([]string, len(set))
-		for i, h := range set {
-			hosts[i] = h.Name
+		for j, h := range set {
+			hosts[j] = h.Name
 		}
-		cands = append(cands, Candidate{
+		score := es.score(iterT, p, solo)
+		results[i] = Candidate{
 			Hosts:             hosts,
 			PredictedIterTime: iterT,
 			PredictedTotal:    iterT * float64(es.iterations),
-			Score:             es.score(p, costs, solo),
+			Score:             score,
 			Placement:         p,
-		})
+		}
+		feasible[i] = true
+		if pruneActive {
+			incumbent.update(score)
+		}
+	})
+
+	var cands []Candidate
+	for i := range results {
+		if feasible[i] {
+			cands = append(cands, results[i])
+		}
 	}
 	return cands, len(sets), nil
+}
+
+// secondsPerPoint resolves the planner's compute-cost coefficient for
+// every pool host once, for the pruning bound. Hosts with no deliverable
+// speed get +Inf (their sets cannot plan anyway).
+func (a *Agent) secondsPerPoint(pool []*grid.Host, info Information) map[string]float64 {
+	task := a.tpl.Tasks[0]
+	out := make(map[string]float64, len(pool))
+	for _, h := range pool {
+		avail := info.Availability(h.Name)
+		if avail <= 0 {
+			avail = 0.01
+		}
+		speed := h.Speed * avail * task.SpeedFactorOn(h.Arch)
+		if speed <= 0 {
+			out[h.Name] = math.Inf(1)
+			continue
+		}
+		out[h.Name] = task.FlopPerUnit / 1e6 / speed
+	}
+	return out
+}
+
+// computeLowerBound is the least total time any plan on `set` can cost
+// under the MinExecutionTime objective: n² points spread perfectly over
+// the set's aggregate point rate, with zero communication and no spill.
+// The estimator's max_i(points_i·P_i·mult_i + C_i) is ≥ this for every
+// placement, so exceeding the incumbent strictly proves the set loses.
+func computeLowerBound(set []*grid.Host, secPP map[string]float64, n, iterations int) float64 {
+	rate := 0.0
+	for _, h := range set {
+		p := secPP[h.Name]
+		if p <= 0 || math.IsInf(p, 1) {
+			continue
+		}
+		rate += 1 / p
+	}
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n) * float64(n) / rate * float64(iterations)
 }
 
 // Schedule runs the Coordinator blueprint for an n x n problem:
@@ -182,7 +332,7 @@ func (a *Agent) pickBest(cands []Candidate, considered int) (*Schedule, error) {
 		}
 	}
 	if bestIdx < 0 {
-		return nil, fmt.Errorf("core: no feasible schedule among %d candidate sets", considered)
+		return nil, fmt.Errorf("core: %w: no feasible schedule among %d candidate sets", ErrNoFeasiblePlan, considered)
 	}
 	c := cands[bestIdx]
 	best := &Schedule{
@@ -206,6 +356,9 @@ func (a *Agent) pickBest(cands []Candidate, considered int) (*Schedule, error) {
 // candidates by predicted score, so the user can inspect what the agent
 // considered (the paper: the agent works "at machine speeds and with more
 // comprehensive information" — this is the comprehension made visible).
+// topK <= 0 returns every feasible candidate. The slice is shared with
+// PipelineAgent.ScheduleExplained: both blueprints explain themselves in
+// the same Candidate terms.
 func (a *Agent) ScheduleExplained(n, topK int) (*Schedule, []Candidate, error) {
 	cands, considered, err := a.evaluate(n)
 	if err != nil {
@@ -215,12 +368,19 @@ func (a *Agent) ScheduleExplained(n, topK int) (*Schedule, []Candidate, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	ranked := append([]Candidate(nil), cands...)
-	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score < ranked[j].Score })
-	if topK > 0 && len(ranked) > topK {
-		ranked = ranked[:topK]
+	return best, rankCandidates(cands, topK), nil
+}
+
+// Candidates evaluates the n x n problem and returns the top-k feasible
+// candidates sorted ascending by score, without committing to a schedule.
+// k <= 0 returns all of them. Candidates(n, 1)[0] describes the schedule
+// Schedule(n) would pick.
+func (a *Agent) Candidates(n, k int) ([]Candidate, error) {
+	cands, _, err := a.evaluate(n)
+	if err != nil {
+		return nil, err
 	}
-	return best, ranked, nil
+	return rankCandidates(cands, k), nil
 }
 
 // Run schedules the problem and immediately actuates the best schedule,
@@ -235,11 +395,4 @@ func (a *Agent) Run(n int, act Actuator) (*Schedule, float64, error) {
 		return s, 0, fmt.Errorf("core: actuation failed: %w", err)
 	}
 	return s, measured, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -16,36 +16,62 @@ import (
 // that exceeds real memory — so that infeasible-but-balanced plans are
 // priced honestly (this is what steers the Figure 6 agent to alternative
 // memory when the SP-2 fills).
+//
+// An estimator is immutable after newEstimator and safe for concurrent
+// use by evaluation workers.
 type estimator struct {
-	tp   *grid.Topology
 	spec *userspec.Spec
+
+	// memMB caches each host's physical memory so the spill check does
+	// not touch the topology from worker goroutines.
+	memMB map[string]float64
 
 	bytesPerPoint float64
 	spillFactor   float64
 	iterations    int
 }
 
-// iterTime predicts one iteration of the placement under the given cost
-// parameters: max_i (A_i * P_i * spillMult_i + C_i).
-func (es *estimator) iterTime(p *partition.Placement, costs []partition.HostCost) float64 {
-	byHost := map[string]partition.HostCost{}
-	for _, c := range costs {
-		byHost[c.Host] = c
+// newEstimator builds the estimator for one scheduling round, resolving
+// every host's memory capacity up front.
+func newEstimator(tp *grid.Topology, spec *userspec.Spec, bytesPerPoint, spillFactor float64, iterations int) *estimator {
+	hosts := tp.Hosts()
+	memMB := make(map[string]float64, len(hosts))
+	for _, h := range hosts {
+		memMB[h.Name] = h.MemoryMB
 	}
+	return &estimator{
+		spec:          spec,
+		memMB:         memMB,
+		bytesPerPoint: bytesPerPoint,
+		spillFactor:   spillFactor,
+		iterations:    iterations,
+	}
+}
+
+// iterTime predicts one iteration of the placement under the given cost
+// parameters: max_i (A_i * P_i * spillMult_i + C_i). Candidate sets are
+// small, so hosts are matched by linear scan rather than a per-call map.
+func (es *estimator) iterTime(p *partition.Placement, costs []partition.HostCost) float64 {
 	worst := 0.0
 	for _, a := range p.Assignments {
 		if a.Points == 0 {
 			continue
 		}
-		c, ok := byHost[a.Host]
-		if !ok {
+		var c *partition.HostCost
+		for i := range costs {
+			if costs[i].Host == a.Host {
+				c = &costs[i]
+				break
+			}
+		}
+		if c == nil {
 			return math.Inf(1)
 		}
 		mult := 1.0
-		if h := es.tp.Host(a.Host); h != nil && es.bytesPerPoint > 0 {
+		if memMB, ok := es.memMB[a.Host]; ok && es.bytesPerPoint > 0 {
 			needMB := float64(a.Points) * es.bytesPerPoint / 1e6
-			if needMB > h.MemoryMB {
-				spill := (needMB - h.MemoryMB) / needMB
+			if needMB > memMB {
+				spill := (needMB - memMB) / needMB
 				mult = 1 + spill*(es.spillFactor-1)
 			}
 		}
@@ -58,9 +84,11 @@ func (es *estimator) iterTime(p *partition.Placement, costs []partition.HostCost
 }
 
 // score converts a candidate schedule into the user's objective value
-// (lower is better for every metric; speedup is negated).
-func (es *estimator) score(p *partition.Placement, costs []partition.HostCost, soloTime float64) float64 {
-	total := es.iterTime(p, costs) * float64(es.iterations)
+// (lower is better for every metric; speedup is negated). iterT is the
+// placement's precomputed iterTime, so callers that report it do not pay
+// for the estimate twice.
+func (es *estimator) score(iterT float64, p *partition.Placement, soloTime float64) float64 {
+	total := iterT * float64(es.iterations)
 	switch es.spec.Metric {
 	case userspec.MinExecutionTime:
 		return total

@@ -5,6 +5,7 @@ import (
 
 	"apples/internal/grid"
 	"apples/internal/hat"
+	"apples/internal/react"
 	"apples/internal/sim"
 	"apples/internal/userspec"
 )
@@ -42,6 +43,82 @@ func TestScheduleExplainedTopK(t *testing.T) {
 	}
 	if plain.PredictedTotal != best.PredictedTotal {
 		t.Fatalf("Schedule and ScheduleExplained disagree: %v vs %v", plain.PredictedTotal, best.PredictedTotal)
+	}
+}
+
+func TestCandidatesAccessor(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 1, Quiet: true})
+	a, err := NewAgent(tp, hat.Jacobi2D(800, 20), &userspec.Spec{}, OracleInformation(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := a.Candidates(800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("Candidates(800, 3) returned %d", len(top))
+	}
+	best, err := a.Schedule(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidates(n, 1)[0] describes the schedule Schedule(n) picks.
+	if top[0].PredictedTotal != best.PredictedTotal {
+		t.Fatalf("top candidate %v != schedule %v", top[0].PredictedTotal, best.PredictedTotal)
+	}
+}
+
+func TestPipelineScheduleExplained(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.CASA(eng)
+	a, err := NewPipelineAgent(tp, hat.React3D(600), &userspec.Spec{}, OracleInformation(tp), react.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, all, err := a.ScheduleExplained(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no explained pipeline candidates")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Score > all[i].Score {
+			t.Fatalf("pipeline candidates not ranked: %v then %v", all[i-1].Score, all[i].Score)
+		}
+	}
+	if all[0].PredictedTotal != best.Predicted {
+		t.Fatalf("best candidate %v != schedule prediction %v", all[0].PredictedTotal, best.Predicted)
+	}
+	// The winning mapping's hosts match the schedule.
+	if best.SingleSite != "" {
+		if len(all[0].Hosts) != 1 || all[0].Hosts[0] != best.SingleSite {
+			t.Fatalf("single-site candidate %v != %s", all[0].Hosts, best.SingleSite)
+		}
+	} else {
+		if len(all[0].Hosts) != 2 || all[0].Hosts[0] != best.Producer || all[0].Hosts[1] != best.Consumer {
+			t.Fatalf("pair candidate %v != %s->%s", all[0].Hosts, best.Producer, best.Consumer)
+		}
+		if all[0].Unit != best.Unit {
+			t.Fatalf("candidate unit %d != schedule unit %d", all[0].Unit, best.Unit)
+		}
+	}
+	// Consistency across the unified surface.
+	plain, err := a.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Predicted != best.Predicted {
+		t.Fatalf("Schedule and ScheduleExplained disagree: %v vs %v", plain.Predicted, best.Predicted)
+	}
+	top, err := a.Candidates(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Score != all[0].Score {
+		t.Fatalf("Candidates(2) inconsistent with ScheduleExplained: %v", top)
 	}
 }
 

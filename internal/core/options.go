@@ -1,0 +1,49 @@
+package core
+
+// AgentOption configures an Agent at construction:
+//
+//	a, err := core.NewAgent(tp, tpl, spec, info,
+//		core.WithParallelism(8), core.WithPruning(true))
+type AgentOption func(*Agent)
+
+// WithSpillFactor sets the estimator's out-of-memory penalty multiplier
+// (default 25, matching jacobi.Config). It replaces writing the exported
+// Agent.SpillFactor field.
+func WithSpillFactor(f float64) AgentOption {
+	return func(a *Agent) {
+		if f > 0 {
+			a.SpillFactor = f
+		}
+	}
+}
+
+// WithParallelism bounds the candidate-evaluation worker pool. n <= 0
+// (the default) sizes the pool to GOMAXPROCS; n == 1 forces sequential
+// evaluation. Regardless of n, the chosen schedule is bit-identical to
+// the sequential path: results are reduced by (score, candidate index),
+// so goroutine interleaving cannot change the decision.
+func WithParallelism(n int) AgentOption {
+	return func(a *Agent) { a.parallelism = n }
+}
+
+// WithPruning enables best-so-far pruning: workers share the incumbent
+// best score through an atomic and skip candidate sets whose compute-time
+// lower bound already exceeds it, saving the plan + estimate work. The
+// bound is conservative, so pruning never changes the selected schedule —
+// only Schedule.CandidatesPlanned may be lower (pruned sets are never
+// planned, and under parallel evaluation how many prune depends on
+// timing). Pruning applies to the MinExecutionTime metric; other metrics
+// evaluate every set.
+func WithPruning(on bool) AgentOption {
+	return func(a *Agent) { a.pruning = on }
+}
+
+// WithInfoSnapshot toggles the per-round information snapshot (default
+// on). Disabling it restores the legacy behavior of querying the
+// Information source for every candidate set — useful only for ablation
+// and benchmarking the snapshot's effect; it also forces sequential
+// evaluation, since parallel workers may only read the immutable
+// snapshot.
+func WithInfoSnapshot(on bool) AgentOption {
+	return func(a *Agent) { a.snapshot = on }
+}

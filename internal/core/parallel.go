@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// evalChunk is how many candidate indices a worker claims per grab. Plan +
+// estimate for one set costs microseconds, so claiming one index at a time
+// would spend a meaningful fraction of the round on the shared counter;
+// chunks amortize it while still load-balancing across uneven set sizes.
+const evalChunk = 16
+
+// runIndexed fans f out over indices [0, n) on up to `workers` goroutines.
+// Each index is processed exactly once; f must be safe to call
+// concurrently for distinct indices. workers <= 1 runs inline with no
+// goroutines — the sequential path is literally the same loop.
+func runIndexed(n, workers int, f func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(evalChunk)) - evalChunk
+				if start >= n {
+					return
+				}
+				end := min(start+evalChunk, n)
+				for i := start; i < end; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// bestScore is the shared best-so-far objective value used for pruning:
+// workers publish every feasible candidate's score and consult the
+// incumbent before paying for a plan. Stored as float bits in an atomic
+// for a lock-free CAS min.
+type bestScore struct{ bits atomic.Uint64 }
+
+func newBestScore() *bestScore {
+	b := &bestScore{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (b *bestScore) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+func (b *bestScore) update(s float64) {
+	for {
+		old := b.bits.Load()
+		if s >= math.Float64frombits(old) {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}

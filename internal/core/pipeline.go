@@ -59,19 +59,19 @@ type PipelineAgent struct {
 // (the 3D-REACT shape).
 func NewPipelineAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info Information, opt react.Options) (*PipelineAgent, error) {
 	if err := tpl.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %w: %w", ErrBadTemplate, err)
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if tpl.Paradigm != hat.TaskParallel {
-		return nil, fmt.Errorf("core: pipeline blueprint needs a task-parallel template, got %s", tpl.Paradigm)
+		return nil, fmt.Errorf("core: %w: pipeline blueprint needs a task-parallel template, got %s", ErrBadTemplate, tpl.Paradigm)
 	}
 	if _, ok := tpl.Task("lhsf"); !ok {
-		return nil, fmt.Errorf("core: pipeline blueprint needs an lhsf task")
+		return nil, fmt.Errorf("core: %w: pipeline blueprint needs an lhsf task", ErrBadTemplate)
 	}
 	if _, ok := tpl.Task("logd"); !ok {
-		return nil, fmt.Errorf("core: pipeline blueprint needs a logd task")
+		return nil, fmt.Errorf("core: %w: pipeline blueprint needs a logd task", ErrBadTemplate)
 	}
 	hasFlow := false
 	for _, c := range tpl.Comms {
@@ -80,7 +80,7 @@ func NewPipelineAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec,
 		}
 	}
 	if !hasFlow {
-		return nil, fmt.Errorf("core: pipeline blueprint needs a pipeline comm edge")
+		return nil, fmt.Errorf("core: %w: pipeline blueprint needs a pipeline comm edge", ErrBadTemplate)
 	}
 	return &PipelineAgent{tp: tp, tpl: tpl, spec: spec, info: info, opt: opt}, nil
 }
@@ -88,14 +88,15 @@ func NewPipelineAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec,
 // modelFor parameterizes the analytic pipeline model for one mapping,
 // discounting machine speeds by forecast availability and the link by
 // forecast bandwidth — the dynamic-information step the paper adds over
-// the developers' hand-built static model.
-func (a *PipelineAgent) modelFor(producer, consumer *grid.Host) (*react.Model, error) {
+// the developers' hand-built static model. Forecasts come from the given
+// information view (a per-round snapshot during evaluation).
+func (a *PipelineAgent) modelFor(info Information, producer, consumer *grid.Host) (*react.Model, error) {
 	m, err := react.NewModel(a.tp, a.tpl, producer.Name, consumer.Name, a.opt)
 	if err != nil {
 		return nil, err
 	}
-	availP := a.info.Availability(producer.Name)
-	availC := a.info.Availability(consumer.Name)
+	availP := info.Availability(producer.Name)
+	availC := info.Availability(consumer.Name)
 	if availP <= 0 {
 		availP = 0.01
 	}
@@ -104,7 +105,7 @@ func (a *PipelineAgent) modelFor(producer, consumer *grid.Host) (*react.Model, e
 	}
 	m.TL /= availP
 	m.TD /= availC
-	if bw := a.info.RouteBandwidth(producer.Name, consumer.Name); bw > 0 && bw < 1e29 {
+	if bw := info.RouteBandwidth(producer.Name, consumer.Name); bw > 0 && bw < 1e29 {
 		var comm hat.Comm
 		for _, c := range a.tpl.Comms {
 			if c.Pattern == hat.PipelineFlow {
@@ -113,50 +114,50 @@ func (a *PipelineAgent) modelFor(producer, consumer *grid.Host) (*react.Model, e
 		}
 		m.SecPerUnitXfer = comm.BytesPerUnit / 1e6 / bw
 	}
-	m.Latency = a.info.RouteLatency(producer.Name, consumer.Name)
+	m.Latency = info.RouteLatency(producer.Name, consumer.Name)
 	return m, nil
 }
 
 // singleSitePrediction estimates a machine running both tasks alone,
 // discounted by forecast availability.
-func (a *PipelineAgent) singleSitePrediction(h *grid.Host) (float64, error) {
+func (a *PipelineAgent) singleSitePrediction(info Information, h *grid.Host) (float64, error) {
 	t, err := react.PredictSingleSite(a.tp, a.tpl, h.Name, a.opt)
 	if err != nil {
 		return 0, err
 	}
-	avail := a.info.Availability(h.Name)
+	avail := info.Availability(h.Name)
 	if avail <= 0 {
 		avail = 0.01
 	}
 	return t / avail, nil
 }
 
-// Schedule runs the blueprint: filter machines through the US, evaluate
-// every ordered pair (and every single machine), and return the mapping
-// with the best predicted performance under the user's metric.
-func (a *PipelineAgent) Schedule() (*PipelineSchedule, error) {
+// evaluate scores every feasible mapping — each single machine and each
+// ordered producer/consumer pair — against a per-round information
+// snapshot and returns them as the shared Candidate representation:
+// single-site mappings have one host and Unit 0, pipeline mappings have
+// [producer, consumer] and the tuned transfer unit. Every supported
+// metric reduces to minimizing predicted time here (speedup is
+// bestSingle/t, monotone in t for a fixed baseline), so Score is the
+// predicted execution time.
+func (a *PipelineAgent) evaluate() ([]Candidate, error) {
 	pool := a.spec.Filter(a.tp.Hosts())
 	if len(pool) == 0 {
-		return nil, fmt.Errorf("core: user specification filters out every machine")
+		return nil, fmt.Errorf("core: %w: user specification filters out every machine", ErrNoFeasibleHosts)
 	}
+	names := make([]string, len(pool))
+	for i, h := range pool {
+		names[i] = h.Name
+	}
+	info := SnapshotInformation(a.info, names)
 
-	best := &PipelineSchedule{Predicted: math.Inf(1)}
-	considered := 0
-
-	// Single-site candidates double as the speedup baseline.
-	bestSingle := math.Inf(1)
+	var cands []Candidate
 	for _, h := range pool {
-		t, err := a.singleSitePrediction(h)
+		t, err := a.singleSitePrediction(info, h)
 		if err != nil {
 			continue
 		}
-		considered++
-		if t < bestSingle {
-			bestSingle = t
-		}
-		if t < best.Predicted {
-			best = &PipelineSchedule{SingleSite: h.Name, Producer: h.Name, Consumer: h.Name, Predicted: t}
-		}
+		cands = append(cands, Candidate{Hosts: []string{h.Name}, PredictedTotal: t, Score: t})
 	}
 
 	minU, maxU := a.tpl.PipelineUnitMin, a.tpl.PipelineUnitMax
@@ -171,26 +172,78 @@ func (a *PipelineAgent) Schedule() (*PipelineSchedule, error) {
 			if p.Name == c.Name {
 				continue
 			}
-			m, err := a.modelFor(p, c)
+			m, err := a.modelFor(info, p, c)
 			if err != nil {
 				continue
 			}
-			considered++
 			u, t := m.BestUnit(minU, maxU)
-			if t < best.Predicted {
-				best = &PipelineSchedule{Producer: p.Name, Consumer: c.Name, Unit: u, Predicted: t}
-			}
+			cands = append(cands, Candidate{Hosts: []string{p.Name, c.Name}, PredictedTotal: t, Score: t, Unit: u})
 		}
 	}
-	if math.IsInf(best.Predicted, 1) {
-		return nil, fmt.Errorf("core: no feasible pipeline mapping among %d candidates", considered)
+	return cands, nil
+}
+
+// scheduleFrom reduces evaluated candidates to the chosen mapping: the
+// strictly best score wins, ties keep the earliest candidate (single-site
+// mappings are evaluated before pairs, as before).
+func (a *PipelineAgent) scheduleFrom(cands []Candidate) (*PipelineSchedule, error) {
+	bestIdx, bestScore := -1, math.Inf(1)
+	for i, c := range cands {
+		if c.Score < bestScore {
+			bestIdx, bestScore = i, c.Score
+		}
 	}
-	// Every supported metric reduces to minimizing predicted time here:
-	// speedup is bestSingle/t, which is monotone in t for the fixed
-	// baseline bestSingle.
-	_ = bestSingle
-	best.CandidatesConsidered = considered
+	if bestIdx < 0 {
+		return nil, fmt.Errorf("core: %w: no feasible pipeline mapping among %d candidates", ErrNoFeasiblePlan, len(cands))
+	}
+	c := cands[bestIdx]
+	best := &PipelineSchedule{Predicted: c.Score, CandidatesConsidered: len(cands)}
+	if len(c.Hosts) == 1 {
+		best.SingleSite = c.Hosts[0]
+		best.Producer, best.Consumer = c.Hosts[0], c.Hosts[0]
+	} else {
+		best.Producer, best.Consumer = c.Hosts[0], c.Hosts[1]
+		best.Unit = c.Unit
+	}
 	return best, nil
+}
+
+// Schedule runs the blueprint: filter machines through the US, evaluate
+// every ordered pair (and every single machine), and return the mapping
+// with the best predicted performance under the user's metric.
+func (a *PipelineAgent) Schedule() (*PipelineSchedule, error) {
+	cands, err := a.evaluate()
+	if err != nil {
+		return nil, err
+	}
+	return a.scheduleFrom(cands)
+}
+
+// ScheduleExplained runs the blueprint and additionally returns the top-k
+// candidate mappings sorted ascending by score — the same Candidate
+// surface Agent.ScheduleExplained exposes, so callers explain both
+// blueprints uniformly. topK <= 0 returns every feasible candidate.
+func (a *PipelineAgent) ScheduleExplained(topK int) (*PipelineSchedule, []Candidate, error) {
+	cands, err := a.evaluate()
+	if err != nil {
+		return nil, nil, err
+	}
+	best, err := a.scheduleFrom(cands)
+	if err != nil {
+		return nil, nil, err
+	}
+	return best, rankCandidates(cands, topK), nil
+}
+
+// Candidates evaluates every mapping and returns the top-k sorted
+// ascending by score, without committing to a schedule. k <= 0 returns
+// all of them.
+func (a *PipelineAgent) Candidates(k int) ([]Candidate, error) {
+	cands, err := a.evaluate()
+	if err != nil {
+		return nil, err
+	}
+	return rankCandidates(cands, k), nil
 }
 
 // Run schedules and immediately actuates: the pipeline executes on the

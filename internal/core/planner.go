@@ -17,6 +17,18 @@ type planner struct {
 	info Information
 }
 
+// borderBytes returns the per-unit border exchange volume from the HAT's
+// neighbor-exchange comm edge (0 when the template has none).
+func (pl *planner) borderBytes() float64 {
+	b := 0.0
+	for _, c := range pl.tpl.Comms {
+		if c.Pattern == hat.NeighborExchange {
+			b = c.BytesPerUnit
+		}
+	}
+	return b
+}
+
 // costsFor builds the per-host cost-model parameters for a chain-ordered
 // resource set and problem size n:
 //
@@ -25,12 +37,7 @@ type planner struct {
 //	cap = host memory / bytes per point
 func (pl *planner) costsFor(n int, chain []*grid.Host) ([]partition.HostCost, error) {
 	task := pl.tpl.Tasks[0]
-	borderBytes := 0.0
-	for _, c := range pl.tpl.Comms {
-		if c.Pattern == hat.NeighborExchange {
-			borderBytes = c.BytesPerUnit
-		}
-	}
+	borderBytes := pl.borderBytes()
 	costs := make([]partition.HostCost, len(chain))
 	for i, h := range chain {
 		avail := pl.info.Availability(h.Name)
@@ -75,17 +82,11 @@ func (pl *planner) costsFor(n int, chain []*grid.Host) ([]partition.HostCost, er
 // returning the placement, its cost parameters, and the model's predicted
 // per-iteration time.
 func (pl *planner) plan(n int, chain []*grid.Host) (*partition.Placement, []partition.HostCost, float64, error) {
-	borderBytes := 0.0
-	for _, c := range pl.tpl.Comms {
-		if c.Pattern == hat.NeighborExchange {
-			borderBytes = c.BytesPerUnit
-		}
-	}
 	costs, err := pl.costsFor(n, chain)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	p, tIter, err := partition.TimeBalanced(n, costs, borderBytes)
+	p, tIter, err := partition.TimeBalanced(n, costs, pl.borderBytes())
 	if err != nil {
 		return nil, nil, 0, err
 	}

@@ -21,18 +21,20 @@ func (a *Agent) EstimatePlacement(n int, p *partition.Placement) (float64, error
 		}
 		chain = append(chain, h)
 	}
-	pl := &planner{tp: a.tp, tpl: a.tpl, info: a.info}
+	info := a.info
+	if a.snapshot {
+		names := make([]string, len(chain))
+		for i, h := range chain {
+			names[i] = h.Name
+		}
+		info = SnapshotInformation(a.info, names)
+	}
+	pl := &planner{tp: a.tp, tpl: a.tpl, info: info}
 	costs, err := pl.costsFor(n, chain)
 	if err != nil {
 		return 0, err
 	}
-	es := &estimator{
-		tp:            a.tp,
-		spec:          a.spec,
-		bytesPerPoint: a.tpl.Tasks[0].BytesPerUnit,
-		spillFactor:   a.SpillFactor,
-		iterations:    max(a.tpl.Iterations, 1),
-	}
+	es := newEstimator(a.tp, a.spec, a.tpl.Tasks[0].BytesPerUnit, a.SpillFactor, max(a.tpl.Iterations, 1))
 	return es.iterTime(p, costs), nil
 }
 

@@ -93,17 +93,27 @@ func (rs *resourceSelector) orderChain(set []*grid.Host) []*grid.Host {
 	return chain
 }
 
-// candidates enumerates resource sets for the Planner, each already
-// ordered as a strip chain. With a small pool every non-empty subset is
-// considered (as the paper's prototype did); larger pools use prefixes of
-// the desirability ranking. maxSets caps the result when positive.
-func (rs *resourceSelector) candidates(pool []*grid.Host, maxSets int) [][]*grid.Host {
+// candidatesDirect enumerates resource sets the way the pre-snapshot
+// engine did: build each subset, rank by aggregate desirability, and run
+// every set through orderChain — re-querying the information source for
+// the same availability and route values on every set. It remains the
+// evaluation path when the per-round snapshot is disabled
+// (WithInfoSnapshot(false)): without a frozen information view, hoisting
+// those lookups out of the per-set loop would just be snapshotting by
+// another name, and the ablation is meant to measure exactly that cost.
+// Its output is bit-identical to candidates (a differential test pins
+// this).
+func (rs *resourceSelector) candidatesDirect(pool []*grid.Host, maxSets int) [][]*grid.Host {
 	if len(pool) == 0 {
 		return nil
 	}
+	des := make(map[string]float64, len(pool))
+	for _, h := range pool {
+		des[h.Name] = rs.desirability(h, pool)
+	}
 	ranked := append([]*grid.Host(nil), pool...)
 	sort.Slice(ranked, func(i, j int) bool {
-		di, dj := rs.desirability(ranked[i], pool), rs.desirability(ranked[j], pool)
+		di, dj := des[ranked[i].Name], des[ranked[j].Name]
 		if di != dj {
 			return di > dj
 		}
@@ -124,9 +134,24 @@ func (rs *resourceSelector) candidates(pool []*grid.Host, maxSets int) [][]*grid
 		}
 		// Prefer larger aggregate desirability first so a cap keeps the
 		// most promising sets.
-		sort.SliceStable(sets, func(i, j int) bool {
-			return rs.aggregate(sets[i], pool) > rs.aggregate(sets[j], pool)
-		})
+		agg := make([]float64, len(sets))
+		for i, set := range sets {
+			sum := 0.0
+			for _, h := range set {
+				sum += des[h.Name]
+			}
+			agg[i] = sum
+		}
+		order := make([]int, len(sets))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool { return agg[order[i]] > agg[order[j]] })
+		sorted := make([][]*grid.Host, len(sets))
+		for i, idx := range order {
+			sorted[i] = sets[idx]
+		}
+		sets = sorted
 	} else {
 		for k := 1; k <= len(ranked); k++ {
 			sets = append(sets, append([]*grid.Host(nil), ranked[:k]...))
@@ -141,10 +166,162 @@ func (rs *resourceSelector) candidates(pool []*grid.Host, maxSets int) [][]*grid
 	return sets
 }
 
-func (rs *resourceSelector) aggregate(set, pool []*grid.Host) float64 {
-	sum := 0.0
-	for _, h := range set {
-		sum += rs.desirability(h, pool)
+// candidates enumerates resource sets for the Planner, each already
+// ordered as a strip chain. With a small pool every non-empty subset is
+// considered (as the paper's prototype did); larger pools use prefixes of
+// the desirability ranking. maxSets caps the result when positive.
+//
+// The exhaustive path is the hot loop of a scheduling round (2^pool - 1
+// sets), so every information value it needs — per-host effective speed
+// and the pairwise transfer cost — is resolved once up front; subsets are
+// then enumerated as bitmasks and chained by index arithmetic. The
+// resulting sets are identical, element for element, to candidatesDirect
+// (a differential test pins this).
+func (rs *resourceSelector) candidates(pool []*grid.Host, maxSets int) [][]*grid.Host {
+	n := len(pool)
+	if n == 0 {
+		return nil
 	}
-	return sum
+	// eff[i] is host i's deliverable speed; cost[i][j] the seconds to move
+	// a nominal 1 MB border from i to j — the same quantities desirability
+	// and orderChain compute, resolved once for the whole enumeration.
+	eff := make([]float64, n)
+	for i, h := range pool {
+		eff[i] = h.Speed * rs.info.Availability(h.Name)
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				continue
+			}
+			bw := rs.info.RouteBandwidth(pool[i].Name, pool[j].Name)
+			if bw <= 0 {
+				bw = 1e-6
+			}
+			cost[i][j] = rs.info.RouteLatency(pool[i].Name, pool[j].Name) + 1.0/bw
+		}
+	}
+	des := make([]float64, n)
+	for i := range pool {
+		des[i] = eff[i]
+		if n > 1 {
+			dist := 0.0
+			for j := range pool {
+				if j == i {
+					continue
+				}
+				dist += cost[i][j]
+			}
+			dist /= float64(n - 1)
+			des[i] = eff[i] / (1 + dist)
+		}
+	}
+	// Rank by desirability (the enumeration and prefix order), then
+	// re-index eff and cost to ranked positions.
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if des[ord[a]] != des[ord[b]] {
+			return des[ord[a]] > des[ord[b]]
+		}
+		return pool[ord[a]].Name < pool[ord[b]].Name
+	})
+	ranked := make([]*grid.Host, n)
+	rDes := make([]float64, n)
+	rEff := make([]float64, n)
+	rCost := make([][]float64, n)
+	for a, idx := range ord {
+		ranked[a] = pool[idx]
+		rDes[a] = des[idx]
+		rEff[a] = eff[idx]
+		rCost[a] = make([]float64, n)
+		for b, jdx := range ord {
+			rCost[a][b] = cost[idx][jdx]
+		}
+	}
+
+	if n > maxExhaustiveHosts {
+		sets := make([][]*grid.Host, 0, n)
+		for k := 1; k <= n; k++ {
+			sets = append(sets, append([]*grid.Host(nil), ranked[:k]...))
+		}
+		if maxSets > 0 && len(sets) > maxSets {
+			sets = sets[:maxSets]
+		}
+		for i, set := range sets {
+			sets[i] = rs.orderChain(set)
+		}
+		return sets
+	}
+
+	// effOrder is orderChain's seed ordering (eff desc, name asc) over
+	// ranked indices; filtering it by a mask yields each subset already
+	// eff-sorted.
+	effOrder := make([]int, n)
+	for i := range effOrder {
+		effOrder[i] = i
+	}
+	sort.Slice(effOrder, func(a, b int) bool {
+		if rEff[effOrder[a]] != rEff[effOrder[b]] {
+			return rEff[effOrder[a]] > rEff[effOrder[b]]
+		}
+		return ranked[effOrder[a]].Name < ranked[effOrder[b]].Name
+	})
+
+	// Prefer larger aggregate desirability first so a cap keeps the most
+	// promising sets; ties keep mask-enumeration order (stable sort).
+	total := 1<<n - 1
+	agg := make([]float64, total+1)
+	for mask := 1; mask <= total; mask++ {
+		sum := 0.0
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				sum += rDes[b]
+			}
+		}
+		agg[mask] = sum
+	}
+	order := make([]int, total)
+	for i := range order {
+		order[i] = i + 1
+	}
+	sort.SliceStable(order, func(a, b int) bool { return agg[order[a]] > agg[order[b]] })
+	if maxSets > 0 && len(order) > maxSets {
+		order = order[:maxSets]
+	}
+
+	// Chain each mask: greedy nearest neighbor by transfer cost, seeded at
+	// the highest-eff member, ties broken by name — orderChain's algorithm
+	// on the precomputed matrices.
+	sets := make([][]*grid.Host, len(order))
+	scratch := make([]int, 0, n)
+	for si, mask := range order {
+		scratch = scratch[:0]
+		for _, idx := range effOrder {
+			if mask&(1<<idx) != 0 {
+				scratch = append(scratch, idx)
+			}
+		}
+		chain := make([]*grid.Host, 1, len(scratch))
+		cur := scratch[0]
+		chain[0] = ranked[cur]
+		rem := scratch[1:]
+		for len(rem) > 0 {
+			bestI, bestCost := 0, math.Inf(1)
+			for i, idx := range rem {
+				if c := rCost[cur][idx]; c < bestCost || (c == bestCost && ranked[idx].Name < ranked[rem[bestI]].Name) {
+					bestI, bestCost = i, c
+				}
+			}
+			cur = rem[bestI]
+			chain = append(chain, ranked[cur])
+			rem = append(rem[:bestI], rem[bestI+1:]...)
+		}
+		sets[si] = chain
+	}
+	return sets
 }

@@ -117,6 +117,41 @@ func TestCandidatesPrefixLargePool(t *testing.T) {
 	}
 }
 
+// TestCandidatesMatchLegacyConstruction pins the optimized exhaustive
+// enumeration (precomputed eff/cost matrices, bitmask subsets, index-based
+// chaining) to candidatesDirect — the legacy per-set-query construction —
+// on both a hand-built two-site topology and a loaded cluster-of-clusters
+// pool. This equivalence is what lets WithInfoSnapshot(false) serve as a
+// bit-identical sequential reference for the parallel engine.
+func TestCandidatesMatchLegacyConstruction(t *testing.T) {
+	check := func(name string, rs *resourceSelector, pool []*grid.Host, maxSets int) {
+		t.Helper()
+		got := rs.candidates(pool, maxSets)
+		want := rs.candidatesDirect(pool, maxSets)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d sets, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("%s: set %d has %d hosts, want %d", name, i, len(got[i]), len(want[i]))
+			}
+			for j := range got[i] {
+				if got[i][j].Name != want[i][j].Name {
+					t.Fatalf("%s: set %d diverged at %d: %s vs %s", name, i, j, got[i][j].Name, want[i][j].Name)
+				}
+			}
+		}
+	}
+	rs, tp := selectorFixture(t)
+	check("two-site", rs, tp.Hosts(), 0)
+	check("two-site-capped", rs, tp.Hosts(), 3)
+
+	eng := sim.NewEngine()
+	ctp := grid.ClusterOfClusters(eng, grid.ClusterOptions{Clusters: 3, PerCluster: 3, Seed: 7, Quiet: true})
+	crs := &resourceSelector{tp: ctp, info: OracleInformation(ctp)}
+	check("cluster-9host", crs, ctp.Hosts(), 0)
+}
+
 func TestCandidatesPreferLoadedPoolShift(t *testing.T) {
 	// A loaded near host should rank below an equally fast idle one.
 	eng := sim.NewEngine()

@@ -1,0 +1,83 @@
+package core
+
+// InfoSnapshot is an immutable, point-in-time resolution of an
+// Information source over a fixed host set. The agent takes one snapshot
+// per scheduling round and evaluates every candidate resource set against
+// it, which
+//
+//   - removes the repeated Availability/RouteBandwidth/RouteLatency
+//     queries the select → plan → estimate loop otherwise issues for the
+//     same values (an O(pool²) cost per candidate with forecast-backed
+//     sources, since each route query walks links and consults a
+//     forecaster bank), and
+//   - makes parallel candidate evaluation safe: workers read only the
+//     snapshot's frozen maps, never the underlying source, so an
+//     Information implementation need not be thread-safe.
+//
+// Lookups for hosts outside the snapshot fall through to the underlying
+// source (this only happens on sequential paths such as re-estimating a
+// stale placement whose hosts have since been filtered out).
+type InfoSnapshot struct {
+	avail  map[string]float64
+	bw     map[pairKey]float64
+	lat    map[pairKey]float64
+	source string
+	base   Information
+}
+
+type pairKey struct{ a, b string }
+
+// SnapshotInformation resolves every lookup the scheduling round can make
+// for the given hosts — one Availability per host, one RouteBandwidth and
+// RouteLatency per ordered pair — and freezes them. The snapshot reflects
+// the source at call time; take a fresh one per scheduling round.
+func SnapshotInformation(info Information, hosts []string) *InfoSnapshot {
+	s := &InfoSnapshot{
+		avail:  make(map[string]float64, len(hosts)),
+		bw:     make(map[pairKey]float64, len(hosts)*len(hosts)),
+		lat:    make(map[pairKey]float64, len(hosts)*len(hosts)),
+		source: info.Source(),
+		base:   info,
+	}
+	for _, h := range hosts {
+		s.avail[h] = info.Availability(h)
+	}
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			k := pairKey{a, b}
+			s.bw[k] = info.RouteBandwidth(a, b)
+			s.lat[k] = info.RouteLatency(a, b)
+		}
+	}
+	return s
+}
+
+// Availability implements Information from the frozen map.
+func (s *InfoSnapshot) Availability(host string) float64 {
+	if v, ok := s.avail[host]; ok {
+		return v
+	}
+	return s.base.Availability(host)
+}
+
+// RouteBandwidth implements Information from the frozen map.
+func (s *InfoSnapshot) RouteBandwidth(a, b string) float64 {
+	if v, ok := s.bw[pairKey{a, b}]; ok {
+		return v
+	}
+	return s.base.RouteBandwidth(a, b)
+}
+
+// RouteLatency implements Information from the frozen map.
+func (s *InfoSnapshot) RouteLatency(a, b string) float64 {
+	if v, ok := s.lat[pairKey{a, b}]; ok {
+		return v
+	}
+	return s.base.RouteLatency(a, b)
+}
+
+// Source names the underlying source as of snapshot time.
+func (s *InfoSnapshot) Source() string { return s.source }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/nws"
+	"apples/internal/sim"
+)
+
+// TestSnapshotMatchesSource: the snapshot must resolve exactly the values
+// the underlying source returns at snapshot time, for every covered host
+// and ordered pair.
+func TestSnapshotMatchesSource(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 9})
+	svc := nws.NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	svc.Stop()
+	info := NWSInformation(svc, tp)
+
+	names := tp.HostNames()
+	snap := SnapshotInformation(info, names)
+	if snap.Source() != info.Source() {
+		t.Fatalf("source %q, want %q", snap.Source(), info.Source())
+	}
+	for _, h := range names {
+		if got, want := snap.Availability(h), info.Availability(h); got != want {
+			t.Fatalf("availability(%s) %v != %v", h, got, want)
+		}
+	}
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			if got, want := snap.RouteBandwidth(a, b), info.RouteBandwidth(a, b); got != want {
+				t.Fatalf("bandwidth(%s,%s) %v != %v", a, b, got, want)
+			}
+			if got, want := snap.RouteLatency(a, b), info.RouteLatency(a, b); got != want {
+				t.Fatalf("latency(%s,%s) %v != %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotFallsThrough: lookups outside the snapshotted host set
+// delegate to the underlying source instead of failing.
+func TestSnapshotFallsThrough(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 1, Quiet: true})
+	info := OracleInformation(tp)
+	names := tp.HostNames()
+	snap := SnapshotInformation(info, names[:2])
+	outside := names[len(names)-1]
+	if got, want := snap.Availability(outside), info.Availability(outside); got != want {
+		t.Fatalf("fallback availability %v != %v", got, want)
+	}
+	if got, want := snap.RouteBandwidth(names[0], outside), info.RouteBandwidth(names[0], outside); got != want {
+		t.Fatalf("fallback bandwidth %v != %v", got, want)
+	}
+}
+
+// TestSnapshotFreezes: the snapshot keeps its values when the underlying
+// system state moves on — that is the point of a per-round snapshot.
+func TestSnapshotFreezes(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 4})
+	info := OracleInformation(tp)
+	if err := eng.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	names := tp.HostNames()
+	snap := SnapshotInformation(info, names)
+	before := make(map[string]float64, len(names))
+	for _, h := range names {
+		before[h] = snap.Availability(h)
+	}
+	if err := eng.RunUntil(500); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range names {
+		if snap.Availability(h) != before[h] {
+			t.Fatalf("snapshot availability of %s drifted after simulated time advanced", h)
+		}
+	}
+}

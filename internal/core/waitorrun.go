@@ -66,13 +66,11 @@ func (a *Agent) WaitOrRun(n int, offer DedicatedOffer) (*WaitOrRunDecision, erro
 	for _, h := range offer.Hosts {
 		hostSet[h] = true
 	}
-	dedAgent := &Agent{
-		tp:          a.tp,
-		tpl:         a.tpl,
-		spec:        &dedSpec,
-		info:        &dedicatedInfo{Information: a.info, hosts: hostSet},
-		SpillFactor: a.SpillFactor,
-	}
+	// Clone so the dedicated evaluation inherits the agent's full
+	// configuration (spill factor, parallelism, pruning, snapshotting).
+	dedAgent := a.clone()
+	dedAgent.spec = &dedSpec
+	dedAgent.info = &dedicatedInfo{Information: a.info, hosts: hostSet}
 	dedicated, err := dedAgent.Schedule(n)
 	if err != nil {
 		return nil, fmt.Errorf("core: dedicated offer unschedulable: %w", err)

@@ -104,6 +104,101 @@ func Scalability(sizes [][2]int, n int, seed int64) ([]ScaleRow, error) {
 	return rows, nil
 }
 
+// NewScaleAgent builds a warmed scheduling scenario for latency
+// measurements and benchmarks: a cluster-of-clusters metacomputer
+// (`clusters` sites of `per` hosts) with ambient load, an NWS warmed for
+// 300 virtual seconds, and an AppLeS for an n x n Jacobi2D configured
+// with the given evaluation options.
+func NewScaleAgent(clusters, per, n int, seed int64, opts ...core.AgentOption) (*core.Agent, error) {
+	eng := sim.NewEngine()
+	eng.SetEventLimit(200_000_000)
+	tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{
+		Clusters: clusters, PerCluster: per, Seed: seed,
+	})
+	svc := nws.NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(300); err != nil {
+		return nil, err
+	}
+	svc.Stop()
+	return core.NewAgent(tp, hat.Jacobi2D(n, 40), &userspec.Spec{Decomposition: "strip"},
+		core.NWSInformation(svc, tp), opts...)
+}
+
+// LatencyRow is one pool size of the scheduler-latency experiment: the
+// wall-clock cost of one scheduling round under each evaluation mode.
+type LatencyRow struct {
+	Hosts      int
+	Candidates int
+	DirectMS   float64 // legacy loop: sequential, re-querying the info source per set
+	SeqMS      float64 // snapshot, sequential
+	ParMS      float64 // snapshot, GOMAXPROCS worker pool
+	PruneMS    float64 // snapshot, worker pool + best-so-far pruning
+}
+
+// SchedLatency measures scheduler decision latency — the quantity that
+// must stay interactive for the agent to be worth consulting — across
+// pool sizes and evaluation modes. Each mode schedules the same warmed
+// scenario; the reported time is the best of three rounds.
+func SchedLatency(sizes [][2]int, n int, seed int64) ([]LatencyRow, error) {
+	if len(sizes) == 0 {
+		sizes = [][2]int{{2, 4}, {3, 4}, {8, 4}, {8, 8}}
+	}
+	if n == 0 {
+		n = 2000
+	}
+	modes := []struct {
+		set  func(*LatencyRow, float64)
+		opts []core.AgentOption
+	}{
+		{func(r *LatencyRow, v float64) { r.DirectMS = v },
+			[]core.AgentOption{core.WithParallelism(1), core.WithInfoSnapshot(false)}},
+		{func(r *LatencyRow, v float64) { r.SeqMS = v },
+			[]core.AgentOption{core.WithParallelism(1)}},
+		{func(r *LatencyRow, v float64) { r.ParMS = v },
+			[]core.AgentOption{core.WithParallelism(0)}},
+		{func(r *LatencyRow, v float64) { r.PruneMS = v },
+			[]core.AgentOption{core.WithParallelism(0), core.WithPruning(true)}},
+	}
+	var rows []LatencyRow
+	for _, cp := range sizes {
+		row := LatencyRow{Hosts: cp[0] * cp[1]}
+		for _, m := range modes {
+			agent, err := NewScaleAgent(cp[0], cp[1], n, seed, m.opts...)
+			if err != nil {
+				return nil, err
+			}
+			best := 0.0
+			for trial := 0; trial < 3; trial++ {
+				wall := time.Now()
+				sched, err := agent.Schedule(n)
+				if err != nil {
+					return nil, fmt.Errorf("sched latency %dx%d: %w", cp[0], cp[1], err)
+				}
+				row.Candidates = sched.CandidatesConsidered
+				if ms := float64(time.Since(wall).Microseconds()) / 1000; trial == 0 || ms < best {
+					best = ms
+				}
+			}
+			m.set(&row, best)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSchedLatency renders the scheduler-latency experiment.
+func FormatSchedLatency(rows []LatencyRow) string {
+	var sb strings.Builder
+	sb.WriteString("Scheduler decision latency — one round, by evaluation mode (ms wall-clock)\n")
+	sb.WriteString("  hosts  candidates  direct(ms)  snapshot(ms)  parallel(ms)  +pruning(ms)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d  %10d  %10.1f  %12.1f  %12.1f  %12.1f\n",
+			r.Hosts, r.Candidates, r.DirectMS, r.SeqMS, r.ParMS, r.PruneMS)
+	}
+	return sb.String()
+}
+
 // FormatScalability renders the scalability experiment.
 func FormatScalability(rows []ScaleRow) string {
 	var sb strings.Builder

@@ -29,15 +29,19 @@ func stripFromRows(n int, hosts []string, rows []int, borderBytesPerPoint float6
 		host string
 		rows int
 	}
-	var bands []live
+	bands := make([]live, 0, len(hosts))
 	for i, h := range hosts {
 		if rows[i] > 0 {
 			bands = append(bands, live{h, rows[i]})
 		}
 	}
 	edge := float64(n) * borderBytesPerPoint
+	p.Assignments = make([]Assignment, 0, len(bands))
 	for i, b := range bands {
 		a := Assignment{Host: b.host, Rows: b.rows, Points: b.rows * n}
+		if i > 0 || i < len(bands)-1 {
+			a.Borders = make([]Border, 0, 2)
+		}
 		if i > 0 {
 			a.Borders = append(a.Borders, Border{Peer: bands[i-1].host, Bytes: edge})
 		}
