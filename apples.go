@@ -120,10 +120,21 @@ type (
 	Forecaster = nws.Forecaster
 	// ForecasterBank performs dynamic MSE-based predictor selection.
 	ForecasterBank = nws.Bank
+	// NWSOption configures an NWS instance at construction.
+	NWSOption = nws.ServiceOption
 )
 
 // NewNWS creates a service sampling every period seconds of virtual time.
-func NewNWS(eng *Engine, period float64) *NWS { return nws.NewService(eng, period) }
+func NewNWS(eng *Engine, period float64, opts ...NWSOption) *NWS {
+	return nws.NewService(eng, period, opts...)
+}
+
+// WithNWSRetention caps how many raw measurements per watched series the
+// service retains for snapshots (forecaster banks still see everything).
+func WithNWSRetention(n int) NWSOption { return nws.WithRetention(n) }
+
+// WithNWSBankFactory replaces the forecaster bank new sensors start with.
+func WithNWSBankFactory(mk func() *ForecasterBank) NWSOption { return nws.WithBankFactory(mk) }
 
 // NewForecasterBank builds a predictor bank (the standard NWS set when
 // called with no arguments).

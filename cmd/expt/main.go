@@ -8,7 +8,7 @@
 //	expt -fig react -seed 7
 //
 // Figures: 3, 4, 5, 6, react, nile, a1 (forecast ablation), a3
-// (selection ablation), all.
+// (selection ablation), nws-scale (sensing throughput), all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,nws-scale,all")
 	seed := flag.Int64("seed", 11, "base seed for ambient load")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
@@ -253,6 +253,19 @@ func main() {
 		}
 		fmt.Print(expt.FormatSchedLatency(rows))
 		return nil
+	})
+
+	run("nws-scale", func() error {
+		series := []int{100, 1000, 10000}
+		windows := []int{5, 21, 101}
+		ticks := 200
+		if *quick {
+			series, windows, ticks = []int{100, 1000}, []int{5, 21}, 50
+		}
+		rows := expt.NWSScale(series, windows, ticks, *seed)
+		fmt.Print(expt.FormatNWSScale(rows))
+		h, c := expt.NWSScaleCSV(rows)
+		return writeCSV("nws-scale", h, c)
 	})
 
 	run("wait", func() error {

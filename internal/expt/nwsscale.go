@@ -1,0 +1,144 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"apples/internal/nws"
+	"apples/internal/sim"
+)
+
+// NWSScaleRow is one (series count, window size) cell of the NWS sensing
+// throughput sweep.
+type NWSScaleRow struct {
+	Series              int
+	Window              int
+	Ticks               int
+	UpdatesPerSec       float64 // incremental forecaster bank
+	LegacyUpdatesPerSec float64 // copy+sort re-fit bank
+}
+
+// Speedup returns the incremental/legacy throughput ratio.
+func (r NWSScaleRow) Speedup() float64 {
+	if r.LegacyUpdatesPerSec == 0 {
+		return 0
+	}
+	return r.UpdatesPerSec / r.LegacyUpdatesPerSec
+}
+
+// nwsScaleBank composes the windowed forecasters the sweep exercises, all
+// at window k.
+func nwsScaleBank(k int, legacy bool) *nws.Bank {
+	ark := k
+	if ark < 3 {
+		ark = 3
+	}
+	if legacy {
+		return nws.NewBank(
+			nws.NewLastValue(),
+			nws.NewLegacySlidingMean(k, "mean"),
+			nws.NewLegacySlidingMedian(k, "median"),
+			nws.NewLegacyTrimmedMean(k, k/8, "trim"),
+			nws.NewLegacyWindowedAR1(ark, "ar"),
+		)
+	}
+	return nws.NewBank(
+		nws.NewLastValue(),
+		nws.NewSlidingMean(k, "mean"),
+		nws.NewSlidingMedian(k, "median"),
+		nws.NewTrimmedMean(k, k/8, "trim"),
+		nws.NewWindowedAR1(ark, "ar"),
+	)
+}
+
+// NWSScale measures raw sensing throughput — forecaster-bank updates per
+// wall-clock second — as the number of watched series and the forecaster
+// window size grow, for the incremental bank against the legacy copy+sort
+// bank. This is the information-pool cost a metacomputer pays every
+// sensing period, so it bounds how many resources one NWS instance can
+// watch at a given cadence.
+func NWSScale(seriesCounts, windows []int, ticks int, seed int64) []NWSScaleRow {
+	if len(seriesCounts) == 0 {
+		seriesCounts = []int{100, 1000, 10000}
+	}
+	if len(windows) == 0 {
+		windows = []int{5, 21, 101}
+	}
+	if ticks <= 0 {
+		ticks = 200
+	}
+	var rows []NWSScaleRow
+	for _, k := range windows {
+		for _, s := range seriesCounts {
+			// One smooth autocorrelated value stream, shared by every
+			// series: the cost under test is bank arithmetic, not RNG.
+			rng := sim.NewRand(seed + int64(k))
+			vals := make([]float64, ticks)
+			x := 0.5
+			for i := range vals {
+				x = 0.5 + 0.8*(x-0.5) + rng.Normal(0, 0.1)
+				vals[i] = x
+			}
+			measure := func(legacy bool) float64 {
+				banks := make([]*nws.Bank, s)
+				for i := range banks {
+					banks[i] = nwsScaleBank(k, legacy)
+				}
+				// Warm every window before timing so steady-state cost is
+				// what gets measured.
+				for _, v := range vals {
+					for _, b := range banks {
+						b.Update(v)
+					}
+				}
+				start := time.Now()
+				for _, v := range vals {
+					for _, b := range banks {
+						b.Update(v)
+					}
+				}
+				elapsed := time.Since(start).Seconds()
+				if elapsed <= 0 {
+					return 0
+				}
+				return float64(s*ticks) / elapsed
+			}
+			rows = append(rows, NWSScaleRow{
+				Series:              s,
+				Window:              k,
+				Ticks:               ticks,
+				UpdatesPerSec:       measure(false),
+				LegacyUpdatesPerSec: measure(true),
+			})
+		}
+	}
+	return rows
+}
+
+// FormatNWSScale renders the sensing-throughput sweep.
+func FormatNWSScale(rows []NWSScaleRow) string {
+	var sb strings.Builder
+	sb.WriteString("NWS sensing throughput — bank updates/sec vs series count and window size\n")
+	sb.WriteString("  window  series   ticks  incremental(up/s)  legacy(up/s)   speedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %6d  %6d  %6d  %17.3g  %12.3g  %7.1fx\n",
+			r.Window, r.Series, r.Ticks, r.UpdatesPerSec, r.LegacyUpdatesPerSec, r.Speedup())
+	}
+	return sb.String()
+}
+
+// NWSScaleCSV flattens the sweep for -csv output.
+func NWSScaleCSV(rows []NWSScaleRow) ([]string, [][]string) {
+	header := []string{"window", "series", "ticks", "updates_per_sec", "legacy_updates_per_sec", "speedup"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprint(r.Window), fmt.Sprint(r.Series), fmt.Sprint(r.Ticks),
+			fmt.Sprintf("%.1f", r.UpdatesPerSec),
+			fmt.Sprintf("%.1f", r.LegacyUpdatesPerSec),
+			fmt.Sprintf("%.2f", r.Speedup()),
+		})
+	}
+	return header, cells
+}

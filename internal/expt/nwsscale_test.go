@@ -1,0 +1,38 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNWSScaleSmall(t *testing.T) {
+	rows := NWSScale([]int{3, 7}, []int{5, 21}, 20, 1)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ticks != 20 {
+			t.Fatalf("row %+v: ticks not threaded through", r)
+		}
+		if r.UpdatesPerSec <= 0 || r.LegacyUpdatesPerSec <= 0 {
+			t.Fatalf("row %+v: non-positive throughput", r)
+		}
+	}
+	out := FormatNWSScale(rows)
+	if !strings.Contains(out, "sensing throughput") || strings.Count(out, "\n") != 2+len(rows) {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+	h, c := NWSScaleCSV(rows)
+	if len(h) != 6 || len(c) != len(rows) || len(c[0]) != len(h) {
+		t.Fatalf("csv shape: header %d, rows %d", len(h), len(c))
+	}
+}
+
+func TestNWSScaleDefaultsApplied(t *testing.T) {
+	// Only check the parameter-defaulting logic cheaply: a single tiny
+	// cell with explicit args must not mutate into the default sweep.
+	rows := NWSScale([]int{2}, []int{5}, 10, 1)
+	if len(rows) != 1 || rows[0].Series != 2 || rows[0].Window != 5 {
+		t.Fatalf("rows %+v", rows)
+	}
+}

@@ -11,8 +11,16 @@ import (
 // prediction (cumulative squared and absolute error), then lets each
 // forecaster absorb the measurement. Forecast returns the prediction of
 // the forecaster with the lowest mean squared error so far.
+//
+// The update path is allocation-free: forecasters that implement the
+// combined score+absorb step hand the bank their cached standing
+// forecast in the same call that absorbs the measurement, and all
+// windowed forecasters share one ring buffer sized to the largest window
+// that the bank pushes into exactly once per measurement.
 type Bank struct {
 	fcs    []Forecaster
+	sa     []scoreAbsorber // sa[i] non-nil when fcs[i] supports the fused path
+	ring   *ring           // shared window storage, nil without windowed forecasters
 	sqErr  []float64
 	absErr []float64
 	scored []int // how many predictions each forecaster has been scored on
@@ -22,32 +30,64 @@ type Bank struct {
 }
 
 // NewBank builds a bank over the given forecasters (DefaultForecasters()
-// when none are supplied).
+// when none are supplied). Fresh windowed forecasters are re-pointed at
+// one shared ring sized to the largest window; a forecaster that has
+// already absorbed history keeps its own buffer. A forecaster instance
+// must belong to at most one bank.
 func NewBank(fcs ...Forecaster) *Bank {
 	if len(fcs) == 0 {
 		fcs = DefaultForecasters()
 	}
-	return &Bank{
+	b := &Bank{
 		fcs:    fcs,
+		sa:     make([]scoreAbsorber, len(fcs)),
 		sqErr:  make([]float64, len(fcs)),
 		absErr: make([]float64, len(fcs)),
 		scored: make([]int, len(fcs)),
 	}
+	maxK := 0
+	for i, f := range fcs {
+		if sa, ok := f.(scoreAbsorber); ok {
+			b.sa[i] = sa
+		}
+		if w, ok := f.(ringWindowed); ok && w.window() > maxK {
+			maxK = w.window()
+		}
+	}
+	if maxK > 0 {
+		shared := newRing(maxK)
+		for _, f := range fcs {
+			if w, ok := f.(ringWindowed); ok && w.attachRing(shared) {
+				b.ring = shared
+			}
+		}
+	}
+	return b
 }
 
 // Update scores all standing predictions against v, then feeds v to every
-// forecaster.
+// forecaster. Steady state allocates nothing.
 func (b *Bank) Update(v float64) {
 	for i, f := range b.fcs {
-		if f.Ready() {
-			e := f.Forecast() - v
+		var fc float64
+		var ready bool
+		if sa := b.sa[i]; sa != nil {
+			fc, ready = sa.scoreAbsorb(v)
+		} else {
+			if ready = f.Ready(); ready {
+				fc = f.Forecast()
+			}
+			f.Update(v)
+		}
+		if ready {
+			e := fc - v
 			b.sqErr[i] += e * e
 			b.absErr[i] += math.Abs(e)
 			b.scored[i]++
 		}
 	}
-	for _, f := range b.fcs {
-		f.Update(v)
+	if b.ring != nil {
+		b.ring.push(v)
 	}
 	b.n++
 	b.last = v

@@ -127,22 +127,4 @@ func TestBankLastAndLen(t *testing.T) {
 	}
 }
 
-func BenchmarkBankUpdate(b *testing.B) {
-	bank := NewBank()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		bank.Update(float64(i % 17))
-	}
-}
-
-func BenchmarkBankForecast(b *testing.B) {
-	bank := NewBank()
-	for i := 0; i < 1000; i++ {
-		bank.Update(float64(i % 17))
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		bank.Forecast()
-	}
-}
+// BenchmarkBankUpdate and BenchmarkServiceTick live in bench_test.go.

@@ -13,6 +13,12 @@ import (
 // both the predictions and the accumulated per-forecaster error state
 // exactly (forecasters are deterministic functions of their input
 // series).
+//
+// Series are bounded: the service retains the last `retention` samples
+// per resource (WithRetention, default DefaultRetention), so a snapshot
+// carries at most that window and a restored bank replays exactly what
+// the snapshot holds. Snapshotting a service and restoring it is
+// idempotent — the round trip reproduces forecasts bit for bit.
 type Snapshot struct {
 	Version int                  `json:"version"`
 	Period  float64              `json:"period"`
@@ -32,10 +38,10 @@ func (s *Service) Snapshot() *Snapshot {
 		Links:   make(map[string][]float64, len(s.bwSeries)),
 	}
 	for name, series := range s.cpuSeries {
-		snap.CPU[name] = append([]float64(nil), series...)
+		snap.CPU[name] = series.values()
 	}
 	for name, series := range s.bwSeries {
-		snap.Links[name] = append([]float64(nil), series...)
+		snap.Links[name] = series.values()
 	}
 	return snap
 }
@@ -50,22 +56,25 @@ func (s *Service) Restore(snap *Snapshot) error {
 		return fmt.Errorf("nws: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
 	for name, series := range snap.CPU {
-		bank := NewBank()
-		for _, v := range series {
-			bank.Update(v)
-		}
-		s.cpuBanks[name] = bank
-		s.cpuSeries[name] = append([]float64(nil), series...)
+		s.cpuBanks[name], s.cpuSeries[name] = s.replay(series)
 	}
 	for name, series := range snap.Links {
-		bank := NewBank()
-		for _, v := range series {
-			bank.Update(v)
-		}
-		s.bwBanks[name] = bank
-		s.bwSeries[name] = append([]float64(nil), series...)
+		s.bwBanks[name], s.bwSeries[name] = s.replay(series)
 	}
 	return nil
+}
+
+// replay feeds one snapshot series into a fresh bank and a fresh
+// retention ring. The bank absorbs every sample the snapshot carries; the
+// ring keeps the last `retention` of them, same as live sensing would.
+func (s *Service) replay(series []float64) (*Bank, *ring) {
+	bank := s.newBank()
+	r := newRing(s.retention)
+	for _, v := range series {
+		bank.Update(v)
+		r.push(v)
+	}
+	return bank, r
 }
 
 // WriteTo serializes the snapshot as JSON.

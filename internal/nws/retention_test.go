@@ -1,0 +1,170 @@
+package nws
+
+import (
+	"strings"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/load"
+	"apples/internal/sim"
+)
+
+func retentionTopo(eng *sim.Engine) (*grid.Topology, *grid.Host) {
+	tp := grid.NewTopology(eng)
+	h := tp.AddHost(grid.HostSpec{
+		Name: "h", Speed: 10, MemoryMB: 64,
+		Load: load.Constant(1),
+	})
+	tp.Finalize()
+	return tp, h
+}
+
+// The retention cap bounds the raw snapshot series while the bank still
+// absorbs every measurement.
+func TestRetentionCapsSnapshotSeries(t *testing.T) {
+	eng := sim.NewEngine()
+	_, h := retentionTopo(eng)
+
+	svc := NewService(eng, 10, WithRetention(8))
+	svc.WatchHost(h)
+	if err := eng.RunUntil(505); err != nil { // 50 samples at t=10..500
+		t.Fatal(err)
+	}
+	if got := svc.CPUBank("h").Len(); got != 50 {
+		t.Fatalf("bank absorbed %d samples, want 50", got)
+	}
+	snap := svc.Snapshot()
+	if got := len(snap.CPU["h"]); got != 8 {
+		t.Fatalf("snapshot retained %d samples, want 8 (the cap)", got)
+	}
+}
+
+// Restoring a bounded snapshot and snapshotting again is idempotent: the
+// retained tail round-trips exactly.
+func TestBoundedSnapshotRoundTripIdempotent(t *testing.T) {
+	eng := sim.NewEngine()
+	_, h := retentionTopo(eng)
+
+	svc := NewService(eng, 10, WithRetention(5))
+	svc.WatchHost(h)
+	if err := eng.RunUntil(205); err != nil {
+		t.Fatal(err)
+	}
+	snap := svc.Snapshot()
+
+	svc2 := NewService(sim.NewEngine(), 10, WithRetention(5))
+	svc2.Restore(snap)
+	snap2 := svc2.Snapshot()
+	a, b := snap.CPU["h"], snap2.CPU["h"]
+	if len(a) != len(b) {
+		t.Fatalf("round trip changed series length: %d -> %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round trip changed sample %d: %v -> %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetentionRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithRetention(0) did not panic")
+		}
+	}()
+	WithRetention(0)
+}
+
+// Report lists hosts then links, each block sorted by name, regardless of
+// watch order (map iteration must not leak into the output).
+func TestReportStableOrdering(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	names := []string{"zeta", "alpha", "mu", "beta", "omega"}
+	for _, n := range names {
+		tp.AddHost(grid.HostSpec{Name: n, Speed: 1, MemoryMB: 1, Load: load.Constant(1)})
+	}
+	l := tp.AddLink(grid.LinkSpec{Name: "wire", Latency: 0, Bandwidth: 4})
+	for _, n := range names {
+		tp.Attach(n, l)
+	}
+	tp.Finalize()
+
+	svc := NewService(eng, 10)
+	for _, n := range names {
+		svc.WatchHost(tp.Host(n))
+	}
+	svc.WatchLink(l)
+	if err := eng.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+
+	first := svc.Report()
+	for i := 0; i < 10; i++ {
+		if svc.Report() != first {
+			t.Fatal("Report output is not deterministic across calls")
+		}
+	}
+	var prev string
+	sawLink := false
+	for _, line := range strings.Split(strings.TrimSpace(first), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("malformed report line %q", line)
+		}
+		kind, name := fields[0], fields[1]
+		switch kind {
+		case "cpu":
+			if sawLink {
+				t.Fatalf("host line %q after link lines", line)
+			}
+			if prev != "" && name < prev {
+				t.Fatalf("host %q out of order after %q", name, prev)
+			}
+			prev = name
+		case "bw":
+			sawLink = true
+		default:
+			t.Fatalf("unknown report line kind %q", kind)
+		}
+	}
+	if !sawLink {
+		t.Fatal("report missing link section")
+	}
+}
+
+// Sensors counts registered samplers; ObserveAll drives one sweep without
+// the simulation clock.
+func TestSensorsAndObserveAll(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	a := tp.AddHost(grid.HostSpec{Name: "a", Speed: 1, MemoryMB: 1, Load: load.Constant(1)})
+	b := tp.AddHost(grid.HostSpec{Name: "b", Speed: 1, MemoryMB: 1, Load: load.Constant(3)})
+	l := tp.AddLink(grid.LinkSpec{Name: "ab", Latency: 0, Bandwidth: 4})
+	tp.Attach("a", l)
+	tp.Attach("b", l)
+	tp.Finalize()
+
+	svc := NewService(eng, 10)
+	if svc.Sensors() != 0 {
+		t.Fatalf("idle service reports %d sensors, want 0", svc.Sensors())
+	}
+	svc.WatchHost(a)
+	svc.WatchHost(b)
+	if svc.Sensors() != 2 {
+		t.Fatalf("Sensors() = %d, want 2", svc.Sensors())
+	}
+	for i := 0; i < 5; i++ {
+		svc.ObserveAll(float64(i))
+	}
+	if got := svc.CPUBank("a").Len(); got != 5 {
+		t.Fatalf("host a bank has %d samples after 5 sweeps, want 5", got)
+	}
+	if v, ok := svc.AvailabilityForecast("b"); !ok || v != 0.25 {
+		t.Fatalf("host b forecast %v ok=%v, want 0.25", v, ok)
+	}
+	svc.Stop()
+	if svc.Sensors() != 0 {
+		t.Fatalf("Sensors() after Stop = %d, want 0", svc.Sensors())
+	}
+}

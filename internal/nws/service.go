@@ -3,49 +3,107 @@ package nws
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"apples/internal/grid"
 	"apples/internal/sim"
 )
 
+// DefaultRetention is how many raw measurements per watched series a
+// Service keeps for snapshots when WithRetention does not override it —
+// generous enough that every reproduced experiment retains its full
+// history, while still bounding memory for week-long sensing runs.
+const DefaultRetention = 4096
+
+// ServiceOption configures a Service at construction.
+type ServiceOption func(*Service)
+
+// WithRetention caps how many raw measurements per series the service
+// retains for snapshots (the forecaster banks always see every
+// measurement). n must be >= 1.
+func WithRetention(n int) ServiceOption {
+	if n < 1 {
+		panic("nws: retention must be >= 1")
+	}
+	return func(s *Service) { s.retention = n }
+}
+
+// WithBankFactory replaces the forecaster bank a new sensor starts with
+// (NewBank() by default) — e.g. to add windowed AR(1) predictors or to
+// sweep window sizes in scaling experiments.
+func WithBankFactory(mk func() *Bank) ServiceOption {
+	if mk == nil {
+		panic("nws: nil bank factory")
+	}
+	return func(s *Service) { s.newBank = mk }
+}
+
 // Service is the Network Weather Service instance for one metacomputer:
 // it owns periodic sensors for host CPU availability and link bandwidth,
 // and answers forecast queries for the scheduling agent.
+//
+// All sensors share one batch tick: each sensing period fires a single
+// engine event that sweeps every watched resource in watch order
+// (ObserveAll), so a metacomputer with ten thousand series costs the
+// event queue no more than one with ten, and the sweep itself does not
+// allocate in steady state.
 type Service struct {
-	eng    *sim.Engine
-	period float64
+	eng       *sim.Engine
+	period    float64
+	retention int
+	newBank   func() *Bank
 
 	cpuBanks map[string]*Bank // host name -> availability series
 	bwBanks  map[string]*Bank // link name -> available-bandwidth series
-	tickers  []*sim.Ticker
+	batch    *sim.BatchTicker // nil until the first Watch (and after Stop)
 	hosts    map[string]*grid.Host
 	links    map[string]*grid.Link
 
 	watchedHosts map[string]bool
 	watchedLinks map[string]bool
-	// Raw measurement series, kept for snapshots (persist.go).
-	cpuSeries map[string][]float64
-	bwSeries  map[string][]float64
+	// Raw measurement series for snapshots (persist.go), bounded to the
+	// last `retention` samples each.
+	cpuSeries map[string]*ring
+	bwSeries  map[string]*ring
 }
 
 // NewService creates a service sampling every period seconds of virtual
 // time (the real NWS default is 10s for CPU sensors).
-func NewService(eng *sim.Engine, period float64) *Service {
+func NewService(eng *sim.Engine, period float64, opts ...ServiceOption) *Service {
 	if period <= 0 {
 		panic("nws: sensor period must be positive")
 	}
-	return &Service{
+	s := &Service{
 		eng:          eng,
 		period:       period,
+		retention:    DefaultRetention,
+		newBank:      func() *Bank { return NewBank() },
 		cpuBanks:     make(map[string]*Bank),
 		bwBanks:      make(map[string]*Bank),
 		hosts:        make(map[string]*grid.Host),
 		links:        make(map[string]*grid.Link),
 		watchedHosts: make(map[string]bool),
 		watchedLinks: make(map[string]bool),
-		cpuSeries:    make(map[string][]float64),
-		bwSeries:     make(map[string][]float64),
+		cpuSeries:    make(map[string]*ring),
+		bwSeries:     make(map[string]*ring),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// addSensor registers one sampling callback on the shared batch tick,
+// creating the tick lazily so an idle service schedules nothing.
+func (s *Service) addSensor(bank *Bank, series *ring, sample func() float64) {
+	if s.batch == nil {
+		s.batch = sim.NewBatchTicker(s.eng, s.period)
+	}
+	s.batch.Add(func(float64) {
+		v := sample()
+		bank.Update(v)
+		series.push(v)
+	})
 }
 
 // WatchHost installs a CPU availability sensor on the host. A bank
@@ -57,16 +115,16 @@ func (s *Service) WatchHost(h *grid.Host) {
 	s.watchedHosts[h.Name] = true
 	bank := s.cpuBanks[h.Name]
 	if bank == nil {
-		bank = NewBank()
+		bank = s.newBank()
 		s.cpuBanks[h.Name] = bank
 	}
+	series := s.cpuSeries[h.Name]
+	if series == nil {
+		series = newRing(s.retention)
+		s.cpuSeries[h.Name] = series
+	}
 	s.hosts[h.Name] = h
-	name := h.Name
-	s.tickers = append(s.tickers, sim.NewTicker(s.eng, s.period, func(float64) {
-		v := h.Availability()
-		bank.Update(v)
-		s.cpuSeries[name] = append(s.cpuSeries[name], v)
-	}))
+	s.addSensor(bank, series, h.Availability)
 }
 
 // WatchLink installs an available-bandwidth sensor on the link. A bank
@@ -78,16 +136,16 @@ func (s *Service) WatchLink(l *grid.Link) {
 	s.watchedLinks[l.Name] = true
 	bank := s.bwBanks[l.Name]
 	if bank == nil {
-		bank = NewBank()
+		bank = s.newBank()
 		s.bwBanks[l.Name] = bank
 	}
+	series := s.bwSeries[l.Name]
+	if series == nil {
+		series = newRing(s.retention)
+		s.bwSeries[l.Name] = series
+	}
 	s.links[l.Name] = l
-	name := l.Name
-	s.tickers = append(s.tickers, sim.NewTicker(s.eng, s.period, func(float64) {
-		v := l.AvailableBandwidth()
-		bank.Update(v)
-		s.bwSeries[name] = append(s.bwSeries[name], v)
-	}))
+	s.addSensor(bank, series, l.AvailableBandwidth)
 }
 
 // WatchTopology installs sensors on every host and link of a topology.
@@ -100,12 +158,33 @@ func (s *Service) WatchTopology(tp *grid.Topology) {
 	}
 }
 
-// Stop halts all sensors (e.g. before draining the simulation).
-func (s *Service) Stop() {
-	for _, t := range s.tickers {
-		t.Stop()
+// ObserveAll runs one sensing sweep over every watched resource, in watch
+// order. The periodic batch tick calls it each period; benchmarks and
+// tests may call it directly to drive sensing without advancing the
+// simulation clock.
+func (s *Service) ObserveAll(now float64) {
+	if s.batch != nil {
+		s.batch.Fire(now)
 	}
-	s.tickers = nil
+}
+
+// Sensors reports how many resource sensors are currently sampling.
+func (s *Service) Sensors() int {
+	if s.batch == nil {
+		return 0
+	}
+	return s.batch.Len()
+}
+
+// Stop halts all sensors (e.g. before draining the simulation). Banks and
+// retained series stay queryable; a resource watched after Stop starts a
+// fresh batch tick covering only newly watched resources, matching the
+// per-sensor semantics the service had before batching.
+func (s *Service) Stop() {
+	if s.batch != nil {
+		s.batch.Stop()
+		s.batch = nil
+	}
 }
 
 // AvailabilityForecast predicts the CPU availability (0..1] of a host over
@@ -231,28 +310,29 @@ func (s *Service) CPUBank(host string) *Bank { return s.cpuBanks[host] }
 // LinkBank exposes a link's bandwidth bank (for reports and tests).
 func (s *Service) LinkBank(link string) *Bank { return s.bwBanks[link] }
 
-// Report returns a human-readable forecast table for everything watched.
+// Report returns a human-readable forecast table for everything watched,
+// hosts first then links, each sorted by name.
 func (s *Service) Report() string {
-	var out string
-	var hosts []string
+	var sb strings.Builder
+	hosts := make([]string, 0, len(s.cpuBanks))
 	for n := range s.cpuBanks {
 		hosts = append(hosts, n)
 	}
 	sort.Strings(hosts)
 	for _, n := range hosts {
 		v, by, ok := s.cpuBanks[n].Forecast()
-		out += fmt.Sprintf("cpu  %-10s forecast=%6.3f by=%-12s ok=%v\n", n, v, by, ok)
+		fmt.Fprintf(&sb, "cpu  %-10s forecast=%6.3f by=%-12s ok=%v\n", n, v, by, ok)
 	}
-	var links []string
+	links := make([]string, 0, len(s.bwBanks))
 	for n := range s.bwBanks {
 		links = append(links, n)
 	}
 	sort.Strings(links)
 	for _, n := range links {
 		v, by, ok := s.bwBanks[n].Forecast()
-		out += fmt.Sprintf("bw   %-14s forecast=%7.3f by=%-12s ok=%v\n", n, v, by, ok)
+		fmt.Fprintf(&sb, "bw   %-14s forecast=%7.3f by=%-12s ok=%v\n", n, v, by, ok)
 	}
-	return out
+	return sb.String()
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -1,0 +1,88 @@
+package sim
+
+import "testing"
+
+func TestBatchTickerFansOutInOrder(t *testing.T) {
+	e := NewEngine()
+	b := NewBatchTicker(e, 2)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		b.Add(func(now float64) { order = append(order, i) })
+	}
+	if err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	want := []int{0, 1, 2, 0, 1, 2} // ticks at t=2 and t=4
+	if len(order) != len(want) {
+		t.Fatalf("callback order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("callback order %v, want %v", order, want)
+		}
+	}
+	if b.Ticks() != 2 {
+		t.Fatalf("Ticks() = %d, want 2", b.Ticks())
+	}
+}
+
+// One batch costs the engine one event per period no matter how many
+// callbacks are registered — the whole point of batching sensors.
+func TestBatchTickerSchedulesOneEventPerPeriod(t *testing.T) {
+	e := NewEngine()
+	b := NewBatchTicker(e, 1)
+	for i := 0; i < 100; i++ {
+		b.Add(func(now float64) {})
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	// Ticks at t=1..10; each period fires exactly one engine event
+	// regardless of callback count.
+	if e.Fired() != b.Ticks() {
+		t.Fatalf("engine fired %d events for %d batch ticks; batching must cost one event per period",
+			e.Fired(), b.Ticks())
+	}
+	if b.Ticks() != 10 {
+		t.Fatalf("Ticks() = %d, want 10", b.Ticks())
+	}
+}
+
+func TestBatchTickerFireDirect(t *testing.T) {
+	e := NewEngine()
+	b := NewBatchTicker(e, 1)
+	sum := 0.0
+	b.Add(func(now float64) { sum += now })
+	b.Fire(7)
+	b.Fire(8)
+	if sum != 15 {
+		t.Fatalf("direct Fire saw times summing to %v, want 15", sum)
+	}
+	if b.Ticks() != 0 {
+		t.Fatalf("direct Fire must not count timer ticks, got %d", b.Ticks())
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", b.Len())
+	}
+}
+
+func TestBatchTickerAddMidFlight(t *testing.T) {
+	e := NewEngine()
+	b := NewBatchTicker(e, 1)
+	count := 0
+	b.Add(func(now float64) {
+		if now == 2 {
+			b.Add(func(float64) { count++ })
+		}
+	})
+	if err := e.RunUntil(4.5); err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	if count != 2 { // late callback runs at t=3 and t=4
+		t.Fatalf("late-added callback fired %d times, want 2", count)
+	}
+}

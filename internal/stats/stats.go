@@ -19,6 +19,41 @@ type Summary struct {
 	Median float64
 }
 
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm): one pass, O(1) state, and numerically stable on series
+// riding a large offset, where accumulating raw Σx and Σx² cancels
+// catastrophically. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add absorbs one measurement.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N reports how many measurements have been absorbed.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any measurements).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (n-1 denominator; 0 for n < 2).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// SD returns the sample standard deviation.
+func (w *Welford) SD() float64 { return math.Sqrt(w.Var()) }
+
 // Summarize computes a Summary. An empty sample returns the zero value.
 func Summarize(xs []float64) Summary {
 	n := len(xs)
@@ -26,21 +61,14 @@ func Summarize(xs []float64) Summary {
 		return Summary{}
 	}
 	s := Summary{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
-	sum := 0.0
+	var w Welford
 	for _, x := range xs {
-		sum += x
+		w.Add(x)
 		s.Min = math.Min(s.Min, x)
 		s.Max = math.Max(s.Max, x)
 	}
-	s.Mean = sum / float64(n)
-	if n > 1 {
-		ss := 0.0
-		for _, x := range xs {
-			d := x - s.Mean
-			ss += d * d
-		}
-		s.SD = math.Sqrt(ss / float64(n-1))
-	}
+	s.Mean = w.Mean()
+	s.SD = w.SD()
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if n%2 == 1 {

@@ -54,6 +54,49 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// Welford must recover the exact spread of a tiny-variance sample riding a
+// huge offset, where the textbook Σx²−(Σx)²/n form cancels catastrophically
+// in float64.
+func TestWelfordStableOnLargeOffset(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{1e9 + 1, 1e9 + 2, 1e9 + 3} {
+		w.Add(v)
+	}
+	if w.N() != 3 || w.Mean() != 1e9+2 {
+		t.Fatalf("n=%d mean=%v, want 3 and %v", w.N(), w.Mean(), 1e9+2.0)
+	}
+	if w.SD() != 1 {
+		t.Fatalf("SD %v, want exactly 1", w.SD())
+	}
+	// Demonstrate the failure mode being avoided: the naive two-sum
+	// variance of the same sample is garbage at this offset.
+	var sum, sumSq float64
+	for _, v := range []float64{1e9 + 1, 1e9 + 2, 1e9 + 3} {
+		sum += v
+		sumSq += v * v
+	}
+	naive := (sumSq - sum*sum/3) / 2
+	if math.Abs(naive-1) < 0.01 {
+		t.Fatalf("naive variance %v unexpectedly accurate; test premise broken", naive)
+	}
+
+	s := Summarize([]float64{1e9 + 1, 1e9 + 2, 1e9 + 3})
+	if s.SD != 1 {
+		t.Fatalf("Summarize SD %v, want exactly 1", s.SD)
+	}
+}
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Var() != 0 || w.SD() != 0 {
+		t.Fatalf("zero-value Welford not zero: %+v", w)
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Var() != 0 {
+		t.Fatalf("single sample: mean=%v var=%v", w.Mean(), w.Var())
+	}
+}
+
 // Property: mean lies within [min, max]; SD is non-negative; median within
 // range.
 func TestSummaryInvariants(t *testing.T) {
