@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-evaluate bench-nws tables clean
+.PHONY: all build test race vet bench bench-evaluate bench-pipeline bench-nws tables clean
 
 all: build vet test
 
@@ -26,6 +26,11 @@ bench:
 # Candidate-evaluation engine sweep only: pool size x evaluation mode.
 bench-evaluate:
 	$(GO) test -bench=BenchmarkEvaluate -benchmem -benchtime=3x .
+
+# Pipeline-blueprint evaluation sweep: pool size x worker-pool width,
+# through the same shared Coordinator as bench-evaluate.
+bench-pipeline:
+	$(GO) test -bench=BenchmarkPipelineEvaluate -benchmem -benchtime=3x .
 
 # NWS sensing hot path: bank update sweep (window x legacy/incremental)
 # and full-service sweep cost at 100/1k/10k watched series.

@@ -249,9 +249,44 @@ type (
 	PipelineSchedule = core.PipelineSchedule
 )
 
-// NewPipelineAgent assembles a pipeline-blueprint AppLeS.
-func NewPipelineAgent(tp *Topology, tpl *Template, spec *UserSpec, info Information, opt ReactOptions) (*PipelineAgent, error) {
-	return core.NewPipelineAgent(tp, tpl, spec, info, opt)
+// NewPipelineAgent assembles a pipeline-blueprint AppLeS. It shares the
+// Agent's evaluation engine and accepts the same options (WithParallelism,
+// WithInfoSnapshot; the pipeline blueprint has no spill model or pruning
+// bound, so WithSpillFactor and WithPruning are no-ops).
+func NewPipelineAgent(tp *Topology, tpl *Template, spec *UserSpec, info Information, opt ReactOptions, opts ...AgentOption) (*PipelineAgent, error) {
+	return core.NewPipelineAgent(tp, tpl, spec, info, opt, opts...)
+}
+
+// Generic Coordinator blueprint, for assembling a custom agent paradigm
+// (a third blueprint beyond Agent and PipelineAgent) out of pluggable
+// subsystems. See DESIGN.md §9 for a walkthrough.
+type (
+	// Coordinator owns the generic scheduling round: per-round
+	// information snapshot, bounded parallel fan-out, optional
+	// selection-preserving pruning, deterministic (score, index) reduce.
+	Coordinator = core.Coordinator
+	// CoordinatorRound is one round handed to Coordinator.EvaluateRound:
+	// the filtered host pool plus the factories binding the
+	// application-specific subsystems to the round's information view.
+	CoordinatorRound = core.Round
+	// ResourceSelector enumerates candidate resource sets for a round.
+	ResourceSelector = core.ResourceSelector
+	// ResourceSelectorFunc adapts a function to ResourceSelector.
+	ResourceSelectorFunc = core.ResourceSelectorFunc
+	// CandidateEvaluator is the fused Planner + Performance Estimator.
+	CandidateEvaluator = core.CandidateEvaluator
+	// CandidateEvaluatorFunc adapts a function to CandidateEvaluator.
+	CandidateEvaluatorFunc = core.CandidateEvaluatorFunc
+	// LowerBounder supplies the never-overestimating pruning bound.
+	LowerBounder = core.LowerBounder
+	// LowerBoundFunc adapts a function to LowerBounder.
+	LowerBoundFunc = core.LowerBoundFunc
+)
+
+// NewCoordinator builds a coordinator over an information source, for
+// custom blueprint agents. It accepts the same options as NewAgent.
+func NewCoordinator(info Information, opts ...AgentOption) *Coordinator {
+	return core.NewCoordinator(info, opts...)
 }
 
 // Information sources for the agent.

@@ -64,6 +64,56 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineEvaluate sweeps the pipeline blueprint's evaluation
+// across pool sizes and worker-pool widths on the same warmed
+// cluster-of-clusters scenarios as BenchmarkEvaluate. A pool of h hosts
+// enumerates h + h·(h−1) mappings (singles plus ordered pairs), each
+// parameterizing the analytic pipeline model and tuning the transfer
+// unit; since the shared Coordinator fans mappings across the worker pool
+// with a deterministic (score, index) reduce, "parallel4" must pick the
+// identical mapping to "sequential" while finishing >1.5x sooner.
+func BenchmarkPipelineEvaluate(b *testing.B) {
+	pools := []struct {
+		name          string
+		clusters, per int
+	}{
+		{"8host", 2, 4},
+		{"12host", 3, 4},
+		{"32host", 8, 4},
+		{"64host", 8, 8},
+	}
+	modes := []struct {
+		name string
+		opts []core.AgentOption
+	}{
+		{"sequential", []core.AgentOption{core.WithParallelism(1)}},
+		{"parallel4", []core.AgentOption{core.WithParallelism(4)}},
+		{"parallel", []core.AgentOption{core.WithParallelism(0)}},
+	}
+	const surfaceFunctions = 600
+	for _, p := range pools {
+		for _, m := range modes {
+			b.Run(p.name+"/"+m.name, func(b *testing.B) {
+				agent, err := expt.NewScalePipelineAgent(p.clusters, p.per, surfaceFunctions, 11, m.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var mappings int
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sched, err := agent.Schedule()
+					if err != nil {
+						b.Fatal(err)
+					}
+					mappings = sched.CandidatesConsidered
+				}
+				b.ReportMetric(float64(mappings), "mappings")
+			})
+		}
+	}
+}
+
 // BenchmarkFig3ApplesPartition regenerates Figure 3: the AppLeS partition
 // of Jacobi2D on the loaded SDSC/PCL network.
 func BenchmarkFig3ApplesPartition(b *testing.B) {

@@ -28,6 +28,7 @@ func main() {
 	topo := flag.Bool("topology", false, "print the testbed (Figure 2) and exit")
 	viaRMS := flag.Bool("rms", false, "actuate through the PVM-style rms substrate")
 	explain := flag.Int("explain", 0, "also print the top-K candidate schedules the agent weighed")
+	metric := flag.String("metric", "min-time", "user performance metric: min-time, speedup, cost")
 	parallel := flag.Int("parallel", 0, "candidate-evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
 	prune := flag.Bool("prune", false, "skip candidate sets whose compute lower bound exceeds the best so far")
 	spill := flag.Float64("spill", 25, "estimator out-of-memory penalty multiplier")
@@ -89,8 +90,20 @@ func main() {
 		fail(fmt.Errorf("unknown -info %q", *info))
 	}
 
+	spec := &apples.UserSpec{Decomposition: "strip"}
+	switch *metric {
+	case "min-time":
+		spec.Metric = apples.MinExecutionTime
+	case "speedup":
+		spec.Metric = apples.MaxSpeedup
+	case "cost":
+		spec.Metric = apples.MinCost
+	default:
+		fail(fmt.Errorf("unknown -metric %q (want min-time, speedup, or cost)", *metric))
+	}
+
 	tpl := apples.JacobiTemplate(*n, *iters)
-	agent, err := apples.NewAgent(tp, tpl, &apples.UserSpec{Decomposition: "strip"}, source,
+	agent, err := apples.NewAgent(tp, tpl, spec, source,
 		apples.WithParallelism(*parallel),
 		apples.WithPruning(*prune),
 		apples.WithSpillFactor(*spill))
@@ -102,9 +115,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("top %d of the agent's candidate schedules:\n", len(top))
+		fmt.Printf("top %d of the agent's candidate schedules (metric=%s):\n", len(top), *metric)
 		for i, c := range top {
-			fmt.Printf("  #%d  predicted %8.2f s  hosts=%v\n", i+1, c.PredictedTotal, c.Hosts)
+			fmt.Printf("  #%d  score %10.2f  predicted %8.2f s  hosts=%v\n", i+1, c.Score, c.PredictedTotal, c.Hosts)
 		}
 		fmt.Println()
 	}

@@ -8,7 +8,8 @@
 //	expt -fig react -seed 7
 //
 // Figures: 3, 4, 5, 6, react, nile, a1 (forecast ablation), a3
-// (selection ablation), nws-scale (sensing throughput), all.
+// (selection ablation), sched / pipeline-sched (scheduler decision
+// latency for the two blueprints), nws-scale (sensing throughput), all.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,nws-scale,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,nws-scale,all")
 	seed := flag.Int64("seed", 11, "base seed for ambient load")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
@@ -252,6 +253,19 @@ func main() {
 			return err
 		}
 		fmt.Print(expt.FormatSchedLatency(rows))
+		return nil
+	})
+
+	run("pipeline-sched", func() error {
+		sizes := [][2]int{{2, 4}, {4, 4}, {8, 4}, {8, 8}}
+		if *quick {
+			sizes = [][2]int{{2, 4}, {4, 4}}
+		}
+		rows, err := expt.PipelineSchedLatency(sizes, 600, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(expt.FormatPipelineSchedLatency(rows))
 		return nil
 	})
 

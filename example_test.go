@@ -61,6 +61,35 @@ func ExampleNewReactModel() {
 	// under 5.5 hours: true
 }
 
+// ExampleNewPipelineAgent schedules the 3D-REACT pipeline on the CASA
+// testbed through the facade: the agent picks the paper's C90 → Paragon
+// mapping over both single-site fallbacks, and ScheduleExplained exposes
+// the full candidate ranking in the same Candidate terms as the Jacobi
+// agent.
+func ExampleNewPipelineAgent() {
+	tp := apples.CASA(apples.NewEngine())
+	agent, err := apples.NewPipelineAgent(tp, apples.ReactTemplate(600),
+		&apples.UserSpec{}, apples.OracleInformation(tp), apples.ReactOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sched, ranked, err := agent.ScheduleExplained(0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("mapping: %s -> %s\n", sched.Producer, sched.Consumer)
+	fmt.Printf("unit in range: %v\n", sched.Unit >= 5 && sched.Unit <= 20)
+	fmt.Printf("mappings considered: %d\n", sched.CandidatesConsidered)
+	fmt.Printf("best candidate hosts: %v\n", ranked[0].Hosts)
+	// Output:
+	// mapping: c90 -> paragon
+	// unit in range: true
+	// mappings considered: 4
+	// best candidate hosts: [c90 paragon]
+}
+
 // ExampleNewForecasterBank shows dynamic predictor selection converging
 // on a constant series.
 func ExampleNewForecasterBank() {

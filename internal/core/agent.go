@@ -55,12 +55,15 @@ type ActuatorFunc func(p *partition.Placement) (float64, error)
 func (f ActuatorFunc) Actuate(p *partition.Placement) (float64, error) { return f(p) }
 
 // Agent is an AppLeS: an application-level scheduling agent for one
-// application instance (here, the Jacobi2D blueprint of Section 5).
+// application instance (here, the Jacobi2D blueprint of Section 5). It is
+// a thin instantiation of the shared Coordinator round: its Resource
+// Selector enumerates strip-chain resource sets and its fused
+// Planner+Estimator balances and prices each one.
 type Agent struct {
-	tp   *grid.Topology
-	tpl  *hat.Template
-	spec *userspec.Spec
-	info Information
+	tp    *grid.Topology
+	tpl   *hat.Template
+	spec  *userspec.Spec
+	coord Coordinator
 
 	// SpillFactor mirrors the execution substrate's out-of-memory penalty
 	// so the estimator prices spills honestly (default 25, matching
@@ -70,15 +73,6 @@ type Agent struct {
 	// field still works for this release; it is read at every scheduling
 	// round.
 	SpillFactor float64
-
-	// parallelism bounds the candidate-evaluation worker pool (0 =
-	// GOMAXPROCS, 1 = sequential). See WithParallelism.
-	parallelism int
-	// pruning enables best-so-far candidate pruning. See WithPruning.
-	pruning bool
-	// snapshot resolves the information pool once per round (default
-	// true). See WithInfoSnapshot.
-	snapshot bool
 }
 
 // NewAgent assembles an agent from its information pool: the application
@@ -101,11 +95,15 @@ func NewAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info In
 	if spec.Decomposition != "" && spec.Decomposition != "strip" {
 		return nil, fmt.Errorf("core: planner supports strip decompositions, user requested %q", spec.Decomposition)
 	}
-	a := &Agent{tp: tp, tpl: tpl, spec: spec, info: info, SpillFactor: 25, snapshot: true}
+	cfg := newCoordConfig(info)
 	for _, opt := range opts {
 		if opt != nil {
-			opt(a)
+			opt(&cfg)
 		}
+	}
+	a := &Agent{tp: tp, tpl: tpl, spec: spec, coord: cfg.Coordinator, SpillFactor: 25}
+	if cfg.spillFactor > 0 {
+		a.SpillFactor = cfg.spillFactor
 	}
 	return a, nil
 }
@@ -145,137 +143,95 @@ func rankCandidates(cands []Candidate, k int) []Candidate {
 	return ranked
 }
 
-// evaluate runs select -> plan -> estimate over every candidate set and
-// returns the scored candidates (in selector order) plus bookkeeping.
-//
-// The round proceeds in three steps:
-//
-//  1. snapshot the information pool for the filtered hosts, so every
-//     availability/bandwidth/latency value is resolved exactly once;
-//  2. fan the candidate sets out to a bounded worker pool, each worker
-//     planning and estimating against the immutable snapshot and writing
-//     its result into a per-index slot;
-//  3. reduce in index order, which makes the outcome independent of
-//     goroutine interleaving: the same candidates are feasible with the
-//     same scores, so the eventual (score, index) minimum is the one the
-//     sequential loop would have picked.
-//
-// With pruning enabled, workers additionally share the best score seen so
-// far and skip sets whose compute-time lower bound (balanced compute on
-// the set's aggregate deliverable speed, ignoring communication and
-// spill) already exceeds it. The bound never overestimates, so a pruned
-// set could not have won; pruning only reduces CandidatesPlanned.
+// round assembles the Jacobi blueprint's Round for an n x n problem: the
+// US-filtered pool, a Resource Selector enumerating strip-chain sets, the
+// fused Planner+Estimator, and (under MinExecutionTime) the compute-time
+// pruning bound. The Coordinator owns everything else — snapshotting,
+// fan-out, pruning bookkeeping, and the deterministic reduce.
+func (a *Agent) round(n int) Round {
+	return Round{
+		Pool: a.spec.Filter(a.tp.Hosts()),
+		Bind: func(info Information, snapshotted bool) (ResourceSelector, CandidateEvaluator, error) {
+			rs := &resourceSelector{tp: a.tp, info: info}
+			pl := &planner{tp: a.tp, tpl: a.tpl, info: info}
+			es := newEstimator(a.tp, a.spec, a.tpl.Tasks[0].BytesPerUnit, a.SpillFactor, max(a.tpl.Iterations, 1))
+
+			sel := ResourceSelectorFunc(func(pool []*grid.Host) [][]*grid.Host {
+				if snapshotted {
+					return rs.candidates(pool, a.spec.MaxResourceSets)
+				}
+				// Legacy enumeration: re-query the source per set, as the
+				// pre-snapshot engine did (see candidatesDirect).
+				return rs.candidatesDirect(pool, a.spec.MaxResourceSets)
+			})
+
+			// Solo baseline for the speedup metric: best predicted
+			// single-host total.
+			solo := math.Inf(1)
+			if a.spec.Metric == userspec.MaxSpeedup {
+				for _, h := range a.spec.Filter(a.tp.Hosts()) {
+					p, costs, _, err := pl.plan(n, []*grid.Host{h})
+					if err != nil {
+						continue
+					}
+					if t := es.iterTime(p, costs) * float64(es.iterations); t < solo {
+						solo = t
+					}
+				}
+			}
+
+			ev := CandidateEvaluatorFunc(func(set []*grid.Host) (Candidate, bool) {
+				p, costs, _, err := pl.plan(n, set)
+				if err != nil {
+					return Candidate{}, false
+				}
+				iterT := es.iterTime(p, costs)
+				hosts := make([]string, len(set))
+				for j, h := range set {
+					hosts[j] = h.Name
+				}
+				return Candidate{
+					Hosts:             hosts,
+					PredictedIterTime: iterT,
+					PredictedTotal:    iterT * float64(es.iterations),
+					Score:             es.score(iterT, p, solo),
+					Placement:         p,
+				}, true
+			})
+			return sel, ev, nil
+		},
+		Bound: func(info Information) LowerBounder {
+			// The bound is only sound for objectives that equal predicted
+			// total time.
+			if a.spec.Metric != userspec.MinExecutionTime {
+				return nil
+			}
+			pool := a.spec.Filter(a.tp.Hosts())
+			secPP := secondsPerPoint(pool, info, a.tpl.Tasks[0])
+			iterations := max(a.tpl.Iterations, 1)
+			return LowerBoundFunc(func(set []*grid.Host) float64 {
+				return computeLowerBound(set, secPP, n, iterations)
+			})
+		},
+	}
+}
+
+// evaluate runs the shared Coordinator round over the Jacobi blueprint
+// and returns the scored candidates (in selector order) plus bookkeeping.
 func (a *Agent) evaluate(n int) ([]Candidate, int, error) {
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("core: non-positive problem size %d", n)
 	}
-	pool := a.spec.Filter(a.tp.Hosts())
-	if len(pool) == 0 {
-		return nil, 0, fmt.Errorf("core: %w: user specification filters out every host", ErrNoFeasibleHosts)
-	}
-	info := a.info
-	workers := a.parallelism
-	if a.snapshot {
-		names := make([]string, len(pool))
-		for i, h := range pool {
-			names[i] = h.Name
-		}
-		info = SnapshotInformation(a.info, names)
-	} else {
-		// Without the snapshot, workers would race on the underlying
-		// Information source (forecast banks are not thread-safe).
-		workers = 1
-	}
-	rs := &resourceSelector{tp: a.tp, info: info}
-	pl := &planner{tp: a.tp, tpl: a.tpl, info: info}
-	es := newEstimator(a.tp, a.spec, a.tpl.Tasks[0].BytesPerUnit, a.SpillFactor, max(a.tpl.Iterations, 1))
-
-	var sets [][]*grid.Host
-	if a.snapshot {
-		sets = rs.candidates(pool, a.spec.MaxResourceSets)
-	} else {
-		// Legacy enumeration: re-query the source per set, as the
-		// pre-snapshot engine did (see candidatesDirect).
-		sets = rs.candidatesDirect(pool, a.spec.MaxResourceSets)
-	}
-
-	// Solo baseline for the speedup metric: best predicted single-host
-	// total.
-	solo := math.Inf(1)
-	if a.spec.Metric == userspec.MaxSpeedup {
-		for _, h := range pool {
-			p, costs, _, err := pl.plan(n, []*grid.Host{h})
-			if err != nil {
-				continue
-			}
-			if t := es.iterTime(p, costs) * float64(es.iterations); t < solo {
-				solo = t
-			}
-		}
-	}
-
-	// Pruning needs a per-host seconds-per-point floor; it is only sound
-	// for objectives that equal predicted total time.
-	pruneActive := a.pruning && a.spec.Metric == userspec.MinExecutionTime
-	var secPP map[string]float64
-	var incumbent *bestScore
-	if pruneActive {
-		secPP = a.secondsPerPoint(pool, info)
-		incumbent = newBestScore()
-	}
-
-	results := make([]Candidate, len(sets))
-	feasible := make([]bool, len(sets))
-	runIndexed(len(sets), workers, func(i int) {
-		set := sets[i]
-		if pruneActive {
-			if lb := computeLowerBound(set, secPP, n, es.iterations); lb > incumbent.load() {
-				return
-			}
-		}
-		p, costs, _, err := pl.plan(n, set)
-		if err != nil {
-			return
-		}
-		iterT := es.iterTime(p, costs)
-		hosts := make([]string, len(set))
-		for j, h := range set {
-			hosts[j] = h.Name
-		}
-		score := es.score(iterT, p, solo)
-		results[i] = Candidate{
-			Hosts:             hosts,
-			PredictedIterTime: iterT,
-			PredictedTotal:    iterT * float64(es.iterations),
-			Score:             score,
-			Placement:         p,
-		}
-		feasible[i] = true
-		if pruneActive {
-			incumbent.update(score)
-		}
-	})
-
-	var cands []Candidate
-	for i := range results {
-		if feasible[i] {
-			cands = append(cands, results[i])
-		}
-	}
-	return cands, len(sets), nil
+	return a.coord.EvaluateRound(a.round(n))
 }
 
 // secondsPerPoint resolves the planner's compute-cost coefficient for
 // every pool host once, for the pruning bound. Hosts with no deliverable
 // speed get +Inf (their sets cannot plan anyway).
-func (a *Agent) secondsPerPoint(pool []*grid.Host, info Information) map[string]float64 {
-	task := a.tpl.Tasks[0]
+func secondsPerPoint(pool []*grid.Host, info Information, task hat.Task) map[string]float64 {
 	out := make(map[string]float64, len(pool))
 	for _, h := range pool {
-		avail := info.Availability(h.Name)
-		if avail <= 0 {
-			avail = 0.01
-		}
+		avail := floorAvailability(info.Availability(h.Name))
 		speed := h.Speed * avail * task.SpeedFactorOn(h.Arch)
 		if speed <= 0 {
 			out[h.Name] = math.Inf(1)
@@ -325,12 +281,7 @@ func (a *Agent) Schedule(n int) (*Schedule, error) {
 }
 
 func (a *Agent) pickBest(cands []Candidate, considered int) (*Schedule, error) {
-	bestIdx, bestScore := -1, math.Inf(1)
-	for i, c := range cands {
-		if c.Score < bestScore {
-			bestIdx, bestScore = i, c.Score
-		}
-	}
+	bestIdx := bestCandidate(cands)
 	if bestIdx < 0 {
 		return nil, fmt.Errorf("core: %w: no feasible schedule among %d candidate sets", ErrNoFeasiblePlan, considered)
 	}
@@ -340,7 +291,7 @@ func (a *Agent) pickBest(cands []Candidate, considered int) (*Schedule, error) {
 		PredictedIterTime:    c.PredictedIterTime,
 		PredictedTotal:       c.PredictedTotal,
 		Hosts:                append([]string(nil), c.Hosts...),
-		InfoSource:           a.info.Source(),
+		InfoSource:           a.coord.Information().Source(),
 		CandidatesConsidered: considered,
 		CandidatesPlanned:    len(cands),
 	}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"apples/internal/grid"
+)
+
+// This file is the generic half of the AppLeS blueprint (Figure 1): one
+// Coordinator drives Resource Selector -> Planner -> Performance
+// Estimator -> Actuator for *every* application paradigm. A concrete
+// agent (the Jacobi2D Agent, the 3D-REACT PipelineAgent, or a future
+// master/worker HAT agent) only supplies the pluggable subsystems below;
+// the round itself — information snapshot, bounded parallel fan-out,
+// optional selection-preserving pruning, and the deterministic
+// (score, index) reduce — is shared code.
+
+// ResourceSelector enumerates the candidate resource sets the Coordinator
+// fans out in one scheduling round. For a data-parallel blueprint the
+// sets are host chains; for a pipeline blueprint they are single machines
+// and ordered producer/consumer pairs. The enumeration order is the
+// tie-break order of the reduce, so it must be deterministic.
+type ResourceSelector interface {
+	Select(pool []*grid.Host) [][]*grid.Host
+}
+
+// ResourceSelectorFunc adapts a function to ResourceSelector.
+type ResourceSelectorFunc func(pool []*grid.Host) [][]*grid.Host
+
+// Select implements ResourceSelector.
+func (f ResourceSelectorFunc) Select(pool []*grid.Host) [][]*grid.Host { return f(pool) }
+
+// CandidateEvaluator is the fused Planner + Performance Estimator: it
+// plans one candidate resource set and scores the plan under the user's
+// metric, returning the evaluated Candidate (lower Score is better) or
+// ok=false when the set is infeasible. Evaluate is called concurrently
+// for distinct sets, so implementations must not mutate shared state;
+// they read the round's frozen information view instead.
+type CandidateEvaluator interface {
+	Evaluate(set []*grid.Host) (c Candidate, ok bool)
+}
+
+// CandidateEvaluatorFunc adapts a function to CandidateEvaluator.
+type CandidateEvaluatorFunc func(set []*grid.Host) (Candidate, bool)
+
+// Evaluate implements CandidateEvaluator.
+func (f CandidateEvaluatorFunc) Evaluate(set []*grid.Host) (Candidate, bool) { return f(set) }
+
+// LowerBounder supplies a cheap bound on the best score any plan over a
+// candidate set can achieve. The bound must never overestimate: the
+// Coordinator skips a set only when its bound already exceeds the best
+// score seen, so a sound bound makes pruning selection-preserving.
+type LowerBounder interface {
+	LowerBound(set []*grid.Host) float64
+}
+
+// LowerBoundFunc adapts a function to LowerBounder.
+type LowerBoundFunc func(set []*grid.Host) float64
+
+// LowerBound implements LowerBounder.
+func (f LowerBoundFunc) LowerBound(set []*grid.Host) float64 { return f(set) }
+
+// Round is one scheduling round handed to the Coordinator by a blueprint
+// agent: the US-filtered host pool plus factories that bind the
+// application-specific subsystems to the round's information view.
+type Round struct {
+	// Pool is the host pool after User Specification filtering. An empty
+	// pool fails the round with ErrNoFeasibleHosts.
+	Pool []*grid.Host
+	// Bind builds the round's Resource Selector and fused
+	// Planner+Estimator against the resolved information view (a frozen
+	// snapshot when snapshotting is on; snapshotted reports which).
+	Bind func(info Information, snapshotted bool) (ResourceSelector, CandidateEvaluator, error)
+	// Bound, when non-nil, builds the pruning bound for the round. It is
+	// only invoked when the Coordinator has pruning enabled, and may
+	// return nil to decline (e.g. when the user's metric is not the one
+	// the bound is sound for).
+	Bound func(info Information) LowerBounder
+}
+
+// Coordinator owns the generic AppLeS scheduling round. It is configured
+// once per agent (information source, worker-pool width, pruning,
+// snapshotting) and reused every round; the zero value is not useful —
+// construct through NewCoordinator or an agent constructor.
+type Coordinator struct {
+	info Information
+
+	// parallelism bounds the candidate-evaluation worker pool (0 =
+	// GOMAXPROCS, 1 = sequential). See WithParallelism.
+	parallelism int
+	// pruning enables best-so-far candidate pruning for rounds that
+	// supply a LowerBounder. See WithPruning.
+	pruning bool
+	// snapshot resolves the information pool once per round (default
+	// true). See WithInfoSnapshot.
+	snapshot bool
+}
+
+// NewCoordinator builds a coordinator over an information source with the
+// given evaluation options, for callers assembling a custom blueprint
+// agent outside the built-in Agent/PipelineAgent pair.
+func NewCoordinator(info Information, opts ...AgentOption) *Coordinator {
+	cfg := newCoordConfig(info)
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	c := cfg.Coordinator
+	return &c
+}
+
+// Information returns the coordinator's underlying information source
+// (not the per-round snapshot).
+func (c *Coordinator) Information() Information { return c.info }
+
+// View resolves the information view the coordinator would evaluate the
+// named hosts against: a frozen snapshot when snapshotting is enabled,
+// the live source otherwise. Sequential re-estimation paths (e.g. pricing
+// an existing placement before a rescheduling decision) share it so they
+// see exactly what a scheduling round would.
+func (c *Coordinator) View(hosts []string) Information {
+	if c.snapshot {
+		return SnapshotInformation(c.info, hosts)
+	}
+	return c.info
+}
+
+// EvaluateRound runs the blueprint round: resolve the information view,
+// bind the subsystems, enumerate candidate sets, fan them across the
+// worker pool, and reduce deterministically. It returns the feasible
+// candidates in enumeration order plus the number of sets considered.
+//
+// The round proceeds in three steps:
+//
+//  1. snapshot the information pool for the filtered hosts, so every
+//     availability/bandwidth/latency value is resolved exactly once;
+//  2. fan the candidate sets out to a bounded worker pool, each worker
+//     planning and estimating against the immutable snapshot and writing
+//     its result into a per-index slot;
+//  3. reduce in index order, which makes the outcome independent of
+//     goroutine interleaving: the same candidates are feasible with the
+//     same scores, so the eventual (score, index) minimum is the one the
+//     sequential loop would have picked.
+//
+// With pruning enabled and a bound supplied, workers additionally share
+// the best score seen so far and skip sets whose lower bound already
+// exceeds it. The bound never overestimates, so a pruned set could not
+// have won; pruning only reduces how many sets are planned.
+func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
+	if len(r.Pool) == 0 {
+		return nil, 0, fmt.Errorf("core: %w: user specification filters out every host", ErrNoFeasibleHosts)
+	}
+	info := c.info
+	workers := c.parallelism
+	if c.snapshot {
+		names := make([]string, len(r.Pool))
+		for i, h := range r.Pool {
+			names[i] = h.Name
+		}
+		info = SnapshotInformation(c.info, names)
+	} else {
+		// Without the snapshot, workers would race on the underlying
+		// Information source (forecast banks are not thread-safe).
+		workers = 1
+	}
+	sel, ev, err := r.Bind(info, c.snapshot)
+	if err != nil {
+		return nil, 0, err
+	}
+	sets := sel.Select(r.Pool)
+
+	var bound LowerBounder
+	var incumbent *bestScore
+	if c.pruning && r.Bound != nil {
+		if bound = r.Bound(info); bound != nil {
+			incumbent = newBestScore()
+		}
+	}
+
+	results := make([]Candidate, len(sets))
+	feasible := make([]bool, len(sets))
+	runIndexed(len(sets), workers, func(i int) {
+		set := sets[i]
+		if incumbent != nil {
+			if lb := bound.LowerBound(set); lb > incumbent.load() {
+				return
+			}
+		}
+		cand, ok := ev.Evaluate(set)
+		if !ok {
+			return
+		}
+		results[i] = cand
+		feasible[i] = true
+		if incumbent != nil {
+			incumbent.update(cand.Score)
+		}
+	})
+
+	var cands []Candidate
+	for i := range results {
+		if feasible[i] {
+			cands = append(cands, results[i])
+		}
+	}
+	return cands, len(sets), nil
+}
+
+// bestCandidate reduces evaluated candidates with the deterministic
+// (score, index) rule both blueprints share: the strictly lowest score
+// wins, ties keep the earliest candidate in enumeration order. Returns
+// -1 when no candidate is feasible.
+func bestCandidate(cands []Candidate) int {
+	bestIdx, best := -1, math.Inf(1)
+	for i, c := range cands {
+		if c.Score < best {
+			bestIdx, best = i, c.Score
+		}
+	}
+	return bestIdx
+}

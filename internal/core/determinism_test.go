@@ -188,8 +188,9 @@ func TestAgentOptions(t *testing.T) {
 	if a.SpillFactor != 40 {
 		t.Fatalf("WithSpillFactor not applied: %v", a.SpillFactor)
 	}
-	if a.parallelism != 2 || !a.pruning || !a.snapshot {
-		t.Fatalf("options not applied: parallelism=%d pruning=%v snapshot=%v", a.parallelism, a.pruning, a.snapshot)
+	if a.coord.parallelism != 2 || !a.coord.pruning || !a.coord.snapshot {
+		t.Fatalf("options not applied: parallelism=%d pruning=%v snapshot=%v",
+			a.coord.parallelism, a.coord.pruning, a.coord.snapshot)
 	}
 	// Legacy field write still takes effect (deprecated but supported).
 	b, err := NewAgent(tp, hat.Jacobi2D(500, 10), &userspec.Spec{}, OracleInformation(tp))

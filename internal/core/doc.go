@@ -3,6 +3,14 @@
 // describes: a Coordinator drives four subsystems over a shared
 // information pool.
 //
+// The Coordinator itself is generic (coordinator.go): it owns the whole
+// scheduling round — per-round information snapshot, bounded parallel
+// fan-out over candidate resource sets, optional selection-preserving
+// pruning, and the deterministic (score, index) reduce — while each
+// application paradigm plugs in its subsystems through a Round. The
+// Jacobi2D Agent (agent.go) and the 3D-REACT PipelineAgent (pipeline.go)
+// are both thin instantiations of this one blueprint.
+//
 //   - the Resource Selector (selector.go) filters the metacomputer through
 //     the User Specifications and enumerates candidate resource sets,
 //     ordered and pruned by an application-specific notion of resource

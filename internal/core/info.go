@@ -5,6 +5,23 @@ import (
 	"apples/internal/nws"
 )
 
+// minAvailability floors forecast CPU availability before any model
+// divides by it. A source can legitimately report 0 (a saturated or
+// just-registered machine with no history); clamping to 1% keeps every
+// per-availability division finite while still pricing such hosts as
+// effectively unusable.
+const minAvailability = 0.01
+
+// floorAvailability applies the minAvailability division-by-zero guard
+// shared by every cost model (strip planner, pruning bound, pipeline
+// model, single-site prediction).
+func floorAvailability(avail float64) float64 {
+	if avail <= 0 {
+		return minAvailability
+	}
+	return avail
+}
+
 // Information is the agent's view of dynamic system state: short-term
 // forecasts of deliverable CPU and network performance for the scheduling
 // time frame. It abstracts the paper's Information Pool so prediction
@@ -18,6 +35,20 @@ type Information interface {
 	RouteLatency(a, b string) float64
 	// Source names the information source for reports.
 	Source() string
+}
+
+// routeBatcher is implemented by Information sources whose route queries
+// reduce per-link quantities along precomputed topology routes (all the
+// built-in sources). It lets SnapshotInformation resolve each link's
+// bandwidth once per round and compose the per-pair bottleneck mins from
+// that cache — an O(pool² · route length) → O(links) cut in
+// forecaster-bank queries, which otherwise dominate snapshot
+// construction on large pools.
+type routeBatcher interface {
+	routeTopology() *grid.Topology
+	// linkBandwidth returns the source's bandwidth estimate for one link;
+	// a route query is the min over its links, seeded at 1e30.
+	linkBandwidth(l *grid.Link) float64
 }
 
 // nwsInfo backs Information with Network Weather Service forecasts,
@@ -50,6 +81,15 @@ func (i *nwsInfo) RouteLatency(a, b string) float64 {
 
 func (i *nwsInfo) Source() string { return "nws" }
 
+func (i *nwsInfo) routeTopology() *grid.Topology { return i.tp }
+
+func (i *nwsInfo) linkBandwidth(l *grid.Link) float64 {
+	if v, ok := i.svc.BandwidthForecast(l.Name); ok {
+		return v
+	}
+	return l.Bandwidth
+}
+
 // oracleInfo reads the simulator's true instantaneous state — the
 // unattainable upper bound on prediction quality.
 type oracleInfo struct {
@@ -80,6 +120,10 @@ func (i *oracleInfo) RouteLatency(a, b string) float64 {
 
 func (i *oracleInfo) Source() string { return "oracle" }
 
+func (i *oracleInfo) routeTopology() *grid.Topology { return i.tp }
+
+func (i *oracleInfo) linkBandwidth(l *grid.Link) float64 { return l.AvailableBandwidth() }
+
 // staticInfo assumes every resource is dedicated — the compile-time
 // assumption embodied by the paper's static Strip and Blocked baselines.
 type staticInfo struct {
@@ -102,3 +146,7 @@ func (i *staticInfo) RouteLatency(a, b string) float64 {
 }
 
 func (i *staticInfo) Source() string { return "static" }
+
+func (i *staticInfo) routeTopology() *grid.Topology { return i.tp }
+
+func (i *staticInfo) linkBandwidth(l *grid.Link) float64 { return l.Bandwidth }

@@ -1,18 +1,38 @@
 package core
 
-// AgentOption configures an Agent at construction:
+// coordConfig is the construction-time target of AgentOption: the
+// Coordinator's evaluation-engine settings plus the estimator knobs that
+// only some blueprints consume (the pipeline blueprint has no memory
+// model, so it ignores spillFactor).
+type coordConfig struct {
+	Coordinator
+	// spillFactor, when > 0, overrides the Jacobi estimator's
+	// out-of-memory penalty multiplier.
+	spillFactor float64
+}
+
+// newCoordConfig returns the default configuration over an information
+// source: per-round snapshotting on, GOMAXPROCS worker pool, no pruning.
+func newCoordConfig(info Information) coordConfig {
+	return coordConfig{Coordinator: Coordinator{info: info, snapshot: true}}
+}
+
+// AgentOption configures a blueprint agent's Coordinator at construction.
+// The same options apply to every blueprint sharing the coordinator —
+// NewAgent, NewPipelineAgent, and NewCoordinator all accept them:
 //
 //	a, err := core.NewAgent(tp, tpl, spec, info,
 //		core.WithParallelism(8), core.WithPruning(true))
-type AgentOption func(*Agent)
+type AgentOption func(*coordConfig)
 
 // WithSpillFactor sets the estimator's out-of-memory penalty multiplier
 // (default 25, matching jacobi.Config). It replaces writing the exported
-// Agent.SpillFactor field.
+// Agent.SpillFactor field; the pipeline blueprint, which has no spill
+// model, ignores it.
 func WithSpillFactor(f float64) AgentOption {
-	return func(a *Agent) {
+	return func(c *coordConfig) {
 		if f > 0 {
-			a.SpillFactor = f
+			c.spillFactor = f
 		}
 	}
 }
@@ -23,19 +43,20 @@ func WithSpillFactor(f float64) AgentOption {
 // the sequential path: results are reduced by (score, candidate index),
 // so goroutine interleaving cannot change the decision.
 func WithParallelism(n int) AgentOption {
-	return func(a *Agent) { a.parallelism = n }
+	return func(c *coordConfig) { c.parallelism = n }
 }
 
 // WithPruning enables best-so-far pruning: workers share the incumbent
-// best score through an atomic and skip candidate sets whose compute-time
-// lower bound already exceeds it, saving the plan + estimate work. The
-// bound is conservative, so pruning never changes the selected schedule —
-// only Schedule.CandidatesPlanned may be lower (pruned sets are never
-// planned, and under parallel evaluation how many prune depends on
-// timing). Pruning applies to the MinExecutionTime metric; other metrics
-// evaluate every set.
+// best score through an atomic and skip candidate sets whose lower bound
+// already exceeds it, saving the plan + estimate work. The bound is
+// conservative, so pruning never changes the selected schedule — only
+// Schedule.CandidatesPlanned may be lower (pruned sets are never planned,
+// and under parallel evaluation how many prune depends on timing).
+// Pruning applies to rounds that supply a sound bound (the Jacobi
+// blueprint under the MinExecutionTime metric); other rounds evaluate
+// every set.
 func WithPruning(on bool) AgentOption {
-	return func(a *Agent) { a.pruning = on }
+	return func(c *coordConfig) { c.pruning = on }
 }
 
 // WithInfoSnapshot toggles the per-round information snapshot (default
@@ -45,5 +66,5 @@ func WithPruning(on bool) AgentOption {
 // evaluation, since parallel workers may only read the immutable
 // snapshot.
 func WithInfoSnapshot(on bool) AgentOption {
-	return func(a *Agent) { a.snapshot = on }
+	return func(c *coordConfig) { c.snapshot = on }
 }

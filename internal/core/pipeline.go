@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"apples/internal/grid"
 	"apples/internal/hat"
@@ -24,7 +23,8 @@ type PipelineSchedule struct {
 	Unit int
 	// Predicted is the estimated execution time in seconds.
 	Predicted float64
-	// CandidatesConsidered counts evaluated mappings (pairs + singles).
+	// CandidatesConsidered counts enumerated mappings (singles + ordered
+	// pairs); mappings the model rejects are still counted as considered.
 	CandidatesConsidered int
 }
 
@@ -45,19 +45,24 @@ func (s *PipelineSchedule) String() string {
 // pipeline model with forecasts and derives the transfer unit "which
 // yields the necessary overlap", and the Performance Estimator compares
 // candidate mappings (including single-site fallbacks) under the user's
-// metric.
+// metric. Like Agent, it is a thin instantiation of the shared
+// Coordinator round, so it evaluates mappings in parallel against a
+// per-round information snapshot and accepts the same options.
 type PipelineAgent struct {
-	tp   *grid.Topology
-	tpl  *hat.Template
-	spec *userspec.Spec
-	info Information
-	opt  react.Options
+	tp    *grid.Topology
+	tpl   *hat.Template
+	spec  *userspec.Spec
+	coord Coordinator
+	opt   react.Options
 }
 
 // NewPipelineAgent assembles a pipeline agent. The template must be
 // task-parallel with lhsf/logd tasks joined by a PipelineFlow comm edge
-// (the 3D-REACT shape).
-func NewPipelineAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info Information, opt react.Options) (*PipelineAgent, error) {
+// (the 3D-REACT shape). Options tune the shared evaluation engine
+// exactly as for NewAgent (the pipeline blueprint has no memory model,
+// so WithSpillFactor is ignored, and no pruning bound, so WithPruning is
+// a no-op).
+func NewPipelineAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info Information, opt react.Options, opts ...AgentOption) (*PipelineAgent, error) {
 	if err := tpl.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w: %w", ErrBadTemplate, err)
 	}
@@ -82,7 +87,13 @@ func NewPipelineAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec,
 	if !hasFlow {
 		return nil, fmt.Errorf("core: %w: pipeline blueprint needs a pipeline comm edge", ErrBadTemplate)
 	}
-	return &PipelineAgent{tp: tp, tpl: tpl, spec: spec, info: info, opt: opt}, nil
+	cfg := newCoordConfig(info)
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return &PipelineAgent{tp: tp, tpl: tpl, spec: spec, coord: cfg.Coordinator, opt: opt}, nil
 }
 
 // modelFor parameterizes the analytic pipeline model for one mapping,
@@ -95,16 +106,8 @@ func (a *PipelineAgent) modelFor(info Information, producer, consumer *grid.Host
 	if err != nil {
 		return nil, err
 	}
-	availP := info.Availability(producer.Name)
-	availC := info.Availability(consumer.Name)
-	if availP <= 0 {
-		availP = 0.01
-	}
-	if availC <= 0 {
-		availC = 0.01
-	}
-	m.TL /= availP
-	m.TD /= availC
+	m.TL /= floorAvailability(info.Availability(producer.Name))
+	m.TD /= floorAvailability(info.Availability(consumer.Name))
 	if bw := info.RouteBandwidth(producer.Name, consumer.Name); bw > 0 && bw < 1e29 {
 		var comm hat.Comm
 		for _, c := range a.tpl.Comms {
@@ -125,79 +128,81 @@ func (a *PipelineAgent) singleSitePrediction(info Information, h *grid.Host) (fl
 	if err != nil {
 		return 0, err
 	}
-	avail := info.Availability(h.Name)
-	if avail <= 0 {
-		avail = 0.01
-	}
-	return t / avail, nil
+	return t / floorAvailability(info.Availability(h.Name)), nil
 }
 
-// evaluate scores every feasible mapping — each single machine and each
-// ordered producer/consumer pair — against a per-round information
-// snapshot and returns them as the shared Candidate representation:
-// single-site mappings have one host and Unit 0, pipeline mappings have
-// [producer, consumer] and the tuned transfer unit. Every supported
-// metric reduces to minimizing predicted time here (speedup is
-// bestSingle/t, monotone in t for a fixed baseline), so Score is the
-// predicted execution time.
-func (a *PipelineAgent) evaluate() ([]Candidate, error) {
-	pool := a.spec.Filter(a.tp.Hosts())
-	if len(pool) == 0 {
-		return nil, fmt.Errorf("core: %w: user specification filters out every machine", ErrNoFeasibleHosts)
-	}
-	names := make([]string, len(pool))
-	for i, h := range pool {
-		names[i] = h.Name
-	}
-	info := SnapshotInformation(a.info, names)
+// round assembles the pipeline blueprint's Round: the US-filtered pool, a
+// Resource Selector enumerating every single machine followed by every
+// ordered producer/consumer pair, and an evaluator that parameterizes the
+// analytic model and tunes the transfer unit. Single-site mappings have
+// one host and Unit 0; pipeline mappings have [producer, consumer] and
+// the tuned unit. Every supported metric reduces to minimizing predicted
+// time here (speedup is bestSingle/t, monotone in t for a fixed
+// baseline), so Score is the predicted execution time. The blueprint has
+// no pruning bound, so Round.Bound is nil and WithPruning is a no-op.
+func (a *PipelineAgent) round() Round {
+	return Round{
+		Pool: a.spec.Filter(a.tp.Hosts()),
+		Bind: func(info Information, _ bool) (ResourceSelector, CandidateEvaluator, error) {
+			sel := ResourceSelectorFunc(func(pool []*grid.Host) [][]*grid.Host {
+				sets := make([][]*grid.Host, 0, len(pool)*len(pool))
+				for _, h := range pool {
+					sets = append(sets, []*grid.Host{h})
+				}
+				for _, p := range pool {
+					for _, c := range pool {
+						if p.Name != c.Name {
+							sets = append(sets, []*grid.Host{p, c})
+						}
+					}
+				}
+				return sets
+			})
 
-	var cands []Candidate
-	for _, h := range pool {
-		t, err := a.singleSitePrediction(info, h)
-		if err != nil {
-			continue
-		}
-		cands = append(cands, Candidate{Hosts: []string{h.Name}, PredictedTotal: t, Score: t})
-	}
+			minU, maxU := a.tpl.PipelineUnitMin, a.tpl.PipelineUnitMax
+			if minU == 0 {
+				minU = 1
+			}
+			if maxU < minU {
+				maxU = minU
+			}
 
-	minU, maxU := a.tpl.PipelineUnitMin, a.tpl.PipelineUnitMax
-	if minU == 0 {
-		minU = 1
+			ev := CandidateEvaluatorFunc(func(set []*grid.Host) (Candidate, bool) {
+				if len(set) == 1 {
+					t, err := a.singleSitePrediction(info, set[0])
+					if err != nil {
+						return Candidate{}, false
+					}
+					return Candidate{Hosts: []string{set[0].Name}, PredictedTotal: t, Score: t}, true
+				}
+				m, err := a.modelFor(info, set[0], set[1])
+				if err != nil {
+					return Candidate{}, false
+				}
+				u, t := m.BestUnit(minU, maxU)
+				return Candidate{Hosts: []string{set[0].Name, set[1].Name}, PredictedTotal: t, Score: t, Unit: u}, true
+			})
+			return sel, ev, nil
+		},
 	}
-	if maxU < minU {
-		maxU = minU
-	}
-	for _, p := range pool {
-		for _, c := range pool {
-			if p.Name == c.Name {
-				continue
-			}
-			m, err := a.modelFor(info, p, c)
-			if err != nil {
-				continue
-			}
-			u, t := m.BestUnit(minU, maxU)
-			cands = append(cands, Candidate{Hosts: []string{p.Name, c.Name}, PredictedTotal: t, Score: t, Unit: u})
-		}
-	}
-	return cands, nil
 }
 
-// scheduleFrom reduces evaluated candidates to the chosen mapping: the
-// strictly best score wins, ties keep the earliest candidate (single-site
-// mappings are evaluated before pairs, as before).
-func (a *PipelineAgent) scheduleFrom(cands []Candidate) (*PipelineSchedule, error) {
-	bestIdx, bestScore := -1, math.Inf(1)
-	for i, c := range cands {
-		if c.Score < bestScore {
-			bestIdx, bestScore = i, c.Score
-		}
-	}
+// evaluate runs the shared Coordinator round over the pipeline blueprint.
+func (a *PipelineAgent) evaluateRound() ([]Candidate, int, error) {
+	return a.coord.EvaluateRound(a.round())
+}
+
+// scheduleFrom reduces evaluated candidates to the chosen mapping via the
+// shared (score, index) rule: the strictly best score wins, ties keep the
+// earliest candidate (single-site mappings are enumerated before pairs,
+// as before).
+func (a *PipelineAgent) scheduleFrom(cands []Candidate, considered int) (*PipelineSchedule, error) {
+	bestIdx := bestCandidate(cands)
 	if bestIdx < 0 {
-		return nil, fmt.Errorf("core: %w: no feasible pipeline mapping among %d candidates", ErrNoFeasiblePlan, len(cands))
+		return nil, fmt.Errorf("core: %w: no feasible pipeline mapping among %d candidates", ErrNoFeasiblePlan, considered)
 	}
 	c := cands[bestIdx]
-	best := &PipelineSchedule{Predicted: c.Score, CandidatesConsidered: len(cands)}
+	best := &PipelineSchedule{Predicted: c.Score, CandidatesConsidered: considered}
 	if len(c.Hosts) == 1 {
 		best.SingleSite = c.Hosts[0]
 		best.Producer, best.Consumer = c.Hosts[0], c.Hosts[0]
@@ -212,11 +217,11 @@ func (a *PipelineAgent) scheduleFrom(cands []Candidate) (*PipelineSchedule, erro
 // every ordered pair (and every single machine), and return the mapping
 // with the best predicted performance under the user's metric.
 func (a *PipelineAgent) Schedule() (*PipelineSchedule, error) {
-	cands, err := a.evaluate()
+	cands, considered, err := a.evaluateRound()
 	if err != nil {
 		return nil, err
 	}
-	return a.scheduleFrom(cands)
+	return a.scheduleFrom(cands, considered)
 }
 
 // ScheduleExplained runs the blueprint and additionally returns the top-k
@@ -224,11 +229,11 @@ func (a *PipelineAgent) Schedule() (*PipelineSchedule, error) {
 // surface Agent.ScheduleExplained exposes, so callers explain both
 // blueprints uniformly. topK <= 0 returns every feasible candidate.
 func (a *PipelineAgent) ScheduleExplained(topK int) (*PipelineSchedule, []Candidate, error) {
-	cands, err := a.evaluate()
+	cands, considered, err := a.evaluateRound()
 	if err != nil {
 		return nil, nil, err
 	}
-	best, err := a.scheduleFrom(cands)
+	best, err := a.scheduleFrom(cands, considered)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -239,7 +244,7 @@ func (a *PipelineAgent) ScheduleExplained(topK int) (*PipelineSchedule, []Candid
 // ascending by score, without committing to a schedule. k <= 0 returns
 // all of them.
 func (a *PipelineAgent) Candidates(k int) ([]Candidate, error) {
-	cands, err := a.evaluate()
+	cands, _, err := a.evaluateRound()
 	if err != nil {
 		return nil, err
 	}

@@ -40,10 +40,7 @@ func (pl *planner) costsFor(n int, chain []*grid.Host) ([]partition.HostCost, er
 	borderBytes := pl.borderBytes()
 	costs := make([]partition.HostCost, len(chain))
 	for i, h := range chain {
-		avail := pl.info.Availability(h.Name)
-		if avail <= 0 {
-			avail = 0.01
-		}
+		avail := floorAvailability(pl.info.Availability(h.Name))
 		speed := h.Speed * avail * task.SpeedFactorOn(h.Arch) // Mflop/s deliverable
 		if speed <= 0 {
 			return nil, fmt.Errorf("core: host %s has no deliverable speed", h.Name)

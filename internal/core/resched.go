@@ -21,15 +21,11 @@ func (a *Agent) EstimatePlacement(n int, p *partition.Placement) (float64, error
 		}
 		chain = append(chain, h)
 	}
-	info := a.info
-	if a.snapshot {
-		names := make([]string, len(chain))
-		for i, h := range chain {
-			names[i] = h.Name
-		}
-		info = SnapshotInformation(a.info, names)
+	names := make([]string, len(chain))
+	for i, h := range chain {
+		names[i] = h.Name
 	}
-	pl := &planner{tp: a.tp, tpl: a.tpl, info: info}
+	pl := &planner{tp: a.tp, tpl: a.tpl, info: a.coord.View(names)}
 	costs, err := pl.costsFor(n, chain)
 	if err != nil {
 		return 0, err
@@ -111,7 +107,7 @@ func (a *Agent) migrationCost(oldP, newP *partition.Placement, migMB float64) fl
 	worstBW := 1e30
 	for _, s := range shrank {
 		for _, g := range grew {
-			if bw := a.info.RouteBandwidth(s, g); bw < worstBW {
+			if bw := a.coord.Information().RouteBandwidth(s, g); bw < worstBW {
 				worstBW = bw
 			}
 		}

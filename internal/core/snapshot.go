@@ -1,5 +1,7 @@
 package core
 
+import "apples/internal/grid"
+
 // InfoSnapshot is an immutable, point-in-time resolution of an
 // Information source over a fixed host set. The agent takes one snapshot
 // per scheduling round and evaluates every candidate resource set against
@@ -41,6 +43,40 @@ func SnapshotInformation(info Information, hosts []string) *InfoSnapshot {
 	}
 	for _, h := range hosts {
 		s.avail[h] = info.Availability(h)
+	}
+	if rb, ok := info.(routeBatcher); ok {
+		// Batched path: resolve each link's bandwidth once, then compose
+		// the per-pair bottleneck mins and latency sums by walking the
+		// precomputed routes. Route queries reduce per-link values in
+		// route order with the same seed and comparison as the source's
+		// own query, so the resulting snapshot is bit-identical to the
+		// per-pair path below — just without re-consulting the forecaster
+		// bank for every pair sharing a link.
+		tp := rb.routeTopology()
+		linkBW := make(map[*grid.Link]float64)
+		for _, a := range hosts {
+			for _, b := range hosts {
+				if a == b {
+					continue
+				}
+				bw, lat := 1e30, 0.0
+				for _, l := range tp.Route(a, b) {
+					v, ok := linkBW[l]
+					if !ok {
+						v = rb.linkBandwidth(l)
+						linkBW[l] = v
+					}
+					if v < bw {
+						bw = v
+					}
+					lat += l.Latency
+				}
+				k := pairKey{a, b}
+				s.bw[k] = bw
+				s.lat[k] = lat
+			}
+		}
+		return s
 	}
 	for _, a := range hosts {
 		for _, b := range hosts {

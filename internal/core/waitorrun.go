@@ -70,7 +70,7 @@ func (a *Agent) WaitOrRun(n int, offer DedicatedOffer) (*WaitOrRunDecision, erro
 	// configuration (spill factor, parallelism, pruning, snapshotting).
 	dedAgent := a.clone()
 	dedAgent.spec = &dedSpec
-	dedAgent.info = &dedicatedInfo{Information: a.info, hosts: hostSet}
+	dedAgent.coord.info = &dedicatedInfo{Information: a.coord.Information(), hosts: hostSet}
 	dedicated, err := dedAgent.Schedule(n)
 	if err != nil {
 		return nil, fmt.Errorf("core: dedicated offer unschedulable: %w", err)

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"strings"
 
+	"apples/internal/core"
 	"apples/internal/grid"
 	"apples/internal/hat"
 	"apples/internal/nile"
 	"apples/internal/nws"
 	"apples/internal/react"
 	"apples/internal/sim"
+	"apples/internal/userspec"
 )
 
 // ReactResult is experiment E5 (Section 2.3's reported times).
@@ -48,11 +50,21 @@ func React(surfaceFunctions int) (*ReactResult, error) {
 		}
 	}
 
+	// The mapping decision runs through the pipeline-blueprint AppLeS —
+	// the same shared Coordinator as the Jacobi agent — with an oracle
+	// information source on the dedicated CASA pair (availability 1
+	// everywhere, so this reproduces the developers' static choice).
 	tpSel := grid.CASA(sim.NewEngine())
-	prod, cons, unit, _, err := react.ChooseMapping(tpSel, tpl, "c90", "paragon", react.Options{})
+	agent, err := core.NewPipelineAgent(tpSel, tpl, &userspec.Spec{},
+		core.OracleInformation(tpSel), react.Options{})
 	if err != nil {
 		return nil, err
 	}
+	sched, err := agent.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	prod, cons, unit := sched.Producer, sched.Consumer, sched.Unit
 	res.Producer, res.Consumer, res.BestUnit = prod, cons, unit
 
 	for u := tpl.PipelineUnitMin; u <= tpl.PipelineUnitMax; u++ {

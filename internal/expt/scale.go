@@ -11,6 +11,7 @@ import (
 	"apples/internal/jacobi"
 	"apples/internal/nws"
 	"apples/internal/partition"
+	"apples/internal/react"
 	"apples/internal/sim"
 	"apples/internal/userspec"
 )
@@ -123,6 +124,100 @@ func NewScaleAgent(clusters, per, n int, seed int64, opts ...core.AgentOption) (
 	svc.Stop()
 	return core.NewAgent(tp, hat.Jacobi2D(n, 40), &userspec.Spec{Decomposition: "strip"},
 		core.NWSInformation(svc, tp), opts...)
+}
+
+// NewScalePipelineAgent builds a warmed pipeline-scheduling scenario for
+// latency measurements and benchmarks: the same cluster-of-clusters
+// metacomputer as NewScaleAgent, but driving the pipeline blueprint with
+// a 3D-REACT-shaped template (every host runs the generic implementation,
+// so all singles and ordered pairs are feasible mappings — a pool of h
+// hosts enumerates h + h·(h−1) candidates).
+func NewScalePipelineAgent(clusters, per, surfaceFunctions int, seed int64, opts ...core.AgentOption) (*core.PipelineAgent, error) {
+	eng := sim.NewEngine()
+	eng.SetEventLimit(200_000_000)
+	tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{
+		Clusters: clusters, PerCluster: per, Seed: seed,
+	})
+	svc := nws.NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(300); err != nil {
+		return nil, err
+	}
+	svc.Stop()
+	return core.NewPipelineAgent(tp, hat.React3D(surfaceFunctions), &userspec.Spec{},
+		core.NWSInformation(svc, tp), react.Options{}, opts...)
+}
+
+// PipelineLatencyRow is one pool size of the pipeline scheduler-latency
+// experiment.
+type PipelineLatencyRow struct {
+	Hosts    int
+	Mappings int     // singles + ordered pairs enumerated
+	SeqMS    float64 // snapshot, sequential
+	ParMS    float64 // snapshot, GOMAXPROCS worker pool
+}
+
+// PipelineSchedLatency measures the pipeline blueprint's decision latency
+// across pool sizes, sequential vs parallel — the speedup the shared
+// Coordinator hands the PipelineAgent for free. Best of three rounds.
+func PipelineSchedLatency(sizes [][2]int, surfaceFunctions int, seed int64) ([]PipelineLatencyRow, error) {
+	if len(sizes) == 0 {
+		sizes = [][2]int{{2, 4}, {4, 4}, {8, 4}, {8, 8}}
+	}
+	if surfaceFunctions == 0 {
+		surfaceFunctions = 600
+	}
+	modes := []struct {
+		set  func(*PipelineLatencyRow, float64)
+		opts []core.AgentOption
+	}{
+		{func(r *PipelineLatencyRow, v float64) { r.SeqMS = v },
+			[]core.AgentOption{core.WithParallelism(1)}},
+		{func(r *PipelineLatencyRow, v float64) { r.ParMS = v },
+			[]core.AgentOption{core.WithParallelism(0)}},
+	}
+	var rows []PipelineLatencyRow
+	for _, cp := range sizes {
+		row := PipelineLatencyRow{Hosts: cp[0] * cp[1]}
+		for _, m := range modes {
+			agent, err := NewScalePipelineAgent(cp[0], cp[1], surfaceFunctions, seed, m.opts...)
+			if err != nil {
+				return nil, err
+			}
+			best := 0.0
+			for trial := 0; trial < 3; trial++ {
+				wall := time.Now()
+				sched, err := agent.Schedule()
+				if err != nil {
+					return nil, fmt.Errorf("pipeline sched latency %dx%d: %w", cp[0], cp[1], err)
+				}
+				row.Mappings = sched.CandidatesConsidered
+				if ms := float64(time.Since(wall).Microseconds()) / 1000; trial == 0 || ms < best {
+					best = ms
+				}
+			}
+			m.set(&row, best)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPipelineSchedLatency renders the pipeline scheduler-latency
+// experiment.
+func FormatPipelineSchedLatency(rows []PipelineLatencyRow) string {
+	var sb strings.Builder
+	sb.WriteString("Pipeline scheduler decision latency — one round (ms wall-clock)\n")
+	sb.WriteString("  hosts  mappings  sequential(ms)  parallel(ms)  speedup\n")
+	for _, r := range rows {
+		speedup := 0.0
+		if r.ParMS > 0 {
+			speedup = r.SeqMS / r.ParMS
+		}
+		fmt.Fprintf(&sb, "  %5d  %8d  %14.1f  %12.1f  %6.2fx\n",
+			r.Hosts, r.Mappings, r.SeqMS, r.ParMS, speedup)
+	}
+	return sb.String()
 }
 
 // LatencyRow is one pool size of the scheduler-latency experiment: the

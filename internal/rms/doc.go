@@ -1,0 +1,21 @@
+// Package rms is a PVM-flavored message-passing resource-management
+// substrate over the simulated metacomputer.
+//
+// The paper is explicit that AppLeS agents "are not resource management
+// systems; they rely on systems such as Globus, Legion, PVM, etc. to
+// perform that function", and the 1996 prototype actuated through PVM.
+// This package reproduces the relevant slice of that substrate: a virtual
+// machine spanning the topology's hosts, task spawning, asynchronous
+// typed-tag message passing with real network cost, and computation that
+// shares each host's CPU with ambient load and other tasks.
+//
+// Tasks are event-driven (callback style, matching the simulation
+// substrate): a task body registers its initial behaviour at spawn time
+// and reacts to Compute completions and Recv deliveries.
+//
+// The AppLeS layer actuates through this package via
+// core.ActuatorFromRMS / the facade's RMSActuator: the agent decides, the
+// resource management system executes — the separation of concerns the
+// paper's architecture diagram draws between the Coordinator's Actuator
+// and the underlying RMS.
+package rms

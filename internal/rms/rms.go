@@ -1,17 +1,3 @@
-// Package rms is a PVM-flavored message-passing resource-management
-// substrate over the simulated metacomputer.
-//
-// The paper is explicit that AppLeS agents "are not resource management
-// systems; they rely on systems such as Globus, Legion, PVM, etc. to
-// perform that function", and the 1996 prototype actuated through PVM.
-// This package reproduces the relevant slice of that substrate: a virtual
-// machine spanning the topology's hosts, task spawning, asynchronous
-// typed-tag message passing with real network cost, and computation that
-// shares each host's CPU with ambient load and other tasks.
-//
-// Tasks are event-driven (callback style, matching the simulation
-// substrate): a task body registers its initial behaviour at spawn time
-// and reacts to Compute completions and Recv deliveries.
 package rms
 
 import (
