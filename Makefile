@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-evaluate bench-pipeline bench-nws tables clean
+.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-nws tables clean
 
 all: build vet test
 
@@ -18,6 +18,17 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Coverage over the decision-critical packages (CI enforces a 70% floor).
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/core ./internal/nws
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Short fuzz probe of the serialization decoders; the committed corpora
+# under testdata/fuzz replay as regular tests on every `make test`.
+fuzz:
+	$(GO) test -fuzz=FuzzReadPlacement -fuzztime=10s ./internal/partition
+	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=10s ./internal/nws
 
 # Full reproduction benchmarks (paper figures + ablations).
 bench:

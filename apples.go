@@ -33,6 +33,7 @@ import (
 	"apples/internal/load"
 	"apples/internal/nile"
 	"apples/internal/nws"
+	"apples/internal/obs"
 	"apples/internal/partition"
 	"apples/internal/react"
 	"apples/internal/rms"
@@ -227,6 +228,56 @@ var (
 
 // SnapshotInformation freezes an Information source over a host set.
 var SnapshotInformation = core.SnapshotInformation
+
+// Observability: decision traces and metrics (internal/obs). A nil
+// Tracer or Metrics means "off" and costs the instrumented hot paths a
+// single pointer check.
+type (
+	// Tracer receives structured decision-trace events; implementations
+	// must tolerate concurrent Emit calls.
+	Tracer = obs.Tracer
+	// TracerFunc adapts a function to Tracer.
+	TracerFunc = obs.TracerFunc
+	// TraceEvent is one record of a decision trace (snapshot built,
+	// candidate evaluated/pruned, winner chosen, verdicts).
+	TraceEvent = obs.Event
+	// TraceEventType tags a TraceEvent.
+	TraceEventType = obs.EventType
+	// JSONLTracer writes events as JSON lines (the -trace file format).
+	JSONLTracer = obs.JSONLTracer
+	// TraceCollector buffers events in memory for inspection.
+	TraceCollector = obs.Collector
+	// MultiTracer fans events out to several sinks.
+	MultiTracer = obs.MultiTracer
+	// Metrics is a registry of atomic counters, gauges, and fixed-bucket
+	// histograms shared across subsystems.
+	Metrics = obs.Metrics
+)
+
+// NewJSONLTracer returns a tracer emitting one JSON object per line.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
+
+// NewTraceCollector returns an empty in-memory trace sink.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// NewMetrics returns an empty metrics registry. Hand the same registry
+// to WithMetrics, WithNWSMetrics, and Engine.SetMetrics to aggregate one
+// run's counters in one place, then render it with Metrics.WriteTo.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// Observability wiring for the agent and the NWS.
+var (
+	// WithTracer streams every scheduling-round decision step of an
+	// agent (or coordinator) to a trace sink.
+	WithTracer = core.WithTracer
+	// WithMetrics registers the agent's round counters and latency
+	// histograms in a shared registry.
+	WithMetrics = core.WithMetrics
+)
+
+// WithNWSMetrics registers an NWS instance's sensing counters
+// (bank updates, sensor sweeps) in a shared registry.
+func WithNWSMetrics(m *Metrics) NWSOption { return nws.WithMetrics(m) }
 
 // Sentinel errors, for errors.Is instead of string matching.
 var (

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,9 +35,30 @@ func main() {
 	spill := flag.Float64("spill", 25, "estimator out-of-memory penalty multiplier")
 	saveSched := flag.String("save-schedule", "", "write the chosen placement as JSON to this file")
 	loadSched := flag.String("load-schedule", "", "skip scheduling; execute the placement JSON from this file")
+	traceFile := flag.String("trace", "", "write a JSONL decision trace of the scheduling round to this file")
+	metrics := flag.Bool("metrics", false, "print the run's metrics registry (rounds, candidates, sensing, sim events) on exit")
 	flag.Parse()
 
+	var reg *apples.Metrics
+	if *metrics {
+		reg = apples.NewMetrics()
+	}
+	var tracer *apples.JSONLTracer
+	var traceBuf *bufio.Writer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		traceBuf = bufio.NewWriter(f)
+		tracer = apples.NewJSONLTracer(traceBuf)
+	}
+
 	eng := apples.NewEngine()
+	if reg != nil {
+		eng.SetMetrics(reg)
+	}
 	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: *seed, Quiet: *quiet, WithSP2: *sp2})
 
 	if *topo {
@@ -69,7 +91,11 @@ func main() {
 	var source apples.Information
 	switch *info {
 	case "nws":
-		svc := apples.NewNWS(eng, 10)
+		var nwsOpts []apples.NWSOption
+		if reg != nil {
+			nwsOpts = append(nwsOpts, apples.WithNWSMetrics(reg))
+		}
+		svc := apples.NewNWS(eng, 10, nwsOpts...)
 		svc.WatchTopology(tp)
 		if err := eng.RunUntil(*warm); err != nil {
 			fail(err)
@@ -103,10 +129,18 @@ func main() {
 	}
 
 	tpl := apples.JacobiTemplate(*n, *iters)
-	agent, err := apples.NewAgent(tp, tpl, spec, source,
+	agentOpts := []apples.AgentOption{
 		apples.WithParallelism(*parallel),
 		apples.WithPruning(*prune),
-		apples.WithSpillFactor(*spill))
+		apples.WithSpillFactor(*spill),
+	}
+	if tracer != nil {
+		agentOpts = append(agentOpts, apples.WithTracer(tracer))
+	}
+	if reg != nil {
+		agentOpts = append(agentOpts, apples.WithMetrics(reg))
+	}
+	agent, err := apples.NewAgent(tp, tpl, spec, source, agentOpts...)
 	if err != nil {
 		fail(err)
 	}
@@ -157,6 +191,22 @@ func main() {
 	fmt.Printf("  predicted: %8.2f s  (%.4f s/iter)\n", sched.PredictedTotal, sched.PredictedIterTime)
 	fmt.Printf("  measured:  %8.2f s  (%.4f s/iter)\n", measured, measured/float64(*iters))
 	fmt.Printf("  model error: %+.1f%%\n", 100*(sched.PredictedTotal-measured)/measured)
+
+	if tracer != nil {
+		if err := traceBuf.Flush(); err != nil {
+			fail(err)
+		}
+		if err := tracer.Err(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("decision trace written to %s\n", *traceFile)
+	}
+	if reg != nil {
+		fmt.Println()
+		if _, err := reg.WriteTo(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 }
 
 func fail(err error) {

@@ -9,7 +9,8 @@
 //
 // Figures: 3, 4, 5, 6, react, nile, a1 (forecast ablation), a3
 // (selection ablation), sched / pipeline-sched (scheduler decision
-// latency for the two blueprints), nws-scale (sensing throughput), all.
+// latency for the two blueprints), nws-scale (sensing throughput),
+// obs-overhead (decision-trace instrumentation cost), all.
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,nws-scale,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,nws-scale,obs-overhead,all")
 	seed := flag.Int64("seed", 11, "base seed for ambient load")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
@@ -267,6 +268,20 @@ func main() {
 		}
 		fmt.Print(expt.FormatPipelineSchedLatency(rows))
 		return nil
+	})
+
+	run("obs-overhead", func() error {
+		sizes := [][2]int{{2, 4}, {3, 4}, {8, 4}, {8, 8}}
+		if *quick {
+			sizes = [][2]int{{2, 4}, {3, 4}}
+		}
+		rows, err := expt.ObsOverhead(sizes, 2000, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(expt.FormatObsOverhead(rows))
+		h, c := expt.ObsOverheadCSV(rows)
+		return writeCSV("obs-overhead", h, c)
 	})
 
 	run("nws-scale", func() error {

@@ -3,8 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"apples/internal/grid"
+	"apples/internal/obs"
 )
 
 // This file is the generic half of the AppLeS blueprint (Figure 1): one
@@ -95,6 +98,30 @@ type Coordinator struct {
 	// snapshot resolves the information pool once per round (default
 	// true). See WithInfoSnapshot.
 	snapshot bool
+
+	// tracer receives the round's decision trace; nil (the default)
+	// means tracing is off and every trace site reduces to one pointer
+	// check. See WithTracer.
+	tracer obs.Tracer
+	// met holds pre-resolved metric handles; nil means metrics are off.
+	// See WithMetrics.
+	met *roundMetrics
+	// rounds numbers scheduling rounds for the trace. Shared by pointer
+	// so derived agents (clone, WaitOrRun's dedicated agent) keep ids
+	// unique within one lineage.
+	rounds *atomic.Uint64
+}
+
+// roundMetrics are the Coordinator's metric handles, resolved once by
+// WithMetrics so the round hot path only performs atomic updates.
+type roundMetrics struct {
+	rounds     *obs.Counter
+	evaluated  *obs.Counter
+	pruned     *obs.Counter
+	infeasible *obs.Counter
+
+	roundLatency    *obs.Histogram
+	snapshotLatency *obs.Histogram
 }
 
 // NewCoordinator builds a coordinator over an information source with the
@@ -152,6 +179,17 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 	if len(r.Pool) == 0 {
 		return nil, 0, fmt.Errorf("core: %w: user specification filters out every host", ErrNoFeasibleHosts)
 	}
+	// Observability fast path: with no tracer and no metrics the round
+	// does zero extra work — no clock reads, no round numbering, and the
+	// per-candidate sites below are single nil checks.
+	tr, met := c.tracer, c.met
+	observing := tr != nil || met != nil
+	var round uint64
+	var start time.Time
+	if observing {
+		round = c.rounds.Add(1)
+		start = time.Now()
+	}
 	info := c.info
 	workers := c.parallelism
 	if c.snapshot {
@@ -159,7 +197,18 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 		for i, h := range r.Pool {
 			names[i] = h.Name
 		}
-		info = SnapshotInformation(c.info, names)
+		snap := SnapshotInformation(c.info, names)
+		if observing {
+			if met != nil {
+				met.snapshotLatency.Observe(time.Since(start).Seconds())
+			}
+			if tr != nil {
+				st := snap.Stats()
+				tr.Emit(obs.Event{Round: round, Type: obs.EvSnapshot,
+					Pool: st.Hosts, Pairs: st.Pairs, Queries: st.SourceQueries})
+			}
+		}
+		info = snap
 	} else {
 		// Without the snapshot, workers would race on the underlying
 		// Information source (forecast banks are not thread-safe).
@@ -184,13 +233,35 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 	runIndexed(len(sets), workers, func(i int) {
 		set := sets[i]
 		if incumbent != nil {
-			if lb := bound.LowerBound(set); lb > incumbent.load() {
+			lb := bound.LowerBound(set)
+			if inc := incumbent.load(); lb > inc {
+				if met != nil {
+					met.pruned.Inc()
+				}
+				if tr != nil {
+					tr.Emit(obs.Event{Round: round, Type: obs.EvPruned, Index: i + 1,
+						Hosts: hostNames(set), Bound: lb, Incumbent: inc})
+				}
 				return
 			}
 		}
 		cand, ok := ev.Evaluate(set)
 		if !ok {
+			if met != nil {
+				met.infeasible.Inc()
+			}
+			if tr != nil {
+				tr.Emit(obs.Event{Round: round, Type: obs.EvInfeasible, Index: i + 1,
+					Hosts: hostNames(set)})
+			}
 			return
+		}
+		if met != nil {
+			met.evaluated.Inc()
+		}
+		if tr != nil {
+			tr.Emit(obs.Event{Round: round, Type: obs.EvCandidate, Index: i + 1,
+				Hosts: cand.Hosts, Predicted: cand.PredictedTotal, Score: cand.Score})
 		}
 		results[i] = cand
 		feasible[i] = true
@@ -205,7 +276,37 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 			cands = append(cands, results[i])
 		}
 	}
+	if observing {
+		if met != nil {
+			met.rounds.Inc()
+			met.roundLatency.Observe(time.Since(start).Seconds())
+		}
+		if tr != nil {
+			// The winner event applies the same deterministic
+			// (score, index) reduce the blueprint agents use in
+			// pickBest/scheduleFrom, so the trace closes every round with
+			// the decision it produced.
+			if bi := bestCandidate(cands); bi >= 0 {
+				w := cands[bi]
+				tr.Emit(obs.Event{Round: round, Type: obs.EvWinner, Hosts: w.Hosts,
+					Predicted: w.PredictedTotal, Score: w.Score,
+					Considered: len(sets), Planned: len(cands)})
+			} else {
+				tr.Emit(obs.Event{Round: round, Type: obs.EvWinner,
+					Reason: "no-feasible-plan", Considered: len(sets)})
+			}
+		}
+	}
 	return cands, len(sets), nil
+}
+
+// hostNames flattens a candidate set for a trace event.
+func hostNames(set []*grid.Host) []string {
+	out := make([]string, len(set))
+	for i, h := range set {
+		out[i] = h.Name
+	}
+	return out
 }
 
 // bestCandidate reduces evaluated candidates with the deterministic

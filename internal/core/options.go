@@ -1,5 +1,11 @@
 package core
 
+import (
+	"sync/atomic"
+
+	"apples/internal/obs"
+)
+
 // coordConfig is the construction-time target of AgentOption: the
 // Coordinator's evaluation-engine settings plus the estimator knobs that
 // only some blueprints consume (the pipeline blueprint has no memory
@@ -14,7 +20,7 @@ type coordConfig struct {
 // newCoordConfig returns the default configuration over an information
 // source: per-round snapshotting on, GOMAXPROCS worker pool, no pruning.
 func newCoordConfig(info Information) coordConfig {
-	return coordConfig{Coordinator: Coordinator{info: info, snapshot: true}}
+	return coordConfig{Coordinator: Coordinator{info: info, snapshot: true, rounds: new(atomic.Uint64)}}
 }
 
 // AgentOption configures a blueprint agent's Coordinator at construction.
@@ -67,4 +73,38 @@ func WithPruning(on bool) AgentOption {
 // snapshot.
 func WithInfoSnapshot(on bool) AgentOption {
 	return func(c *coordConfig) { c.snapshot = on }
+}
+
+// WithTracer attaches a decision-trace sink to the Coordinator: every
+// scheduling round emits structured events for the snapshot built, each
+// candidate evaluated/pruned/rejected, and the winner selected, plus
+// reschedule and wait-or-run verdicts. The tracer must be safe for
+// concurrent Emit calls (parallel workers trace from multiple
+// goroutines; obs.JSONLTracer and obs.Collector both are). nil leaves
+// tracing off — the default, costing one pointer check per site.
+func WithTracer(t obs.Tracer) AgentOption {
+	return func(c *coordConfig) { c.tracer = t }
+}
+
+// WithMetrics registers the Coordinator's round metrics in the given
+// registry — round and snapshot-build latency histograms plus counters
+// for rounds run and candidates evaluated/pruned/infeasible (the
+// sched_* metric names in package obs). Handles are resolved here, once, so the
+// instrumented round performs only atomic updates; nil leaves metrics
+// off.
+func WithMetrics(m *obs.Metrics) AgentOption {
+	return func(c *coordConfig) {
+		if m == nil {
+			c.met = nil
+			return
+		}
+		c.met = &roundMetrics{
+			rounds:          m.Counter(obs.MetricRounds),
+			evaluated:       m.Counter(obs.MetricCandidatesEvaluated),
+			pruned:          m.Counter(obs.MetricCandidatesPruned),
+			infeasible:      m.Counter(obs.MetricCandidatesInfeasible),
+			roundLatency:    m.Histogram(obs.MetricRoundSeconds, nil),
+			snapshotLatency: m.Histogram(obs.MetricSnapshotSeconds, nil),
+		}
+	}
 }

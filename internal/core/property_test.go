@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+// The pruning-invariance property (pruning on/off picks the identical
+// schedule) lives in determinism_test.go: TestPruningPreservesSelection.
+// This file adds the remaining Coordinator properties: the winner's
+// estimate must be reproducible through the standalone re-estimation
+// path, and degenerate pools must fail with the documented sentinels.
+
+// TestWinnerScoreMatchesReestimate closes the loop between the round's
+// winning estimate and the standalone re-estimation path: pricing the
+// chosen placement with EstimatePlacement under the same information must
+// reproduce the predicted iteration time the round reported.
+func TestWinnerScoreMatchesReestimate(t *testing.T) {
+	for _, seed := range []int64{3, 17, 42} {
+		tp, info := buildPool(t, 0, 0, seed)
+		agent, err := NewAgent(tp, hat.Jacobi2D(600, 10), &userspec.Spec{}, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := agent.Schedule(600)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		est, err := agent.EstimatePlacement(600, sched.Placement)
+		if err != nil {
+			t.Fatalf("seed %d re-estimate: %v", seed, err)
+		}
+		if diff := math.Abs(est - sched.PredictedIterTime); diff > 1e-9*sched.PredictedIterTime {
+			t.Fatalf("seed %d: re-estimated iter time %v, round predicted %v (diff %g)",
+				seed, est, sched.PredictedIterTime, diff)
+		}
+	}
+}
+
+// TestScheduleSentinelErrors pins the documented failure modes: a pool
+// the user specification empties must fail with ErrNoFeasibleHosts, and a
+// pool whose only host cannot run the problem must fail with
+// ErrNoFeasiblePlan — never a zero-value schedule.
+func TestScheduleSentinelErrors(t *testing.T) {
+	tp, info := buildPool(t, 0, 0, 11)
+	tpl := hat.Jacobi2D(600, 10)
+
+	empty, err := NewAgent(tp, tpl, &userspec.Spec{Accessible: []string{"no-such-host"}}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := empty.Schedule(600)
+	if !errors.Is(err, ErrNoFeasibleHosts) {
+		t.Fatalf("empty pool: err = %v, want ErrNoFeasibleHosts", err)
+	}
+	if sched != nil {
+		t.Fatalf("empty pool returned a schedule alongside the error: %v", sched)
+	}
+
+	// A pool whose single host delivers no cycles: every plan over it is
+	// infeasible, so the round completes but selects nothing.
+	husk := grid.NewTopology(sim.NewEngine())
+	husk.AddHost(grid.HostSpec{Name: "husk", Arch: "relic", Speed: 0, MemoryMB: 64})
+	husk.Finalize()
+	solo, err := NewAgent(husk, tpl, &userspec.Spec{}, StaticInformation(husk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err = solo.Schedule(600)
+	if !errors.Is(err, ErrNoFeasiblePlan) {
+		t.Fatalf("infeasible single-host pool: err = %v, want ErrNoFeasiblePlan", err)
+	}
+	if sched != nil {
+		t.Fatalf("infeasible pool returned a schedule alongside the error: %v", sched)
+	}
+}

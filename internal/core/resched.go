@@ -3,6 +3,7 @@ package core
 import (
 	"apples/internal/grid"
 	"apples/internal/jacobi"
+	"apples/internal/obs"
 	"apples/internal/partition"
 )
 
@@ -50,6 +51,15 @@ func (a *Agent) Rescheduler(n int, hysteresis float64) jacobi.ReplanFunc {
 	totalIters := max(a.tpl.Iterations, 1)
 	bytesPerPoint := a.tpl.Tasks[0].BytesPerUnit
 
+	// keep traces a rejected checkpoint; the nil tracer costs one check.
+	keep := func(reason string, cur, freshIter, savings, migCost float64) *partition.Placement {
+		if tr := a.coord.tracer; tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvReschedule, Verdict: "keep", Reason: reason,
+				Current: cur, Fresh: freshIter, Savings: savings, MigCost: migCost})
+		}
+		return nil
+	}
+
 	return func(done int, current *partition.Placement) *partition.Placement {
 		remaining := totalIters - done
 		if remaining <= 0 {
@@ -57,20 +67,24 @@ func (a *Agent) Rescheduler(n int, hysteresis float64) jacobi.ReplanFunc {
 		}
 		fresh, err := a.Schedule(n)
 		if err != nil {
-			return nil
+			return keep("no-fresh-schedule", 0, 0, 0, 0)
 		}
 		curIter, err := a.EstimatePlacement(n, current)
 		if err != nil {
-			return nil
+			return keep("estimate-failed", 0, fresh.PredictedIterTime, 0, 0)
 		}
 		if fresh.PredictedIterTime >= curIter*(1-hysteresis) {
-			return nil
+			return keep("hysteresis", curIter, fresh.PredictedIterTime, 0, 0)
 		}
 		savings := (curIter - fresh.PredictedIterTime) * float64(remaining)
 		migMB := jacobi.EstimateMigrationMB(current, fresh.Placement, bytesPerPoint)
 		migCost := a.migrationCost(current, fresh.Placement, migMB)
 		if savings <= migCost {
-			return nil
+			return keep("migration-cost", curIter, fresh.PredictedIterTime, savings, migCost)
+		}
+		if tr := a.coord.tracer; tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvReschedule, Verdict: "migrate", Hosts: fresh.Hosts,
+				Current: curIter, Fresh: fresh.PredictedIterTime, Savings: savings, MigCost: migCost})
 		}
 		return fresh.Placement
 	}

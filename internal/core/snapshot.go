@@ -25,9 +25,31 @@ type InfoSnapshot struct {
 	lat    map[pairKey]float64
 	source string
 	base   Information
+	stats  SnapshotStats
 }
 
 type pairKey struct{ a, b string }
+
+// SnapshotStats reports what building a snapshot cost: how much was
+// resolved and how many queries actually reached the underlying source.
+// The decision trace's snapshot event carries these numbers, making the
+// batched route path's query savings visible (Queries < 2·Pairs when
+// pairs share links).
+type SnapshotStats struct {
+	// Hosts is the number of availability lookups frozen.
+	Hosts int
+	// Pairs is the number of ordered host pairs resolved (bandwidth and
+	// latency each).
+	Pairs int
+	// SourceQueries counts calls issued to the underlying Information
+	// source: one availability per host plus, on the batched path, one
+	// bandwidth query per distinct link — or bandwidth+latency per pair
+	// on the generic path.
+	SourceQueries int
+}
+
+// Stats reports how the snapshot was built.
+func (s *InfoSnapshot) Stats() SnapshotStats { return s.stats }
 
 // SnapshotInformation resolves every lookup the scheduling round can make
 // for the given hosts — one Availability per host, one RouteBandwidth and
@@ -76,6 +98,11 @@ func SnapshotInformation(info Information, hosts []string) *InfoSnapshot {
 				s.lat[k] = lat
 			}
 		}
+		s.stats = SnapshotStats{
+			Hosts:         len(hosts),
+			Pairs:         len(s.bw),
+			SourceQueries: len(hosts) + len(linkBW),
+		}
 		return s
 	}
 	for _, a := range hosts {
@@ -87,6 +114,11 @@ func SnapshotInformation(info Information, hosts []string) *InfoSnapshot {
 			s.bw[k] = info.RouteBandwidth(a, b)
 			s.lat[k] = info.RouteLatency(a, b)
 		}
+	}
+	s.stats = SnapshotStats{
+		Hosts:         len(hosts),
+		Pairs:         len(s.bw),
+		SourceQueries: len(hosts) + 2*len(s.bw),
 	}
 	return s
 }

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"apples/internal/hat"
+	"apples/internal/obs"
+	"apples/internal/userspec"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestGoldenTraceJacobiRound pins the JSONL trace of one fixed-seed
+// Jacobi scheduling round. Any change to the event schema or to the
+// decision sequence shows up as a reviewable diff against
+// testdata/golden_trace.jsonl (regenerate with `go test -run Golden
+// -update`). It then re-derives the decision from the trace alone and
+// checks it against the schedule the agent returned — the trace must
+// reconstruct the full decision, not just narrate it.
+func TestGoldenTraceJacobiRound(t *testing.T) {
+	tp, info := buildPool(t, 0, 0, 11)
+	var buf bytes.Buffer
+	tr := obs.NewJSONLTracer(&buf)
+	// Four accessible hosts keep the golden file a reviewable 17 lines
+	// (1 snapshot + 15 candidate sets + 1 winner); sequential evaluation
+	// fixes the emission order.
+	spec := &userspec.Spec{Accessible: []string{"alpha1", "alpha2", "alpha3", "alpha4"}}
+	agent, err := NewAgent(tp, hat.Jacobi2D(600, 10), spec, info,
+		WithParallelism(1), WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := agent.Schedule(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "golden_trace.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace diverged from %s — if the schema change is intended, regenerate with -update\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+
+	// Reconstruct the decision from the trace.
+	var events []obs.Event
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	if events[0].Type != obs.EvSnapshot || events[0].Pool != 4 {
+		t.Fatalf("round must open with the snapshot event, got %+v", events[0])
+	}
+	var winner *obs.Event
+	candidates := 0
+	bestScore, bestIdx := 0.0, -1
+	for i := range events {
+		e := &events[i]
+		switch e.Type {
+		case obs.EvCandidate:
+			candidates++
+			if bestIdx < 0 || e.Score < bestScore {
+				bestScore, bestIdx = e.Score, i
+			}
+		case obs.EvWinner:
+			winner = e
+		}
+	}
+	if winner == nil {
+		t.Fatal("trace has no winner event")
+	}
+	if candidates != sched.CandidatesPlanned || winner.Considered != sched.CandidatesConsidered {
+		t.Fatalf("trace counts (%d candidates, %d considered) disagree with schedule (%d planned, %d considered)",
+			candidates, winner.Considered, sched.CandidatesPlanned, sched.CandidatesConsidered)
+	}
+	if bestIdx < 0 || winner.Score != bestScore {
+		t.Fatalf("winner score %v is not the minimum candidate score %v", winner.Score, bestScore)
+	}
+	// Schedule.Hosts is in strip-chain order; trace events carry the
+	// candidate set in enumeration order. Same resources, maybe permuted.
+	if !sameHosts(winner.Hosts, sched.Hosts) || !sameHosts(events[bestIdx].Hosts, sched.Hosts) {
+		t.Fatalf("trace winner %v / best candidate %v disagree with schedule hosts %v",
+			winner.Hosts, events[bestIdx].Hosts, sched.Hosts)
+	}
+	if winner.Predicted != sched.PredictedTotal {
+		t.Fatalf("trace predicted %v, schedule predicted %v", winner.Predicted, sched.PredictedTotal)
+	}
+}
+
+// sameHosts reports whether two host lists name the same set of hosts,
+// ignoring order.
+func sameHosts(a, b []string) bool {
+	as, bs := append([]string(nil), a...), append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	return reflect.DeepEqual(as, bs)
+}
+
+// TestSharedObsAcrossConcurrentRounds drives several agents through
+// parallel scheduling rounds that all feed one Metrics registry and one
+// Collector. Correctness is exact bookkeeping — every event and count
+// accounted for — and the -race job checks the synchronization of the
+// shared instruments under contention.
+func TestSharedObsAcrossConcurrentRounds(t *testing.T) {
+	reg := obs.NewMetrics()
+	col := obs.NewCollector()
+	const agents, rounds = 4, 3
+
+	type built struct {
+		agent *Agent
+	}
+	pool := make([]built, agents)
+	for i := range pool {
+		tp, info := buildPool(t, 3, 4, int64(100+i))
+		a, err := NewAgent(tp, hat.Jacobi2D(600, 10), &userspec.Spec{}, info,
+			WithPruning(true), WithTracer(col), WithMetrics(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = built{agent: a}
+	}
+
+	considered := make([]int, agents)
+	var wg sync.WaitGroup
+	for i := range pool {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				sched, err := pool[i].agent.Schedule(600)
+				if err != nil {
+					t.Errorf("agent %d round %d: %v", i, r, err)
+					return
+				}
+				considered[i] += sched.CandidatesConsidered
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	totalConsidered := 0
+	for _, c := range considered {
+		totalConsidered += c
+	}
+	if got := reg.Counter(obs.MetricRounds).Value(); got != agents*rounds {
+		t.Fatalf("rounds counter = %d, want %d", got, agents*rounds)
+	}
+	evaluated := reg.Counter(obs.MetricCandidatesEvaluated).Value()
+	prunedN := reg.Counter(obs.MetricCandidatesPruned).Value()
+	infeasible := reg.Counter(obs.MetricCandidatesInfeasible).Value()
+	if got := evaluated + prunedN + infeasible; got != uint64(totalConsidered) {
+		t.Fatalf("evaluated+pruned+infeasible = %d, want %d considered", got, totalConsidered)
+	}
+	if got := reg.Histogram(obs.MetricRoundSeconds, nil).Count(); got != agents*rounds {
+		t.Fatalf("round latency observations = %d, want %d", got, agents*rounds)
+	}
+	// Each round emits one snapshot, one event per considered set, and
+	// one winner.
+	if got, want := col.Len(), totalConsidered+2*agents*rounds; got != want {
+		t.Fatalf("collector holds %d events, want %d", got, want)
+	}
+}

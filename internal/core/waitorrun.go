@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"apples/internal/obs"
+)
 
 // DedicatedOffer describes a batch-queue style offer: after WaitSec of
 // queue wait, the named hosts become dedicated to the application.
@@ -87,6 +91,14 @@ func (a *Agent) WaitOrRun(n int, offer DedicatedOffer) (*WaitOrRunDecision, erro
 		dec.Schedule = dedicated
 	} else {
 		dec.Schedule = shared
+	}
+	if tr := a.coord.tracer; tr != nil {
+		verdict := "run"
+		if dec.Wait {
+			verdict = "wait"
+		}
+		tr.Emit(obs.Event{Type: obs.EvWaitOrRun, Verdict: verdict, Hosts: dec.Schedule.Hosts,
+			Shared: dec.SharedPredicted, Dedicated: dec.DedicatedPredicted})
 	}
 	return dec, nil
 }

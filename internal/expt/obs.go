@@ -1,0 +1,126 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"apples/internal/core"
+	"apples/internal/obs"
+)
+
+// ObsRow is one pool size of the observability-overhead experiment.
+type ObsRow struct {
+	Hosts      int
+	Candidates int     // resource sets the selector produced
+	OffMS      float64 // tracer and metrics nil — the default fast path
+	MetricsMS  float64 // shared obs.Metrics registry attached
+	TraceMS    float64 // JSONL tracer streaming to a discarded writer
+	Events     int     // trace events one round emits
+}
+
+// TraceOverheadPct returns the full-trace slowdown over the fast path,
+// in percent (0 when the off run was too fast to resolve).
+func (r ObsRow) TraceOverheadPct() float64 {
+	if r.OffMS <= 0 {
+		return 0
+	}
+	return 100 * (r.TraceMS - r.OffMS) / r.OffMS
+}
+
+// ObsOverhead measures what the decision-trace layer costs a scheduling
+// round at each instrumentation level: off (nil tracer and metrics — the
+// shipped default, one pointer check per site), metrics only (atomic
+// counters and histograms), and a full JSONL trace streamed to a
+// discarded writer. The "off" column is the price every user pays for
+// the layer existing; it must be indistinguishable from a build without
+// it. Each mode schedules the same warmed cluster-of-clusters scenario;
+// times are the best of three rounds.
+func ObsOverhead(sizes [][2]int, n int, seed int64) ([]ObsRow, error) {
+	if len(sizes) == 0 {
+		sizes = [][2]int{{2, 4}, {3, 4}, {8, 4}, {8, 8}}
+	}
+	if n == 0 {
+		n = 2000
+	}
+	var rows []ObsRow
+	for _, cp := range sizes {
+		row := ObsRow{Hosts: cp[0] * cp[1]}
+
+		var events atomic.Int64
+		modes := []struct {
+			set  func(*ObsRow, float64)
+			opts func() []core.AgentOption
+		}{
+			{func(r *ObsRow, v float64) { r.OffMS = v },
+				func() []core.AgentOption { return nil }},
+			{func(r *ObsRow, v float64) { r.MetricsMS = v },
+				func() []core.AgentOption {
+					return []core.AgentOption{core.WithMetrics(obs.NewMetrics())}
+				}},
+			{func(r *ObsRow, v float64) { r.TraceMS = v },
+				func() []core.AgentOption {
+					jsonl := obs.NewJSONLTracer(io.Discard)
+					return []core.AgentOption{core.WithTracer(obs.TracerFunc(func(e obs.Event) {
+						events.Add(1)
+						jsonl.Emit(e)
+					}))}
+				}},
+		}
+		const trials = 3
+		for _, m := range modes {
+			agent, err := NewScaleAgent(cp[0], cp[1], n, seed, m.opts()...)
+			if err != nil {
+				return nil, err
+			}
+			best := 0.0
+			for trial := 0; trial < trials; trial++ {
+				wall := time.Now()
+				sched, err := agent.Schedule(n)
+				if err != nil {
+					return nil, fmt.Errorf("obs overhead %dx%d: %w", cp[0], cp[1], err)
+				}
+				row.Candidates = sched.CandidatesConsidered
+				if ms := float64(time.Since(wall).Microseconds()) / 1000; trial == 0 || ms < best {
+					best = ms
+				}
+			}
+			m.set(&row, best)
+		}
+		// Every trial of a round emits the same event set (same pool, same
+		// frozen forecasts), so the per-round count is the total over the
+		// trace trials divided by the trial count.
+		row.Events = int(events.Load()) / trials
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatObsOverhead renders the observability-overhead experiment.
+func FormatObsOverhead(rows []ObsRow) string {
+	var sb strings.Builder
+	sb.WriteString("Observability overhead — one scheduling round (ms wall-clock, best of 3)\n")
+	sb.WriteString("  hosts  candidates  off(ms)  +metrics(ms)  +trace(ms)  events  trace-vs-off\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d  %10d  %7.1f  %12.1f  %10.1f  %6d  %+11.1f%%\n",
+			r.Hosts, r.Candidates, r.OffMS, r.MetricsMS, r.TraceMS, r.Events, r.TraceOverheadPct())
+	}
+	return sb.String()
+}
+
+// ObsOverheadCSV flattens the experiment for -csv.
+func ObsOverheadCSV(rows []ObsRow) ([]string, [][]string) {
+	header := []string{"hosts", "candidates", "off_ms", "metrics_ms", "trace_ms", "events", "trace_overhead_pct"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprint(r.Hosts), fmt.Sprint(r.Candidates),
+			fmt.Sprintf("%.3f", r.OffMS), fmt.Sprintf("%.3f", r.MetricsMS),
+			fmt.Sprintf("%.3f", r.TraceMS), fmt.Sprint(r.Events),
+			fmt.Sprintf("%.1f", r.TraceOverheadPct()),
+		})
+	}
+	return header, cells
+}

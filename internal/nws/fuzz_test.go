@@ -1,0 +1,79 @@
+package nws
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"apples/internal/sim"
+)
+
+// FuzzReadSnapshot feeds arbitrary bytes to the sensor-snapshot decoder.
+// Decoding must never panic; an accepted snapshot must survive an
+// encode/decode round trip unchanged and must restore into a fresh
+// service without panicking, leaving every restored series queryable —
+// the persistence contract forecaster banks are rebuilt from.
+func FuzzReadSnapshot(f *testing.F) {
+	// A realistic two-host, one-link snapshot.
+	f.Add([]byte(`{"version":1,"period":10,` +
+		`"cpu":{"alpha1":[0.9,0.8,0.85],"alpha2":[1,1,0.4]},` +
+		`"links":{"ether1":[0.62,0.58,0.6]}}`))
+	// Empty but well-formed.
+	f.Add([]byte(`{"version":1,"period":10,"cpu":{},"links":{}}`))
+	// Single sample and extreme values.
+	f.Add([]byte(`{"version":1,"period":0.5,"cpu":{"h":[1e308]},"links":{"l":[-1e-308,0]}}`))
+	// Rejection seeds: wrong version, malformed JSON, wrong shapes.
+	f.Add([]byte(`{"version":2,"period":10}`))
+	f.Add([]byte(`{"version":1,"cpu":{"h":"notalist"}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		snap2, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(normalize(snap), normalize(snap2)) {
+			t.Fatalf("round trip changed the snapshot:\n was %+v\n now %+v", snap, snap2)
+		}
+
+		svc := NewService(sim.NewEngine(), 10)
+		if err := svc.Restore(snap); err != nil {
+			t.Fatalf("restore of an accepted snapshot failed: %v", err)
+		}
+		for name, series := range snap.CPU {
+			if _, ok := svc.AvailabilityLongTerm(name); ok != (len(series) > 0) {
+				t.Fatalf("restored cpu series %q: queryable=%v with %d samples", name, ok, len(series))
+			}
+		}
+		for name, series := range snap.Links {
+			if _, ok := svc.BandwidthLongTerm(name); ok != (len(series) > 0) {
+				t.Fatalf("restored link series %q: queryable=%v with %d samples", name, ok, len(series))
+			}
+		}
+	})
+}
+
+// normalize maps empty and nil series containers to a canonical form:
+// JSON does not distinguish a missing map from an empty one, so the
+// round-trip equality must not either.
+func normalize(s *Snapshot) *Snapshot {
+	out := &Snapshot{Version: s.Version, Period: s.Period,
+		CPU: map[string][]float64{}, Links: map[string][]float64{}}
+	for k, v := range s.CPU {
+		out.CPU[k] = append([]float64{}, v...)
+	}
+	for k, v := range s.Links {
+		out.Links[k] = append([]float64{}, v...)
+	}
+	return out
+}

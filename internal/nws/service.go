@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"apples/internal/grid"
+	"apples/internal/obs"
 	"apples/internal/sim"
 )
 
@@ -38,6 +39,22 @@ func WithBankFactory(mk func() *Bank) ServiceOption {
 	return func(s *Service) { s.newBank = mk }
 }
 
+// WithMetrics registers the service's sensing metrics in the registry:
+// nws_bank_updates_total counts forecaster-bank absorptions (one per
+// watched resource per sweep) and nws_sensor_sweeps_total counts batch
+// sweeps. Handles resolve here, once; the sensing hot path adds two
+// atomic increments and stays allocation-free. nil leaves metrics off.
+func WithMetrics(m *obs.Metrics) ServiceOption {
+	return func(s *Service) {
+		if m == nil {
+			s.metBankUpdates, s.metSweeps = nil, nil
+			return
+		}
+		s.metBankUpdates = m.Counter(obs.MetricBankUpdates)
+		s.metSweeps = m.Counter(obs.MetricSensorSweeps)
+	}
+}
+
 // Service is the Network Weather Service instance for one metacomputer:
 // it owns periodic sensors for host CPU availability and link bandwidth,
 // and answers forecast queries for the scheduling agent.
@@ -65,6 +82,13 @@ type Service struct {
 	// last `retention` samples each.
 	cpuSeries map[string]*ring
 	bwSeries  map[string]*ring
+
+	// Metric handles (nil when WithMetrics was not given). sweepHook
+	// records that the batch carries a leading sweep-counting callback,
+	// which Sensors() must not count as a resource sensor.
+	metBankUpdates *obs.Counter
+	metSweeps      *obs.Counter
+	sweepHook      bool
 }
 
 // NewService creates a service sampling every period seconds of virtual
@@ -98,11 +122,21 @@ func NewService(eng *sim.Engine, period float64, opts ...ServiceOption) *Service
 func (s *Service) addSensor(bank *Bank, series *ring, sample func() float64) {
 	if s.batch == nil {
 		s.batch = sim.NewBatchTicker(s.eng, s.period)
+		s.sweepHook = false
+		if s.metSweeps != nil {
+			sweeps := s.metSweeps
+			s.batch.Add(func(float64) { sweeps.Inc() })
+			s.sweepHook = true
+		}
 	}
+	updates := s.metBankUpdates
 	s.batch.Add(func(float64) {
 		v := sample()
 		bank.Update(v)
 		series.push(v)
+		if updates != nil {
+			updates.Inc()
+		}
 	})
 }
 
@@ -173,7 +207,11 @@ func (s *Service) Sensors() int {
 	if s.batch == nil {
 		return 0
 	}
-	return s.batch.Len()
+	n := s.batch.Len()
+	if s.sweepHook {
+		n-- // the sweep-counting hook is bookkeeping, not a sensor
+	}
+	return n
 }
 
 // Stop halts all sensors (e.g. before draining the simulation). Banks and

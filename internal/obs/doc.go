@@ -1,0 +1,28 @@
+// Package obs is the zero-dependency decision-trace and metrics layer
+// for the AppLeS round. The paper's argument is that a schedule is only
+// as good as the dynamic information and estimates behind it; obs makes
+// those estimates inspectable after the fact instead of leaving each
+// Coordinator round a black box.
+//
+// Two independent surfaces:
+//
+//   - Tracer receives one structured Event per decision step: the
+//     information snapshot built for the round, every candidate
+//     evaluated (resource set, predicted time, score), every candidate
+//     pruned (lower bound vs incumbent), the winner selected, and the
+//     reschedule / wait-or-run verdicts. Sinks: JSONLTracer writes one
+//     JSON object per line; Collector buffers events in memory for
+//     tests and golden files.
+//
+//   - Metrics is a registry of atomic counters, gauges, and fixed-bucket
+//     histograms. Handles are resolved once at construction and updated
+//     with single atomic operations, so the scheduling and sensing hot
+//     paths stay allocation-free while instrumented.
+//
+// Both are optional everywhere they are threaded: a nil Tracer or nil
+// Metrics handle is a single pointer check on the hot path, so disabled
+// observability costs nothing measurable (see `expt -fig obs-overhead`).
+// Every implementation in this package is safe for concurrent use —
+// parallel candidate-evaluation workers emit events and bump counters
+// from multiple goroutines.
+package obs

@@ -1,0 +1,97 @@
+package obs
+
+// EventType tags one decision step of a scheduling round.
+type EventType string
+
+// The event vocabulary. One Coordinator round emits, in order: one
+// EvSnapshot, then an EvCandidate / EvPruned / EvInfeasible per
+// enumerated resource set (emission order follows evaluation order, so
+// it is the enumeration order only under sequential evaluation), then
+// one EvWinner. EvReschedule and EvWaitOrRun wrap whole rounds: they
+// record the policy verdicts of Section 3.2.
+const (
+	// EvSnapshot: the round's information snapshot was built — Pool
+	// hosts, Pairs ordered host pairs, and Queries calls actually issued
+	// to the underlying information source (the batched route path
+	// resolves each link once, so Queries < Pairs on shared links).
+	EvSnapshot EventType = "snapshot"
+	// EvCandidate: one resource set was planned and estimated. Index is
+	// its 1-based position in enumeration order; Predicted is the
+	// estimator's total seconds (T_i); Score is the user-metric
+	// objective (lower is better).
+	EvCandidate EventType = "candidate"
+	// EvPruned: a resource set was skipped because its lower bound
+	// (Bound) already exceeded the best score seen so far (Incumbent).
+	EvPruned EventType = "pruned"
+	// EvInfeasible: the planner rejected the set (e.g. aggregate memory
+	// cannot hold the problem).
+	EvInfeasible EventType = "infeasible"
+	// EvWinner: the round reduced to its decision — the winning hosts,
+	// score, and predicted time, plus how many sets were considered and
+	// how many produced feasible plans.
+	EvWinner EventType = "winner"
+	// EvReschedule: a mid-run redistribution checkpoint. Verdict is
+	// "migrate" or "keep"; Reason explains a "keep" (hysteresis,
+	// migration cost, or a failed re-schedule).
+	EvReschedule EventType = "reschedule"
+	// EvWaitOrRun: the dedicated-offer comparison. Verdict is "wait" or
+	// "run"; Shared and Dedicated carry both predicted totals.
+	EvWaitOrRun EventType = "wait-or-run"
+)
+
+// Event is one structured record in a decision trace. It is a flat
+// union: every field is tagged omitempty and only the fields meaningful
+// for the Type are set (Index is 1-based and Round starts at 1 so zero
+// always means "not applicable"). The JSONL schema is documented in
+// DESIGN.md §10; the golden-file test in internal/core pins it.
+type Event struct {
+	// Seq is the sink-assigned emission sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// Round numbers the scheduling round within one Coordinator lineage,
+	// starting at 1. Zero for events outside a round (verdict events).
+	Round uint64 `json:"round,omitempty"`
+	Type  EventType `json:"type"`
+
+	// Snapshot fields.
+	Pool    int `json:"pool,omitempty"`
+	Pairs   int `json:"pairs,omitempty"`
+	Queries int `json:"queries,omitempty"`
+
+	// Candidate / pruned / winner fields.
+	Index      int      `json:"index,omitempty"`
+	Hosts      []string `json:"hosts,omitempty"`
+	Predicted  float64  `json:"predicted,omitempty"`
+	Score      float64  `json:"score,omitempty"`
+	Bound      float64  `json:"bound,omitempty"`
+	Incumbent  float64  `json:"incumbent,omitempty"`
+	Considered int      `json:"considered,omitempty"`
+	Planned    int      `json:"planned,omitempty"`
+
+	// Verdict fields (reschedule / wait-or-run).
+	Verdict   string  `json:"verdict,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+	Current   float64 `json:"current,omitempty"`
+	Fresh     float64 `json:"fresh,omitempty"`
+	Savings   float64 `json:"savings,omitempty"`
+	MigCost   float64 `json:"mig_cost,omitempty"`
+	Shared    float64 `json:"shared,omitempty"`
+	Dedicated float64 `json:"dedicated,omitempty"`
+}
+
+// Tracer receives decision-trace events. Implementations must be safe
+// for concurrent Emit calls: parallel evaluation workers trace from
+// multiple goroutines. The sink assigns Event.Seq; emitters leave it 0.
+//
+// Everywhere the scheduler carries a Tracer, nil means "off" and is
+// guarded by a single pointer check before any event is built, so the
+// disabled path does no tracing work at all.
+type Tracer interface {
+	Emit(Event)
+}
+
+// TracerFunc adapts a function to Tracer. The function itself must be
+// safe for concurrent calls.
+type TracerFunc func(Event)
+
+// Emit implements Tracer.
+func (f TracerFunc) Emit(e Event) { f(e) }

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical metric names. Subsystems resolve handles for these once at
+// construction; the plain-text dump and the CLIs key on the same names.
+const (
+	// Scheduling rounds (core.Coordinator).
+	MetricRounds               = "sched_rounds_total"
+	MetricCandidatesEvaluated  = "sched_candidates_evaluated_total"
+	MetricCandidatesPruned     = "sched_candidates_pruned_total"
+	MetricCandidatesInfeasible = "sched_candidates_infeasible_total"
+	MetricRoundSeconds         = "sched_round_seconds"
+	MetricSnapshotSeconds      = "sched_snapshot_seconds"
+	// Sensing (nws.Service).
+	MetricBankUpdates  = "nws_bank_updates_total"
+	MetricSensorSweeps = "nws_sensor_sweeps_total"
+	// Simulation (sim.Engine).
+	MetricSimEvents = "sim_events_total"
+)
+
+// DefaultLatencyBuckets are the upper bounds (seconds) used for the
+// round- and snapshot-latency histograms: decades from 10µs to 10s.
+var DefaultLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value (last write wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. The bounds are
+// upper edges in ascending order with an implicit +Inf bucket at the
+// end; Observe is a linear scan plus three atomic updates — no
+// allocation, no lock — so it is safe on the scheduling hot path.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Buckets returns the bucket upper bounds and their counts (the last
+// count is the +Inf overflow bucket). The slices are fresh copies.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return append([]float64(nil), h.bounds...), counts
+}
+
+// Metrics is a named registry of counters, gauges, and histograms.
+// Lookup (get-or-create) takes a lock and may allocate; handles are
+// meant to be resolved once at construction and then updated atomically,
+// keeping instrumented hot paths allocation-free. All methods are safe
+// for concurrent use.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls keep the original bounds; nil
+// bounds default to DefaultLatencyBuckets).
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.histograms[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets
+		}
+		h = newHistogram(bounds)
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// WriteTo renders the registry as a plain-text dump, one metric per
+// line sorted by name — the `apples -metrics` output format:
+//
+//	counter sched_rounds_total 42
+//	gauge   ...
+//	hist    sched_round_seconds count=42 sum=0.103 mean=0.002 le{0.00001:0 ...}
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sb strings.Builder
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "counter %-34s %d\n", n, m.counters[n].Value())
+	}
+	names = names[:0]
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "gauge   %-34s %g\n", n, m.gauges[n].Value())
+	}
+	names = names[:0]
+	for n := range m.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := m.histograms[n]
+		bounds, counts := h.Buckets()
+		fmt.Fprintf(&sb, "hist    %-34s count=%d sum=%g mean=%g le{", n, h.Count(), h.Sum(), h.Mean())
+		for i, b := range bounds {
+			fmt.Fprintf(&sb, "%g:%d ", b, counts[i])
+		}
+		fmt.Fprintf(&sb, "+Inf:%d}\n", counts[len(counts)-1])
+	}
+	k, err := io.WriteString(w, sb.String())
+	return int64(k), err
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %v, want 0", g.Value())
+	}
+	g.Set(3.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("gauge = %v, want -1.25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 1066.5; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("bucket shape = %d bounds / %d counts", len(bounds), len(counts))
+	}
+	// Upper edges are inclusive: 1 lands in le=1, 10 in le=10.
+	want := []uint64{2, 2, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if got := h.Mean(); got != 1066.5/6 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestMetricsRegistryReusesHandles(t *testing.T) {
+	m := NewMetrics()
+	if m.Counter("x") != m.Counter("x") {
+		t.Fatal("counter handle not stable across lookups")
+	}
+	if m.Gauge("y") != m.Gauge("y") {
+		t.Fatal("gauge handle not stable across lookups")
+	}
+	h := m.Histogram("z", []float64{1, 2})
+	if h != m.Histogram("z", []float64{5, 6, 7}) {
+		t.Fatal("histogram handle not stable across lookups")
+	}
+	bounds, _ := h.Buckets()
+	if len(bounds) != 2 {
+		t.Fatalf("later bounds overwrote the original: %v", bounds)
+	}
+	if b, _ := m.Histogram("defaulted", nil).Buckets(); len(b) != len(DefaultLatencyBuckets) {
+		t.Fatalf("nil bounds should default, got %v", b)
+	}
+}
+
+func TestMetricsWriteTo(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(MetricRounds).Add(3)
+	m.Gauge("pool_size").Set(8)
+	m.Histogram(MetricRoundSeconds, nil).Observe(0.002)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"counter sched_rounds_total", "3",
+		"gauge   pool_size", "8",
+		"hist    sched_round_seconds", "count=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONLTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	tr.Emit(Event{Type: EvSnapshot, Pool: 8})
+	tr.Emit(Event{Type: EvWinner, Hosts: []string{"a"}, Score: 1.5})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var first Event
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq != 1 || first.Type != EvSnapshot || first.Pool != 8 {
+		t.Fatalf("first event round-trip = %+v", first)
+	}
+	// Zero-valued fields must vanish from the wire format.
+	if strings.Contains(lines[0], "score") || strings.Contains(lines[0], "hosts") {
+		t.Fatalf("omitempty violated: %s", lines[0])
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestJSONLTracerRetainsFirstError(t *testing.T) {
+	w := &failingWriter{}
+	tr := NewJSONLTracer(w)
+	tr.Emit(Event{Type: EvSnapshot})
+	tr.Emit(Event{Type: EvWinner})
+	if tr.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if w.n != 1 {
+		t.Fatalf("tracer kept writing after an error (%d writes)", w.n)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Type: EvSnapshot})
+	c.Emit(Event{Type: EvWinner})
+	evs := c.Events()
+	if len(evs) != 2 || c.Len() != 2 {
+		t.Fatalf("collected %d events", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("seq not assigned in order: %+v", evs)
+	}
+	evs[0].Type = "mutated"
+	if c.Events()[0].Type != EvSnapshot {
+		t.Fatal("Events() must return a copy")
+	}
+	c.Reset()
+	c.Emit(Event{Type: EvCandidate})
+	if got := c.Events(); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("reset did not restart seq: %+v", got)
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	mt := MultiTracer{a, nil, b}
+	mt.Emit(Event{Type: EvWinner})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out reached %d/%d sinks", a.Len(), b.Len())
+	}
+}
+
+// TestConcurrentInstruments hammers one registry and one collector from
+// many goroutines; correctness is exact counts, and `go test -race`
+// checks the synchronization.
+func TestConcurrentInstruments(t *testing.T) {
+	m := NewMetrics()
+	col := NewCollector()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := m.Counter("shared")
+			h := m.Histogram("lat", nil)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				col.Emit(Event{Type: EvCandidate})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("shared").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := m.Histogram("lat", nil).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := col.Len(); got != workers*per {
+		t.Fatalf("collector = %d events, want %d", got, workers*per)
+	}
+	if got := m.Histogram("lat", nil).Sum(); got < workers*per*0.001*0.999 || got > workers*per*0.001*1.001 {
+		t.Fatalf("histogram CAS sum drifted: %v", got)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONLTracer writes each event as one JSON object per line (JSON
+// Lines), the interchange format of `apples -trace <file>`. Writes are
+// serialized under a mutex, which also orders Seq assignment; the
+// encoder writes directly to w, so wrap files in a bufio.Writer when
+// tracing large rounds and flush via the caller's Close.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	seq uint64
+	err error
+}
+
+// NewJSONLTracer returns a tracer emitting JSON lines to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Tracer. The first write error is retained and
+// subsequent events are dropped; Err reports it.
+func (t *JSONLTracer) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	e.Seq = t.seq
+	if err := t.enc.Encode(e); err != nil {
+		t.err = fmt.Errorf("obs: encode trace event: %w", err)
+	}
+}
+
+// Err returns the first write error encountered, if any.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Collector buffers events in memory — the sink for tests, golden
+// files, and programmatic inspection of a decision.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollector returns an empty in-memory sink.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit implements Tracer.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.Seq = uint64(len(c.events) + 1)
+	c.events = append(c.events, e)
+}
+
+// Events returns a copy of everything emitted so far, in Seq order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Len reports how many events have been collected.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Reset discards collected events and restarts Seq at 1.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = nil
+}
+
+// MultiTracer fans each event out to several sinks (e.g. a JSONL file
+// plus an in-memory collector). Each sink assigns its own Seq.
+type MultiTracer []Tracer
+
+// Emit implements Tracer.
+func (m MultiTracer) Emit(e Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Emit(e)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package partition
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadPlacement feeds arbitrary bytes to the placement decoder. The
+// decoder must never panic; when it accepts an input, the placement must
+// satisfy Validate (ReadPlacement promises validated output) and survive
+// an encode/decode round trip unchanged — the property the
+// -save-schedule / -load-schedule CLI pair depends on.
+func FuzzReadPlacement(f *testing.F) {
+	// A real 2x2 strip placement, the smallest interesting accept case.
+	f.Add([]byte(`{"N":2,"Kind":"strip","Assignments":[` +
+		`{"Host":"a","Points":2,"Rows":1,"Borders":[{"Peer":"b","Bytes":16}]},` +
+		`{"Host":"b","Points":2,"Rows":1,"Borders":[{"Peer":"a","Bytes":16}]}]}`))
+	// Single-host placement, no borders.
+	f.Add([]byte(`{"N":3,"Kind":"strip","Assignments":[{"Host":"solo","Points":9,"Rows":3}]}`))
+	// Rejection seeds: malformed JSON, bad invariants, wrong shapes.
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"N":-1}`))
+	f.Add([]byte(`{"N":2,"Assignments":[{"Host":"a","Points":3}]}`))
+	f.Add([]byte(`{"N":1,"Assignments":[{"Host":"a","Points":1},{"Host":"a","Points":0}]}`))
+	f.Add([]byte(`{"N":1,"Assignments":[{"Host":"a","Points":1,"Borders":[{"Peer":"ghost","Bytes":1}]}]}`))
+	f.Add([]byte(`{"N":1e99}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPlacement(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ReadPlacement accepted an invalid placement: %v\ninput: %q", err, data)
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted placement failed to re-encode: %v", err)
+		}
+		p2, err := ReadPlacement(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded placement failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the placement:\n was %+v\n now %+v", p, p2)
+		}
+	})
+}

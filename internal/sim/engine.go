@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"apples/internal/obs"
 )
 
 // Handler is the callback invoked when an event fires. It runs with the
@@ -32,6 +34,7 @@ type Engine struct {
 	fired  uint64
 	limit  uint64 // safety cap on total events; 0 means none
 	halted bool
+	events *obs.Counter // sim_events_total; nil when metrics are off
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -52,6 +55,17 @@ func (e *Engine) Pending() int { return e.queue.Len() }
 // events. Run returns ErrEventLimit once the cap is exceeded. Zero disables
 // the cap.
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// SetMetrics registers the engine's sim_events_total counter in the
+// registry, incremented once per dispatched event. A nil registry turns
+// the instrumentation off again (the default: one nil check per Step).
+func (e *Engine) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		e.events = nil
+		return
+	}
+	e.events = m.Counter(obs.MetricSimEvents)
+}
 
 // ErrEventLimit is returned by Run when the engine's event cap is hit. It
 // almost always indicates a scheduling loop in the model.
@@ -111,6 +125,9 @@ func (e *Engine) Step() bool {
 	ev.index = -1
 	e.now = ev.time
 	e.fired++
+	if e.events != nil {
+		e.events.Inc()
+	}
 	h := ev.handler
 	ev.handler = nil
 	h()
