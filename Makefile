@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-nws tables clean
+.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-nws bench-json tables clean
 
 all: build vet test
 
@@ -21,7 +21,7 @@ vet:
 
 # Coverage over the decision-critical packages (CI enforces a 70% floor).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core ./internal/nws
+	$(GO) test -coverprofile=cover.out ./internal/core ./internal/nws ./internal/obs
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Short fuzz probe of the serialization decoders; the committed corpora
@@ -47,6 +47,11 @@ bench-pipeline:
 # and full-service sweep cost at 100/1k/10k watched series.
 bench-nws:
 	$(GO) test -bench='BenchmarkBankUpdate|BenchmarkServiceTick' -benchmem -run '^$$' ./internal/nws
+
+# Headline sweeps (candidate evaluation + NWS bank update) as machine-
+# readable JSON, for diffing performance across revisions.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_sched.json
 
 # Paper-style tables via the experiment driver.
 tables:

@@ -34,6 +34,7 @@ import (
 	"apples/internal/nile"
 	"apples/internal/nws"
 	"apples/internal/obs"
+	"apples/internal/obs/obshttp"
 	"apples/internal/partition"
 	"apples/internal/react"
 	"apples/internal/rms"
@@ -249,9 +250,25 @@ type (
 	TraceCollector = obs.Collector
 	// MultiTracer fans events out to several sinks.
 	MultiTracer = obs.MultiTracer
+	// RingTracer is a bounded in-memory sink retaining the last N events
+	// (the /trace/recent backing store).
+	RingTracer = obs.RingTracer
 	// Metrics is a registry of atomic counters, gauges, and fixed-bucket
 	// histograms shared across subsystems.
 	Metrics = obs.Metrics
+	// Counter, Gauge, and Histogram are the registry's instrument
+	// handles (Histogram carries bucket counts plus Quantile estimation).
+	Counter   = obs.Counter
+	Gauge     = obs.Gauge
+	Histogram = obs.Histogram
+	// StageTimer hands out stage-latency Spans recording into per-stage
+	// histograms (and the trace, when built with a tracer).
+	StageTimer = obs.StageTimer
+	// Span is one in-flight stage measurement; End closes it.
+	Span = obs.Span
+	// ObsServer is a running HTTP observability listener
+	// (/metrics, /healthz, /trace/recent, /debug/pprof).
+	ObsServer = obshttp.Server
 )
 
 // NewJSONLTracer returns a tracer emitting one JSON object per line.
@@ -259,6 +276,30 @@ func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
 
 // NewTraceCollector returns an empty in-memory trace sink.
 func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// NewRingTracer returns a bounded trace sink retaining the last n
+// events; attach it alongside other sinks (MultiTracer) to keep a live
+// window a long run can serve from /trace/recent without growing.
+func NewRingTracer(n int) *RingTracer { return obs.NewRingTracer(n) }
+
+// NewStageTimer builds a stage timer over a registry: spans observe
+// into `sched_stage_seconds{stage="..."}` histograms, and a non-nil
+// tracer additionally receives one EvSpan event per closed span. The
+// clock is injectable (monotonic seconds) for deterministic tests and
+// simulations; nil uses the real monotonic clock.
+func NewStageTimer(m *Metrics, tr Tracer, clock func() float64) *StageTimer {
+	return obs.NewStageTimer(m, tr, clock)
+}
+
+// ServeObservability starts the HTTP observability server on addr
+// (":0" picks an ephemeral port): /metrics serves the registry in
+// Prometheus text format, /trace/recent the ring's latest events as
+// JSON, /healthz a liveness probe, and /debug/pprof the Go profiler.
+// Either registry or ring may be nil; the matching endpoint then
+// reports 404. Stop it with Close.
+func ServeObservability(addr string, m *Metrics, ring *RingTracer) (*ObsServer, error) {
+	return obshttp.Serve(addr, m, ring)
+}
 
 // NewMetrics returns an empty metrics registry. Hand the same registry
 // to WithMetrics, WithNWSMetrics, and Engine.SetMetrics to aggregate one
@@ -273,11 +314,19 @@ var (
 	// WithMetrics registers the agent's round counters and latency
 	// histograms in a shared registry.
 	WithMetrics = core.WithMetrics
+	// WithStageTiming attaches a stage timer: every round records
+	// per-stage latency spans (snapshot/select/plan_estimate/reduce,
+	// plus actuate in Run).
+	WithStageTiming = core.WithStageTiming
 )
 
 // WithNWSMetrics registers an NWS instance's sensing counters
 // (bank updates, sensor sweeps) in a shared registry.
 func WithNWSMetrics(m *Metrics) NWSOption { return nws.WithMetrics(m) }
+
+// WithNWSStageTiming times each NWS batch sensor sweep as a
+// sensor_sweep stage span on the given timer.
+func WithNWSStageTiming(st *StageTimer) NWSOption { return nws.WithStageTiming(st) }
 
 // Sentinel errors, for errors.Is instead of string matching.
 var (

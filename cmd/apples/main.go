@@ -6,6 +6,7 @@
 //
 //	apples -n 2000 -iters 100 -seed 11 -info nws
 //	apples -n 4000 -sp2 -info oracle
+//	apples -n 2000 -listen :9090    # live /metrics, /trace/recent, pprof
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"apples"
 )
@@ -37,10 +40,12 @@ func main() {
 	loadSched := flag.String("load-schedule", "", "skip scheduling; execute the placement JSON from this file")
 	traceFile := flag.String("trace", "", "write a JSONL decision trace of the scheduling round to this file")
 	metrics := flag.Bool("metrics", false, "print the run's metrics registry (rounds, candidates, sensing, sim events) on exit")
+	listen := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /trace/recent, /debug/pprof); keeps serving after the run until interrupted")
+	ringSize := flag.Int("trace-ring", 512, "events retained for /trace/recent when -listen is set")
 	flag.Parse()
 
 	var reg *apples.Metrics
-	if *metrics {
+	if *metrics || *listen != "" {
 		reg = apples.NewMetrics()
 	}
 	var tracer *apples.JSONLTracer
@@ -53,6 +58,33 @@ func main() {
 		defer f.Close()
 		traceBuf = bufio.NewWriter(f)
 		tracer = apples.NewJSONLTracer(traceBuf)
+	}
+
+	// The trace sink: the JSONL file, the live ring, or both. The ring
+	// backs /trace/recent; the stage timer shares the same sink so span
+	// events land next to the decision events they time.
+	var ring *apples.RingTracer
+	var sink apples.Tracer
+	if tracer != nil {
+		sink = tracer
+	}
+	var stages *apples.StageTimer
+	var server *apples.ObsServer
+	if *listen != "" {
+		ring = apples.NewRingTracer(*ringSize)
+		if sink != nil {
+			sink = apples.MultiTracer{tracer, ring}
+		} else {
+			sink = ring
+		}
+		stages = apples.NewStageTimer(reg, sink, nil)
+		var err error
+		server, err = apples.ServeObservability(*listen, reg, ring)
+		if err != nil {
+			fail(err)
+		}
+		defer server.Close()
+		fmt.Printf("observability listening on %s\n", server.URL())
 	}
 
 	eng := apples.NewEngine()
@@ -95,6 +127,9 @@ func main() {
 		if reg != nil {
 			nwsOpts = append(nwsOpts, apples.WithNWSMetrics(reg))
 		}
+		if stages != nil {
+			nwsOpts = append(nwsOpts, apples.WithNWSStageTiming(stages))
+		}
 		svc := apples.NewNWS(eng, 10, nwsOpts...)
 		svc.WatchTopology(tp)
 		if err := eng.RunUntil(*warm); err != nil {
@@ -134,11 +169,14 @@ func main() {
 		apples.WithPruning(*prune),
 		apples.WithSpillFactor(*spill),
 	}
-	if tracer != nil {
-		agentOpts = append(agentOpts, apples.WithTracer(tracer))
+	if sink != nil {
+		agentOpts = append(agentOpts, apples.WithTracer(sink))
 	}
 	if reg != nil {
 		agentOpts = append(agentOpts, apples.WithMetrics(reg))
+	}
+	if stages != nil {
+		agentOpts = append(agentOpts, apples.WithStageTiming(stages))
 	}
 	agent, err := apples.NewAgent(tp, tpl, spec, source, agentOpts...)
 	if err != nil {
@@ -201,11 +239,17 @@ func main() {
 		}
 		fmt.Printf("decision trace written to %s\n", *traceFile)
 	}
-	if reg != nil {
+	if reg != nil && *metrics {
 		fmt.Println()
 		if _, err := reg.WriteTo(os.Stdout); err != nil {
 			fail(err)
 		}
+	}
+	if server != nil {
+		fmt.Printf("run complete; observability still serving on %s (Ctrl-C to exit)\n", server.URL())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }
 

@@ -1,0 +1,151 @@
+// Command benchjson runs the scheduler's headline benchmark sweeps —
+// candidate evaluation (BenchmarkEvaluate) and the NWS sensing hot path
+// (BenchmarkBankUpdate) — and writes the parsed results as JSON so CI
+// and PR descriptions can diff performance across revisions without
+// scraping `go test -bench` text output.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_sched.json] [-benchtime 3x] [-count 1]
+//
+// The output schema is one object per benchmark line:
+//
+//	{"name": "BenchmarkEvaluate/hosts=8/mode=parallel-8",
+//	 "package": ".", "iterations": 3, "ns_per_op": 855901,
+//	 "bytes_per_op": 331219, "allocs_per_op": 3608}
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// sweep names one `go test -bench` invocation.
+type sweep struct {
+	Package string // package path, relative to the module root
+	Pattern string // -bench regexp
+}
+
+var sweeps = []sweep{
+	{Package: ".", Pattern: "^BenchmarkEvaluate$"},
+	{Package: "./internal/nws", Pattern: "^BenchmarkBankUpdate$"},
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the file layout: enough environment to interpret the
+// numbers, then the flat result list.
+type report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sched.json", "output file")
+	benchtime := flag.String("benchtime", "3x", "value passed to -benchtime")
+	count := flag.Int("count", 1, "value passed to -count")
+	flag.Parse()
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+	}
+	for _, s := range sweeps {
+		res, err := runSweep(s, *benchtime, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s: %v\n", s.Package, s.Pattern, err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, res...)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+func runSweep(s sweep, benchtime string, count int) ([]result, error) {
+	cmd := exec.Command("go", "test",
+		"-run", "^$",
+		"-bench", s.Pattern,
+		"-benchmem",
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		s.Package)
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%v\n%s", err, outBuf.Bytes())
+	}
+	res := parseBench(outBuf.String(), s.Package)
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", outBuf.Bytes())
+	}
+	return res, nil
+}
+
+// parseBench extracts `BenchmarkX  N  T ns/op  B B/op  A allocs/op`
+// lines from go test output. Lines that do not carry all three -benchmem
+// columns are skipped.
+func parseBench(out, pkg string) []result {
+	var res []result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 8 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || fields[3] != "ns/op" {
+			continue
+		}
+		r := result{Name: fields[0], Package: pkg, Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		res = append(res, r)
+	}
+	return res
+}

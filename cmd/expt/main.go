@@ -31,7 +31,24 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
 	chart := flag.Bool("chart", false, "also render figures as terminal bar charts")
+	listen := flag.String("listen", "", "serve live observability while the figures run (/metrics, /healthz, /debug/pprof) — useful for profiling long sweeps")
 	flag.Parse()
+
+	// The driver's own live telemetry: how many figures completed, and
+	// the pprof endpoints for profiling a long regeneration.
+	var reg *apples.Metrics
+	var figuresDone *apples.Counter
+	if *listen != "" {
+		reg = apples.NewMetrics()
+		figuresDone = reg.Counter("expt_figures_total")
+		server, err := apples.ServeObservability(*listen, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expt: %v\n", err)
+			os.Exit(1)
+		}
+		defer server.Close()
+		fmt.Printf("observability listening on %s\n", server.URL())
+	}
 
 	writeCSV := func(name string, header []string, cells [][]string) error {
 		if *csvDir == "" {
@@ -71,6 +88,9 @@ func main() {
 				fmt.Fprintln(os.Stderr, "expt: the application template does not fit the agent blueprint")
 			}
 			os.Exit(1)
+		}
+		if figuresDone != nil {
+			figuresDone.Inc()
 		}
 		fmt.Println()
 	}

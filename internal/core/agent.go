@@ -341,7 +341,9 @@ func (a *Agent) Run(n int, act Actuator) (*Schedule, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	sp := a.coord.actuateSpan()
 	measured, err := act.Actuate(s.Placement)
+	sp.End()
 	if err != nil {
 		return s, 0, fmt.Errorf("core: actuation failed: %w", err)
 	}

@@ -106,6 +106,10 @@ type Coordinator struct {
 	// met holds pre-resolved metric handles; nil means metrics are off.
 	// See WithMetrics.
 	met *roundMetrics
+	// stages times the round's phases into per-stage histograms (and
+	// EvSpan trace events when its timer carries a tracer); nil means
+	// stage timing is off. See WithStageTiming.
+	stages *obs.StageTimer
 	// rounds numbers scheduling rounds for the trace. Shared by pointer
 	// so derived agents (clone, WaitOrRun's dedicated agent) keep ids
 	// unique within one lineage.
@@ -179,11 +183,11 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 	if len(r.Pool) == 0 {
 		return nil, 0, fmt.Errorf("core: %w: user specification filters out every host", ErrNoFeasibleHosts)
 	}
-	// Observability fast path: with no tracer and no metrics the round
-	// does zero extra work — no clock reads, no round numbering, and the
-	// per-candidate sites below are single nil checks.
-	tr, met := c.tracer, c.met
-	observing := tr != nil || met != nil
+	// Observability fast path: with no tracer, no metrics, and no stage
+	// timing the round does zero extra work — no clock reads, no round
+	// numbering, and the per-candidate sites below are single nil checks.
+	tr, met, stages := c.tracer, c.met, c.stages
+	observing := tr != nil || met != nil || stages != nil
 	var round uint64
 	var start time.Time
 	if observing {
@@ -193,6 +197,7 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 	info := c.info
 	workers := c.parallelism
 	if c.snapshot {
+		snapSpan := stages.Start(round, obs.StageSnapshot)
 		names := make([]string, len(r.Pool))
 		for i, h := range r.Pool {
 			names[i] = h.Name
@@ -207,6 +212,7 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 				tr.Emit(obs.Event{Round: round, Type: obs.EvSnapshot,
 					Pool: st.Hosts, Pairs: st.Pairs, Queries: st.SourceQueries})
 			}
+			snapSpan.End()
 		}
 		info = snap
 	} else {
@@ -214,11 +220,13 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 		// Information source (forecast banks are not thread-safe).
 		workers = 1
 	}
+	selSpan := stages.Start(round, obs.StageSelect)
 	sel, ev, err := r.Bind(info, c.snapshot)
 	if err != nil {
 		return nil, 0, err
 	}
 	sets := sel.Select(r.Pool)
+	selSpan.End()
 
 	var bound LowerBounder
 	var incumbent *bestScore
@@ -228,6 +236,7 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 		}
 	}
 
+	planSpan := stages.Start(round, obs.StagePlanEstimate)
 	results := make([]Candidate, len(sets))
 	feasible := make([]bool, len(sets))
 	runIndexed(len(sets), workers, func(i int) {
@@ -270,6 +279,9 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 		}
 	})
 
+	planSpan.End()
+
+	reduceSpan := stages.Start(round, obs.StageReduce)
 	var cands []Candidate
 	for i := range results {
 		if feasible[i] {
@@ -296,8 +308,16 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 					Reason: "no-feasible-plan", Considered: len(sets)})
 			}
 		}
+		reduceSpan.End()
 	}
 	return cands, len(sets), nil
+}
+
+// actuateSpan opens the actuation-stage span for the most recent round
+// (the blueprints' Run methods actuate right after Schedule). Inert
+// when stage timing is off.
+func (c *Coordinator) actuateSpan() obs.Span {
+	return c.stages.Start(c.rounds.Load(), obs.StageActuate)
 }
 
 // hostNames flattens a candidate set for a trace event.

@@ -86,6 +86,18 @@ func WithTracer(t obs.Tracer) AgentOption {
 	return func(c *coordConfig) { c.tracer = t }
 }
 
+// WithStageTiming attaches a stage timer to the Coordinator: every
+// scheduling round records per-stage wall-time spans — snapshot build,
+// resource selection, the plan+estimate fan-out, and the reduce/winner
+// step, plus actuation in Run — into the timer's
+// `sched_stage_seconds{stage="..."}` histograms. A timer built with a
+// tracer additionally emits each span as an EvSpan trace event on
+// close. nil leaves stage timing off (the default: one pointer check
+// per stage).
+func WithStageTiming(st *obs.StageTimer) AgentOption {
+	return func(c *coordConfig) { c.stages = st }
+}
+
 // WithMetrics registers the Coordinator's round metrics in the given
 // registry — round and snapshot-build latency histograms plus counters
 // for rounds run and candidates evaluated/pruned/infeasible (the

@@ -259,6 +259,8 @@ func (a *PipelineAgent) Run() (*PipelineSchedule, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	sp := a.coord.actuateSpan()
+	defer sp.End()
 	if s.SingleSite != "" {
 		res, err := react.RunSingleSite(a.tp, a.tpl, s.SingleSite, a.opt)
 		if err != nil {

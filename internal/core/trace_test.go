@@ -29,12 +29,17 @@ func TestGoldenTraceJacobiRound(t *testing.T) {
 	tp, info := buildPool(t, 0, 0, 11)
 	var buf bytes.Buffer
 	tr := obs.NewJSONLTracer(&buf)
-	// Four accessible hosts keep the golden file a reviewable 17 lines
-	// (1 snapshot + 15 candidate sets + 1 winner); sequential evaluation
-	// fixes the emission order.
+	// Four accessible hosts keep the golden file a reviewable 21 lines
+	// (1 snapshot + 15 candidate sets + 1 winner + 4 stage spans);
+	// sequential evaluation fixes the emission order. The stage timer
+	// reads an injected counting clock (1 ms per read) so span durations
+	// are bit-stable across machines.
 	spec := &userspec.Spec{Accessible: []string{"alpha1", "alpha2", "alpha3", "alpha4"}}
+	tick := 0
+	clock := func() float64 { tick++; return float64(tick) * 1e-3 }
+	st := obs.NewStageTimer(obs.NewMetrics(), tr, clock)
 	agent, err := NewAgent(tp, hat.Jacobi2D(600, 10), spec, info,
-		WithParallelism(1), WithTracer(tr))
+		WithParallelism(1), WithTracer(tr), WithStageTiming(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,6 +79,7 @@ func TestGoldenTraceJacobiRound(t *testing.T) {
 		t.Fatalf("round must open with the snapshot event, got %+v", events[0])
 	}
 	var winner *obs.Event
+	var spanStages []string
 	candidates := 0
 	bestScore, bestIdx := 0.0, -1
 	for i := range events {
@@ -86,7 +92,21 @@ func TestGoldenTraceJacobiRound(t *testing.T) {
 			}
 		case obs.EvWinner:
 			winner = e
+		case obs.EvSpan:
+			spanStages = append(spanStages, e.Stage)
+			if e.Seconds <= 0 {
+				t.Fatalf("span %q carries no duration: %+v", e.Stage, e)
+			}
 		}
+	}
+	// Spans close in the blueprint's stage order; the reduce span ends
+	// after the winner event, pinning "decision, then its timing".
+	wantStages := []string{obs.StageSnapshot, obs.StageSelect, obs.StagePlanEstimate, obs.StageReduce}
+	if !reflect.DeepEqual(spanStages, wantStages) {
+		t.Fatalf("span stage order = %v, want %v", spanStages, wantStages)
+	}
+	if last := events[len(events)-1]; last.Type != obs.EvSpan || last.Stage != obs.StageReduce {
+		t.Fatalf("round must close with the reduce span, got %+v", last)
 	}
 	if winner == nil {
 		t.Fatal("trace has no winner event")
@@ -183,5 +203,63 @@ func TestSharedObsAcrossConcurrentRounds(t *testing.T) {
 	// one winner.
 	if got, want := col.Len(), totalConsidered+2*agents*rounds; got != want {
 		t.Fatalf("collector holds %d events, want %d", got, want)
+	}
+}
+
+// TestStageTimingAcrossConcurrentRounds drives several agents — each
+// evaluating candidates with parallel workers — through simultaneous
+// rounds that share one StageTimer, one Metrics registry, and one
+// RingTracer. Every round must land exactly one observation in each
+// stage histogram, and the ring must account for every span emitted;
+// the -race job checks the shared handles under contention.
+func TestStageTimingAcrossConcurrentRounds(t *testing.T) {
+	reg := obs.NewMetrics()
+	ring := obs.NewRingTracer(32)
+	st := obs.NewStageTimer(reg, ring, nil)
+	const agents, rounds = 4, 3
+
+	pool := make([]*Agent, agents)
+	for i := range pool {
+		tp, info := buildPool(t, 3, 4, int64(200+i))
+		a, err := NewAgent(tp, hat.Jacobi2D(600, 10), &userspec.Spec{}, info,
+			WithInfoSnapshot(true), WithParallelism(4), WithStageTiming(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = a
+	}
+
+	var wg sync.WaitGroup
+	for i := range pool {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := pool[i].Schedule(600); err != nil {
+					t.Errorf("agent %d round %d: %v", i, r, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Exact bookkeeping: one observation per round in every round stage.
+	stages := []string{obs.StageSnapshot, obs.StageSelect, obs.StagePlanEstimate, obs.StageReduce}
+	for _, stage := range stages {
+		if got := reg.Histogram(obs.StageMetricName(stage), nil).Count(); got != agents*rounds {
+			t.Fatalf("stage %q recorded %d observations, want %d", stage, got, agents*rounds)
+		}
+	}
+	if got, want := ring.Total(), uint64(len(stages)*agents*rounds); got != want {
+		t.Fatalf("ring total = %d, want %d spans", got, want)
+	}
+	for _, e := range ring.Recent(0) {
+		if e.Type != obs.EvSpan {
+			t.Fatalf("ring holds non-span event %+v (timer without tracer must emit only spans)", e)
+		}
 	}
 }

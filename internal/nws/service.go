@@ -55,6 +55,14 @@ func WithMetrics(m *obs.Metrics) ServiceOption {
 	}
 }
 
+// WithStageTiming attaches a stage timer to the service: every batch
+// sensor sweep records its wall-time as a StageSweep span into the
+// timer's per-stage histogram family (and as an EvSpan trace event
+// when the timer carries a tracer). nil leaves sweep timing off.
+func WithStageTiming(st *obs.StageTimer) ServiceOption {
+	return func(s *Service) { s.stages = st }
+}
+
 // Service is the Network Weather Service instance for one metacomputer:
 // it owns periodic sensors for host CPU availability and link bandwidth,
 // and answers forecast queries for the scheduling agent.
@@ -89,6 +97,8 @@ type Service struct {
 	metBankUpdates *obs.Counter
 	metSweeps      *obs.Counter
 	sweepHook      bool
+	// stages, when non-nil, times each batch sweep as a StageSweep span.
+	stages *obs.StageTimer
 }
 
 // NewService creates a service sampling every period seconds of virtual
@@ -127,6 +137,14 @@ func (s *Service) addSensor(bank *Bank, series *ring, sample func() float64) {
 			sweeps := s.metSweeps
 			s.batch.Add(func(float64) { sweeps.Inc() })
 			s.sweepHook = true
+		}
+		if s.stages != nil {
+			st := s.stages
+			s.batch.SetAround(func(fire func(float64), now float64) {
+				sp := st.Start(0, obs.StageSweep)
+				fire(now)
+				sp.End()
+			})
 		}
 	}
 	updates := s.metBankUpdates

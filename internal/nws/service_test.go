@@ -7,6 +7,7 @@ import (
 
 	"apples/internal/grid"
 	"apples/internal/load"
+	"apples/internal/obs"
 	"apples/internal/sim"
 )
 
@@ -177,5 +178,50 @@ func TestForecastAccuracyOnTestbedBeatsNaiveStatic(t *testing.T) {
 	}
 	if nwsErr >= staticErr {
 		t.Fatalf("NWS MSE %v not better than static assumption MSE %v", nwsErr/float64(n), staticErr/float64(n))
+	}
+}
+
+// TestServiceSweepSpans: with stage timing attached, every batch sweep
+// records exactly one sensor_sweep observation covering all sensors —
+// exact counts against the tick count, plus EvSpan events in the ring.
+func TestServiceSweepSpans(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.NewTopology(eng)
+	h1 := tp.AddHost(grid.HostSpec{Name: "h1", Speed: 10, MemoryMB: 64, Load: load.Constant(1)})
+	h2 := tp.AddHost(grid.HostSpec{Name: "h2", Speed: 10, MemoryMB: 64, Load: load.Constant(1)})
+	l := tp.AddLink(grid.LinkSpec{Name: "wire", Latency: 0, Bandwidth: 4})
+	tp.Attach("h1", l)
+	tp.Attach("h2", l)
+	tp.Finalize()
+
+	reg := obs.NewMetrics()
+	ring := obs.NewRingTracer(16)
+	st := obs.NewStageTimer(reg, ring, nil)
+	svc := NewService(eng, 10, WithMetrics(reg), WithStageTiming(st))
+	svc.WatchHost(h1)
+	svc.WatchHost(h2)
+	if err := eng.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+
+	sweeps := reg.Counter(obs.MetricSensorSweeps).Value()
+	if sweeps == 0 {
+		t.Fatal("no sweeps recorded")
+	}
+	hist := reg.Histogram(obs.StageMetricName(obs.StageSweep), nil)
+	if hist.Count() != sweeps {
+		t.Fatalf("sweep spans = %d, want one per sweep (%d)", hist.Count(), sweeps)
+	}
+	for _, e := range ring.Recent(0) {
+		if e.Type != obs.EvSpan || e.Stage != obs.StageSweep {
+			t.Fatalf("ring holds non-sweep event %+v", e)
+		}
+	}
+	if got := uint64(len(ring.Recent(0))); got != sweeps {
+		t.Fatalf("ring holds %d sweep events, want %d", got, sweeps)
+	}
+	// Timing must not perturb sensing: both banks saw every sweep.
+	if got := reg.Counter(obs.MetricBankUpdates).Value(); got != 2*sweeps {
+		t.Fatalf("bank updates = %d, want %d (2 hosts x %d sweeps)", got, 2*sweeps, sweeps)
 	}
 }

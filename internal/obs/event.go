@@ -37,6 +37,12 @@ const (
 	// EvWaitOrRun: the dedicated-offer comparison. Verdict is "wait" or
 	// "run"; Shared and Dedicated carry both predicted totals.
 	EvWaitOrRun EventType = "wait-or-run"
+	// EvSpan: one timed stage of a round closed — Stage names the phase
+	// (see the Stage* constants) and Seconds its wall-time. Spans emit at
+	// Span.End, so within a sequentially evaluated round their order is
+	// pinned: snapshot, select, plan_estimate (after the candidate
+	// events), reduce (after the winner event).
+	EvSpan EventType = "span"
 )
 
 // Event is one structured record in a decision trace. It is a flat
@@ -49,7 +55,7 @@ type Event struct {
 	Seq uint64 `json:"seq"`
 	// Round numbers the scheduling round within one Coordinator lineage,
 	// starting at 1. Zero for events outside a round (verdict events).
-	Round uint64 `json:"round,omitempty"`
+	Round uint64    `json:"round,omitempty"`
 	Type  EventType `json:"type"`
 
 	// Snapshot fields.
@@ -66,6 +72,11 @@ type Event struct {
 	Incumbent  float64  `json:"incumbent,omitempty"`
 	Considered int      `json:"considered,omitempty"`
 	Planned    int      `json:"planned,omitempty"`
+
+	// Span fields. Stage names the timed phase of the round; Seconds is
+	// its measured wall-time under the span's clock.
+	Stage   string  `json:"stage,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
 
 	// Verdict fields (reschedule / wait-or-run).
 	Verdict   string  `json:"verdict,omitempty"`

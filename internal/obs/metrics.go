@@ -100,6 +100,41 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank — the same estimator as PromQL's histogram_quantile. The
+// first bucket interpolates from lower edge 0 (observations here are
+// non-negative latencies); a rank landing in the +Inf overflow bucket
+// reports the highest finite bound, since no upper edge exists to
+// interpolate toward. Returns NaN for an empty histogram or q outside
+// [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := q * float64(n)
+	var cum float64
+	for i := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return lower
+			}
+			return lower + (h.bounds[i]-lower)*(rank-cum)/c
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Buckets returns the bucket upper bounds and their counts (the last
 // count is the +Inf overflow bucket). The slices are fresh copies.
 func (h *Histogram) Buckets() ([]float64, []uint64) {
@@ -177,7 +212,11 @@ func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
 //
 //	counter sched_rounds_total 42
 //	gauge   ...
-//	hist    sched_round_seconds count=42 sum=0.103 mean=0.002 le{0.00001:0 ...}
+//	hist    sched_round_seconds count=42 sum=0.103 mean=0.002 p50=0.0018 p95=0.009 p99=0.03 le{0.00001:0 ...}
+//
+// The p50/p95/p99 columns are bucket-interpolated estimates (see
+// Quantile); WritePrometheus exposes the same registry in Prometheus
+// text format instead.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -206,7 +245,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	for _, n := range names {
 		h := m.histograms[n]
 		bounds, counts := h.Buckets()
-		fmt.Fprintf(&sb, "hist    %-34s count=%d sum=%g mean=%g le{", n, h.Count(), h.Sum(), h.Mean())
+		fmt.Fprintf(&sb, "hist    %-34s count=%d sum=%g mean=%g p50=%.4g p95=%.4g p99=%.4g le{",
+			n, h.Count(), h.Sum(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		for i, b := range bounds {
 			fmt.Fprintf(&sb, "%g:%d ", b, counts[i])
 		}

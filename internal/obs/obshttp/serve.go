@@ -1,0 +1,104 @@
+// Package obshttp serves the obs layer over HTTP: live Prometheus
+// metrics, a recent-events trace window, pprof, and a health probe —
+// the "operable while serving" counterpart of the post-mortem trace
+// file and exit-time metrics dump.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition of a Metrics registry
+//	/trace/recent  last events of a RingTracer as a JSON array (?n=K)
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  the standard Go profiling handlers
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"apples/internal/obs"
+)
+
+// Handler builds the observability mux over a metrics registry and a
+// ring of recent trace events. Either may be nil; the corresponding
+// endpoint then reports 404 with a hint instead of serving empty data.
+func Handler(m *obs.Metrics, ring *obs.RingTracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if m == nil {
+			http.Error(w, "no metrics registry attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := m.WritePrometheus(w); err != nil {
+			// The response is already streaming; nothing to rewrite.
+			return
+		}
+	})
+	mux.HandleFunc("/trace/recent", func(w http.ResponseWriter, r *http.Request) {
+		if ring == nil {
+			http.Error(w, "no ring tracer attached", http.StatusNotFound)
+			return
+		}
+		n := 0 // everything retained
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(ring.Recent(n))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability listener; construct with Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" or "host:0" picks an ephemeral port) and
+// serves the observability mux on a background goroutine until Close.
+func Serve(addr string, m *obs.Metrics, ring *obs.RingTracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(m, ring),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address (with the resolved port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL reports the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

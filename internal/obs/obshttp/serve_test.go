@@ -1,0 +1,124 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"apples/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter(obs.MetricRounds).Inc()
+	m.Histogram(obs.StageMetricName(obs.StageSelect), nil).Observe(0.01)
+	ring := obs.NewRingTracer(8)
+	ring.Emit(obs.Event{Type: obs.EvWinner, Round: 1})
+	ring.Emit(obs.Event{Type: obs.EvSpan, Stage: obs.StageSelect, Seconds: 0.01})
+	h := Handler(m, ring)
+
+	res, body := get(t, h, "/healthz")
+	if res.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", res.StatusCode, body)
+	}
+
+	res, body = get(t, h, "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	for _, want := range []string{"sched_rounds_total 1", `sched_stage_seconds_bucket{stage="select",le="+Inf"} 1`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	res, body = get(t, h, "/trace/recent")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/trace/recent status = %d", res.StatusCode)
+	}
+	var evs []obs.Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/trace/recent is not a JSON event array: %v\n%s", err, body)
+	}
+	if len(evs) != 2 || evs[0].Type != obs.EvWinner || evs[1].Stage != obs.StageSelect {
+		t.Fatalf("/trace/recent = %+v", evs)
+	}
+
+	if _, body = get(t, h, "/trace/recent?n=1"); true {
+		if err := json.Unmarshal([]byte(body), &evs); err != nil || len(evs) != 1 || evs[0].Type != obs.EvSpan {
+			t.Fatalf("/trace/recent?n=1 = %v %s", err, body)
+		}
+	}
+	if res, _ = get(t, h, "/trace/recent?n=bogus"); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n: status = %d, want 400", res.StatusCode)
+	}
+	if res, _ = get(t, h, "/trace/recent?n=-3"); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative n: status = %d, want 400", res.StatusCode)
+	}
+
+	if res, _ = get(t, h, "/debug/pprof/cmdline"); res.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", res.StatusCode)
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	h := Handler(nil, nil)
+	if res, _ := get(t, h, "/metrics"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("nil registry /metrics status = %d, want 404", res.StatusCode)
+	}
+	if res, _ := get(t, h, "/trace/recent"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("nil ring /trace/recent status = %d, want 404", res.StatusCode)
+	}
+	if res, _ := get(t, h, "/healthz"); res.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz must stay alive with nil backends, got %d", res.StatusCode)
+	}
+}
+
+// TestServeRoundTrip exercises the real listener: ephemeral port, live
+// GETs over TCP, clean shutdown.
+func TestServeRoundTrip(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter(obs.MetricRounds).Inc()
+	s, err := Serve("127.0.0.1:0", m, obs.NewRingTracer(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.HasPrefix(s.URL(), "http://127.0.0.1:") {
+		t.Fatalf("URL = %q", s.URL())
+	}
+	res, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil || !strings.Contains(string(body), "sched_rounds_total 1") {
+		t.Fatalf("live /metrics: err=%v body=%s", err, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(s.URL() + "/healthz"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat validates the exposition against the text
+// format rules: HELP/TYPE headers, family grouping, cumulative buckets
+// closed by +Inf, and _sum/_count companions.
+func TestWritePrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(MetricRounds).Add(3)
+	m.Gauge("pool_size").Set(8.5)
+	h := m.Histogram(MetricRoundSeconds, []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if _, err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP sched_rounds_total ",
+		"# TYPE sched_rounds_total counter",
+		"sched_rounds_total 3",
+		"# TYPE pool_size gauge",
+		"pool_size 8.5",
+		"# HELP sched_round_seconds ",
+		"# TYPE sched_round_seconds histogram",
+		`sched_round_seconds_bucket{le="0.001"} 1`,
+		`sched_round_seconds_bucket{le="0.01"} 2`,
+		`sched_round_seconds_bucket{le="0.1"} 3`,
+		`sched_round_seconds_bucket{le="+Inf"} 4`,
+		"sched_round_seconds_sum 5.0555",
+		"sched_round_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// TYPE must precede the family's first sample.
+	typeIdx := strings.Index(out, "# TYPE sched_round_seconds histogram")
+	sampleIdx := strings.Index(out, "sched_round_seconds_bucket")
+	if typeIdx < 0 || sampleIdx < typeIdx {
+		t.Fatalf("TYPE header does not precede samples:\n%s", out)
+	}
+}
+
+// TestWritePrometheusLabeledHistogram: stage-labeled registry keys
+// expose as natively labeled series with le merged after the stage
+// label, and the whole family sits under one TYPE header.
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	m := NewMetrics()
+	m.Histogram(StageMetricName(StageSelect), []float64{0.01}).Observe(0.005)
+	m.Histogram(StageMetricName(StageReduce), []float64{0.01}).Observe(0.5)
+
+	var sb strings.Builder
+	if _, err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if got := strings.Count(out, "# TYPE sched_stage_seconds histogram"); got != 1 {
+		t.Fatalf("want exactly one TYPE header for the stage family, got %d:\n%s", got, out)
+	}
+	for _, want := range []string{
+		`sched_stage_seconds_bucket{stage="select",le="0.01"} 1`,
+		`sched_stage_seconds_bucket{stage="select",le="+Inf"} 1`,
+		`sched_stage_seconds_sum{stage="select"} 0.005`,
+		`sched_stage_seconds_count{stage="select"} 1`,
+		`sched_stage_seconds_bucket{stage="reduce",le="0.01"} 0`,
+		`sched_stage_seconds_bucket{stage="reduce",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusEscaping: label values and HELP text must escape
+// backslash, quote, and newline per the format rules.
+func TestWritePrometheusEscaping(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(NameWithLabels("weird_total", "path", "a\\b\"c\nd")).Inc()
+
+	var sb strings.Builder
+	if _, err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `weird_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped sample %q missing:\n%s", want, out)
+	}
+	if strings.Contains(out, "c\nd") {
+		t.Fatalf("raw newline leaked into a label value:\n%s", out)
+	}
+}
+
+// TestWritePrometheusDeterministic: two renders of the same registry
+// are byte-identical (families and series are sorted).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("b_total").Inc()
+	m.Counter("a_total").Inc()
+	m.Gauge("z").Set(1)
+	m.Histogram(StageMetricName(StageSweep), nil).Observe(0.1)
+	m.Histogram(StageMetricName(StageActuate), nil).Observe(0.2)
+
+	var one, two strings.Builder
+	if _, err := m.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatalf("non-deterministic exposition:\n%s\n---\n%s", one.String(), two.String())
+	}
+	if idx := strings.Index(one.String(), "a_total 1"); idx < 0 || idx > strings.Index(one.String(), "b_total 1") {
+		t.Fatalf("families not name-sorted:\n%s", one.String())
+	}
+}

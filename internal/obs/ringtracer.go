@@ -1,0 +1,81 @@
+package obs
+
+import "sync"
+
+// RingTracer is a bounded in-memory trace sink holding the most recent
+// N events — the backing store of the observability server's
+// /trace/recent endpoint. Unlike Collector it never grows: a long
+// agent run can leave it attached forever and memory stays O(N).
+//
+// Emit is wait-free with respect to I/O (nothing is encoded or
+// written) and its critical section is a fixed-size slot store plus a
+// cursor bump, so emitters on the scheduling hot path never block on a
+// reader draining the ring; readers copy the live window out under the
+// same short lock.
+type RingTracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever emitted; also assigns Seq
+}
+
+// NewRingTracer returns a ring retaining the last n events (n < 1 is
+// clamped to 1).
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{buf: make([]Event, n)}
+}
+
+// Emit implements Tracer: the event takes the next Seq and overwrites
+// the oldest retained slot.
+func (r *RingTracer) Emit(e Event) {
+	r.mu.Lock()
+	r.total++
+	e.Seq = r.total
+	r.buf[(r.total-1)%uint64(len(r.buf))] = e
+	r.mu.Unlock()
+}
+
+// Cap reports the ring's capacity.
+func (r *RingTracer) Cap() int { return len(r.buf) }
+
+// Total reports how many events have ever been emitted (retained or
+// evicted).
+func (r *RingTracer) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Len reports how many events are currently retained.
+func (r *RingTracer) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(min64(r.total, uint64(len(r.buf))))
+}
+
+// Recent returns up to k retained events, oldest first (newest last),
+// as a fresh slice. k <= 0 returns everything retained.
+func (r *RingTracer) Recent(k int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(min64(r.total, uint64(len(r.buf))))
+	if k <= 0 || k > n {
+		k = n
+	}
+	out := make([]Event, k)
+	for i := 0; i < k; i++ {
+		// Walk backwards from the newest slot.
+		seq := r.total - uint64(k-1-i)
+		out[i] = r.buf[(seq-1)%uint64(len(r.buf))]
+	}
+	return out
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

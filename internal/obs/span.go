@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"time"
+)
+
+// Stage names for the spans the blueprint round and the NWS emit. One
+// scheduling round times, in order: the information-snapshot build, the
+// resource-selection enumeration, the plan+estimate fan-out, and the
+// reduce/winner step; Run additionally times actuation, and the NWS
+// times each batch sensor sweep. All stages share one histogram family,
+// MetricStageSeconds, labeled by stage name.
+const (
+	StageSnapshot     = "snapshot"
+	StageSelect       = "select"
+	StagePlanEstimate = "plan_estimate"
+	StageReduce       = "reduce"
+	StageActuate      = "actuate"
+	StageSweep        = "sensor_sweep"
+)
+
+// MetricStageSeconds is the base name of the per-stage latency histogram
+// family. Concrete series carry a stage label in the registry key, e.g.
+// `sched_stage_seconds{stage="select"}`; WritePrometheus renders the
+// label natively and WriteTo prints the key verbatim.
+const MetricStageSeconds = "sched_stage_seconds"
+
+// StageMetricName returns the registry key of one stage's latency
+// histogram: MetricStageSeconds with the stage label attached.
+func StageMetricName(stage string) string {
+	return NameWithLabels(MetricStageSeconds, "stage", stage)
+}
+
+// NameWithLabels builds a labeled registry key — base followed by
+// `{k1="v1",k2="v2"}` with Prometheus label-value escaping — from
+// alternating key/value pairs. With no pairs it returns base unchanged.
+// The registry treats the whole key as an opaque name; WritePrometheus
+// parses it back into name and labels.
+func NameWithLabels(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: NameWithLabels needs key/value pairs")
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(kv[i+1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// monotonicBase anchors the default clock so spans measure elapsed
+// monotonic time (time.Since reads the monotonic component).
+var monotonicBase = time.Now()
+
+// defaultClock is the wall clock in monotonic seconds since process
+// start — what a StageTimer uses when no clock is injected.
+func defaultClock() float64 { return time.Since(monotonicBase).Seconds() }
+
+// StageTimer hands out Spans that record stage wall-time into per-stage
+// histograms and, when a tracer is attached, emit an EvSpan event on
+// End. The clock is injectable (seconds, monotonic) so simulations and
+// golden-trace tests stay deterministic; nil means the real monotonic
+// clock. A nil *StageTimer is "off": Start returns an inert Span and
+// the instrumented call sites reduce to one nil check.
+type StageTimer struct {
+	clock  func() float64
+	tracer Tracer
+	m      *Metrics
+	// hists caches the known stages' histogram handles, resolved once at
+	// construction; the map is never written after NewStageTimer, so
+	// concurrent span Ends read it without locking.
+	hists map[string]*Histogram
+}
+
+// NewStageTimer builds a timer recording into registry m (required),
+// tracing span events to tr (nil: histograms only), reading the given
+// monotonic-seconds clock (nil: wall clock).
+func NewStageTimer(m *Metrics, tr Tracer, clock func() float64) *StageTimer {
+	if m == nil {
+		panic("obs: NewStageTimer needs a metrics registry")
+	}
+	if clock == nil {
+		clock = defaultClock
+	}
+	t := &StageTimer{clock: clock, tracer: tr, m: m, hists: make(map[string]*Histogram)}
+	for _, s := range []string{StageSnapshot, StageSelect, StagePlanEstimate, StageReduce, StageActuate, StageSweep} {
+		t.hists[s] = m.Histogram(StageMetricName(s), nil)
+	}
+	return t
+}
+
+// Start opens a span for one stage of the given round (0 when the stage
+// is not tied to a numbered round, e.g. a sensor sweep). Calling Start
+// on a nil timer returns an inert span whose End is a no-op.
+func (t *StageTimer) Start(round uint64, stage string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: stage, round: round, start: t.clock()}
+}
+
+// Span is one in-flight stage measurement. It is a small value — pass
+// it around or defer End directly; the zero Span is inert.
+type Span struct {
+	t     *StageTimer
+	stage string
+	round uint64
+	start float64
+}
+
+// End closes the span: the elapsed clock time is observed into the
+// stage's histogram and, when the timer has a tracer, emitted as one
+// EvSpan event. End on the zero Span does nothing. Clock regressions
+// clamp to zero rather than recording negative time.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	dur := s.t.clock() - s.start
+	if dur < 0 {
+		dur = 0
+	}
+	h := s.t.hists[s.stage]
+	if h == nil {
+		// Unknown stage: resolve through the registry (slow path; all
+		// blueprint stages are pre-resolved).
+		h = s.t.m.Histogram(StageMetricName(s.stage), nil)
+	}
+	h.Observe(dur)
+	if s.t.tracer != nil {
+		s.t.tracer.Emit(Event{Round: s.round, Type: EvSpan, Stage: s.stage, Seconds: dur})
+	}
+}

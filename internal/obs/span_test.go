@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanRecordsHistogramAndEvent closes spans under an injected clock
+// and checks both outputs: the stage-labeled histogram observation and
+// the EvSpan trace event.
+func TestSpanRecordsHistogramAndEvent(t *testing.T) {
+	m := NewMetrics()
+	col := NewCollector()
+	now := 0.0
+	st := NewStageTimer(m, col, func() float64 { return now })
+
+	sp := st.Start(7, StageSelect)
+	now = 0.25
+	sp.End()
+
+	h := m.Histogram(StageMetricName(StageSelect), nil)
+	if h.Count() != 1 || h.Sum() != 0.25 {
+		t.Fatalf("histogram count=%d sum=%v, want 1 observation of 0.25", h.Count(), h.Sum())
+	}
+	evs := col.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Type != EvSpan || e.Stage != StageSelect || e.Seconds != 0.25 || e.Round != 7 {
+		t.Fatalf("span event = %+v", e)
+	}
+}
+
+// TestSpanNilSafety: a nil timer and the zero Span are inert.
+func TestSpanNilSafety(t *testing.T) {
+	var st *StageTimer
+	sp := st.Start(1, StageSnapshot)
+	sp.End() // must not panic
+	(Span{}).End()
+}
+
+// TestSpanClockRegressionClampsToZero: a non-monotonic injected clock
+// must not record negative time.
+func TestSpanClockRegressionClampsToZero(t *testing.T) {
+	m := NewMetrics()
+	now := 5.0
+	st := NewStageTimer(m, nil, func() float64 { v := now; now -= 1; return v })
+	sp := st.Start(0, StageReduce)
+	sp.End()
+	if got := m.Histogram(StageMetricName(StageReduce), nil).Sum(); got != 0 {
+		t.Fatalf("regressing clock recorded %v, want 0", got)
+	}
+}
+
+// TestSpanUnknownStageResolvesLazily: stages outside the blueprint set
+// still record, through the registry slow path.
+func TestSpanUnknownStageResolvesLazily(t *testing.T) {
+	m := NewMetrics()
+	st := NewStageTimer(m, nil, nil)
+	st.Start(0, "custom_stage").End()
+	if got := m.Histogram(StageMetricName("custom_stage"), nil).Count(); got != 1 {
+		t.Fatalf("custom stage count = %d, want 1", got)
+	}
+}
+
+// TestNameWithLabels pins the registry-key grammar the Prometheus
+// exposition parses back, including label-value escaping.
+func TestNameWithLabels(t *testing.T) {
+	if got := NameWithLabels("m"); got != "m" {
+		t.Fatalf("no labels: %q", got)
+	}
+	if got, want := NameWithLabels("m", "a", "x", "b", "y"), `m{a="x",b="y"}`; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	if got, want := NameWithLabels("m", "a", "q\"\\\n"), `m{a="q\"\\\n"}`; got != want {
+		t.Fatalf("escaping: got %q, want %q", got, want)
+	}
+}
+
+// TestConcurrentSpans drives spans from many goroutines into one
+// registry and one ring tracer — exact bookkeeping, and the -race job
+// checks the synchronization of the shared stage-timer handles.
+func TestConcurrentSpans(t *testing.T) {
+	m := NewMetrics()
+	ring := NewRingTracer(64)
+	st := NewStageTimer(m, ring, nil)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				st.Start(uint64(w), StagePlanEstimate).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Histogram(StageMetricName(StagePlanEstimate), nil).Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := ring.Total(); got != workers*per {
+		t.Fatalf("ring total = %d, want %d", got, workers*per)
+	}
+	if got := ring.Len(); got != 64 {
+		t.Fatalf("ring retained %d, want its capacity 64", got)
+	}
+	for _, e := range ring.Recent(0) {
+		if e.Type != EvSpan || e.Stage != StagePlanEstimate {
+			t.Fatalf("unexpected ring event %+v", e)
+		}
+	}
+}
+
+// TestWriteToQuantiles: the plain dump now carries p50/p95/p99 columns.
+func TestWriteToQuantiles(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat", []float64{1, 2, 4})
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+	}
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"p50=0.5", "p95=0.95", "p99=0.99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramQuantile pins exact interpolated values for a
+// hand-filled histogram: bounds {1, 2, 4} with counts {2, 4, 2} and 2
+// overflow observations (10 total).
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	fill := []struct {
+		v float64
+		n int
+	}{{0.5, 2}, {1.5, 4}, {3, 2}, {9, 2}}
+	for _, f := range fill {
+		for i := 0; i < f.n; i++ {
+			h.Observe(f.v)
+		}
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		// rank = q*10. Bucket cumulative edges: 2 @le=1, 6 @le=2, 8 @le=4.
+		{0.0, 0},    // rank 0 → lower edge of the first bucket
+		{0.1, 0.5},  // rank 1, first bucket: 0 + 1*(1-0)/2
+		{0.2, 1},    // rank 2, exactly the first bucket's edge
+		{0.5, 1.75}, // rank 5, second bucket: 1 + 1*(5-2)/4
+		{0.8, 4},    // rank 8, exactly the third bucket's edge
+		{0.95, 4},   // rank 9.5 → overflow bucket → highest finite bound
+		{1.0, 4},    // rank 10 → overflow bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range q must return NaN")
+	}
+	if !math.IsNaN(newHistogram([]float64{1}).Quantile(0.5)) {
+		t.Fatal("empty histogram must return NaN")
+	}
+}
+
+// TestRingTracerWindow pins eviction and ordering semantics.
+func TestRingTracerWindow(t *testing.T) {
+	r := NewRingTracer(3)
+	if r.Cap() != 3 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	if got := r.Recent(0); len(got) != 0 {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Emit(Event{Type: EvCandidate, Index: i})
+	}
+	if r.Total() != 5 || r.Len() != 3 {
+		t.Fatalf("total=%d len=%d, want 5/3", r.Total(), r.Len())
+	}
+	got := r.Recent(0)
+	if len(got) != 3 || got[0].Index != 3 || got[2].Index != 5 {
+		t.Fatalf("window = %+v, want indices 3..5 oldest-first", got)
+	}
+	if got[0].Seq != 3 || got[2].Seq != 5 {
+		t.Fatalf("seq not preserved across eviction: %+v", got)
+	}
+	if got = r.Recent(2); len(got) != 2 || got[0].Index != 4 {
+		t.Fatalf("Recent(2) = %+v, want the newest two", got)
+	}
+	if got = r.Recent(99); len(got) != 3 {
+		t.Fatalf("Recent(99) = %d events, want all 3 retained", len(got))
+	}
+	if NewRingTracer(0).Cap() != 1 {
+		t.Fatal("capacity must clamp to 1")
+	}
+}

@@ -86,3 +86,46 @@ func TestBatchTickerAddMidFlight(t *testing.T) {
 		t.Fatalf("late-added callback fired %d times, want 2", count)
 	}
 }
+
+// TestBatchTickerSetAround: the around hook wraps one whole batch fire —
+// it runs once per tick, observes the fire time, and brackets every
+// callback in the sweep.
+func TestBatchTickerSetAround(t *testing.T) {
+	e := NewEngine()
+	b := NewBatchTicker(e, 1)
+	var log []string
+	for i := 0; i < 3; i++ {
+		b.Add(func(now float64) { log = append(log, "cb") })
+	}
+	var times []float64
+	b.SetAround(func(fire func(float64), now float64) {
+		log = append(log, "pre")
+		times = append(times, now)
+		fire(now)
+		log = append(log, "post")
+	})
+	if err := e.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	want := []string{"pre", "cb", "cb", "cb", "post", "pre", "cb", "cb", "cb", "post"}
+	if len(log) != len(want) {
+		t.Fatalf("around bracket sequence %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("around bracket sequence %v, want %v", log, want)
+		}
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("around saw fire times %v, want [1 2]", times)
+	}
+
+	// Clearing the hook restores the direct path.
+	b.SetAround(nil)
+	log = log[:0]
+	b.Fire(9)
+	if len(log) != 3 || log[0] != "cb" {
+		t.Fatalf("after SetAround(nil): %v, want three bare callbacks", log)
+	}
+}

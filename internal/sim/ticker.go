@@ -63,8 +63,9 @@ func (t *Ticker) Ticks() uint64 { return t.ticks }
 // period instead of O(resources). Callbacks run in registration order,
 // which keeps simulations deterministic.
 type BatchTicker struct {
-	t   *Ticker
-	fns []func(now float64)
+	t      *Ticker
+	fns    []func(now float64)
+	around func(fire func(now float64), now float64)
 }
 
 // NewBatchTicker schedules the batch every period seconds starting period
@@ -79,10 +80,26 @@ func NewBatchTicker(eng *Engine, period float64) *BatchTicker {
 // mid-flight first runs at the next batch tick.
 func (b *BatchTicker) Add(fn func(now float64)) { b.fns = append(b.fns, fn) }
 
+// SetAround installs a wrapper invoked around every Fire — timer-driven
+// or direct — with the sweep closure to run. It must call fire exactly
+// once; observability layers use it to time a whole sweep without
+// paying a per-callback hook. nil removes the wrapper.
+func (b *BatchTicker) SetAround(around func(fire func(now float64), now float64)) {
+	b.around = around
+}
+
 // Fire invokes every registered callback once, in registration order. The
 // ticker calls it on each period; tests and benchmarks may call it
 // directly to drive a sweep without advancing the clock.
 func (b *BatchTicker) Fire(now float64) {
+	if b.around != nil {
+		b.around(b.fireAll, now)
+		return
+	}
+	b.fireAll(now)
+}
+
+func (b *BatchTicker) fireAll(now float64) {
 	for _, fn := range b.fns {
 		fn(now)
 	}
