@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-nws bench-json tables clean
+.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-selector bench-nws bench-json tables clean
 
 all: build vet test
 
@@ -42,6 +42,11 @@ bench-evaluate:
 # through the same shared Coordinator as bench-evaluate.
 bench-pipeline:
 	$(GO) test -bench=BenchmarkPipelineEvaluate -benchmem -benchtime=3x .
+
+# Selector-family sweep past the 2^n wall: 128/512/2048-host grids
+# under exhaustive, greedy, beam, and LP+GA selection.
+bench-selector:
+	$(GO) test -bench=BenchmarkSelect -benchmem -benchtime=3x -run '^$$' .
 
 # NWS sensing hot path: bank update sweep (window x legacy/incremental)
 # and full-service sweep cost at 100/1k/10k watched series.

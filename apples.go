@@ -225,7 +225,37 @@ var (
 	// WithInfoSnapshot toggles the per-round information snapshot
 	// (default on; disable only for ablation).
 	WithInfoSnapshot = core.WithInfoSnapshot
+	// WithSelector picks the resource-selector family an agent enumerates
+	// candidates with (exhaustive below 2^12, or the greedy / beam / LP+GA
+	// heuristics that scale to thousand-host pools).
+	WithSelector = core.WithSelector
 )
+
+// Resource-selector families (the "scaling past the 2^n wall" surface).
+type (
+	// SelectorKind names a selector family for SelectorSpec.Kind.
+	SelectorKind = core.SelectorKind
+	// SelectorSpec configures the selector family an agent uses; the zero
+	// value means the default exhaustive/prefix behavior.
+	SelectorSpec = core.SelectorSpec
+)
+
+// Selector kinds for SelectorSpec.Kind.
+const (
+	// SelectorExhaustive enumerates every subset on small pools (the
+	// default, exact up to 12 hosts; desirability prefixes beyond).
+	SelectorExhaustive = core.SelectorExhaustive
+	// SelectorGreedy grows sets by marginal gain over host desirability.
+	SelectorGreedy = core.SelectorGreedy
+	// SelectorBeam runs a width-W beam search over add/drop/swap moves.
+	SelectorBeam = core.SelectorBeam
+	// SelectorLPGA seeds a genetic search from an LP-style relaxation.
+	SelectorLPGA = core.SelectorLPGA
+)
+
+// ParseSelector parses a -selector flag value ("exhaustive", "greedy",
+// "beam", "lpga") into a SelectorSpec.
+var ParseSelector = core.ParseSelector
 
 // SnapshotInformation freezes an Information source over a host set.
 var SnapshotInformation = core.SnapshotInformation
@@ -369,10 +399,18 @@ type (
 	// the filtered host pool plus the factories binding the
 	// application-specific subsystems to the round's information view.
 	CoordinatorRound = core.Round
-	// ResourceSelector enumerates candidate resource sets for a round.
+	// ResourceSelector streams candidate resource sets for a round.
 	ResourceSelector = core.ResourceSelector
-	// ResourceSelectorFunc adapts a function to ResourceSelector.
+	// ResourceSelectorFunc adapts a slice-returning function to the
+	// streaming ResourceSelector interface.
 	ResourceSelectorFunc = core.ResourceSelectorFunc
+	// SelectorStreamFunc adapts a sequence-returning function directly to
+	// ResourceSelector, for selectors that are naturally streaming.
+	SelectorStreamFunc = core.SelectorStreamFunc
+	// TruncationReporter is implemented by selectors that cap their
+	// enumeration; the Coordinator surfaces capped rounds in traces and
+	// the sched_selector_truncated_total counter.
+	TruncationReporter = core.TruncationReporter
 	// CandidateEvaluator is the fused Planner + Performance Estimator.
 	CandidateEvaluator = core.CandidateEvaluator
 	// CandidateEvaluatorFunc adapts a function to CandidateEvaluator.

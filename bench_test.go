@@ -64,6 +64,58 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkSelect sweeps the selector families across grid-scale pools
+// — the "past the 2^n wall" benchmark. Each iteration is one full
+// scheduling round (snapshot, selection, plan/estimate, reduce) on a
+// dedicated oracle-informed cluster-of-clusters. The exhaustive
+// selector's large-pool fallback enumerates one prefix per pool size
+// (O(pool²) evaluation cost), so it is skipped at 2048 hosts where a
+// single round takes seconds.
+func BenchmarkSelect(b *testing.B) {
+	pools := []struct {
+		name          string
+		clusters, per int
+	}{
+		{"128host", 8, 16},
+		{"512host", 32, 16},
+		{"2048host", 128, 16},
+	}
+	selectors := []struct {
+		name string
+		spec core.SelectorSpec
+	}{
+		{"exhaustive", core.SelectorSpec{Kind: core.SelectorExhaustive}},
+		{"greedy", core.SelectorSpec{Kind: core.SelectorGreedy}},
+		{"beam", core.SelectorSpec{Kind: core.SelectorBeam, BeamWidth: 8}},
+		{"lpga", core.SelectorSpec{Kind: core.SelectorLPGA, Seed: 1}},
+	}
+	const n = 4000
+	for _, p := range pools {
+		for _, s := range selectors {
+			b.Run(p.name+"/"+s.name, func(b *testing.B) {
+				if p.name == "2048host" && s.name == "exhaustive" {
+					b.Skip("prefix fallback is O(pool²) per round at this size")
+				}
+				agent, err := expt.NewGridAgent(p.clusters, p.per, n, 7, core.WithSelector(s.spec))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var considered int
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sched, err := agent.Schedule(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					considered = sched.CandidatesConsidered
+				}
+				b.ReportMetric(float64(considered), "candidate_sets")
+			})
+		}
+	}
+}
+
 // BenchmarkPipelineEvaluate sweeps the pipeline blueprint's evaluation
 // across pool sizes and worker-pool widths on the same warmed
 // cluster-of-clusters scenarios as BenchmarkEvaluate. A pool of h hosts

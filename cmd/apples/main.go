@@ -34,6 +34,9 @@ func main() {
 	explain := flag.Int("explain", 0, "also print the top-K candidate schedules the agent weighed")
 	metric := flag.String("metric", "min-time", "user performance metric: min-time, speedup, cost")
 	parallel := flag.Int("parallel", 0, "candidate-evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
+	selector := flag.String("selector", "exhaustive", "resource selector family: exhaustive, greedy, beam, lpga")
+	beamWidth := flag.Int("beam-width", 8, "beam width for -selector beam")
+	gaSeed := flag.Int64("ga-seed", 1, "PRNG seed for -selector lpga")
 	prune := flag.Bool("prune", false, "skip candidate sets whose compute lower bound exceeds the best so far")
 	spill := flag.Float64("spill", 25, "estimator out-of-memory penalty multiplier")
 	saveSched := flag.String("save-schedule", "", "write the chosen placement as JSON to this file")
@@ -163,11 +166,19 @@ func main() {
 		fail(fmt.Errorf("unknown -metric %q (want min-time, speedup, or cost)", *metric))
 	}
 
+	selSpec, err := apples.ParseSelector(*selector)
+	if err != nil {
+		fail(err)
+	}
+	selSpec.BeamWidth = *beamWidth
+	selSpec.Seed = *gaSeed
+
 	tpl := apples.JacobiTemplate(*n, *iters)
 	agentOpts := []apples.AgentOption{
 		apples.WithParallelism(*parallel),
 		apples.WithPruning(*prune),
 		apples.WithSpillFactor(*spill),
+		apples.WithSelector(selSpec),
 	}
 	if sink != nil {
 		agentOpts = append(agentOpts, apples.WithTracer(sink))

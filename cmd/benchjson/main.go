@@ -1,5 +1,6 @@
 // Command benchjson runs the scheduler's headline benchmark sweeps —
-// candidate evaluation (BenchmarkEvaluate) and the NWS sensing hot path
+// candidate evaluation (BenchmarkEvaluate), grid-scale selector
+// families (BenchmarkSelect), and the NWS sensing hot path
 // (BenchmarkBankUpdate) — and writes the parsed results as JSON so CI
 // and PR descriptions can diff performance across revisions without
 // scraping `go test -bench` text output.
@@ -35,6 +36,7 @@ type sweep struct {
 
 var sweeps = []sweep{
 	{Package: ".", Pattern: "^BenchmarkEvaluate$"},
+	{Package: ".", Pattern: "^BenchmarkSelect$"},
 	{Package: "./internal/nws", Pattern: "^BenchmarkBankUpdate$"},
 }
 

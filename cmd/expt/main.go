@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,nws-scale,obs-overhead,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,selector-gap,nws-scale,obs-overhead,all")
 	seed := flag.Int64("seed", 11, "base seed for ambient load")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
@@ -288,6 +288,31 @@ func main() {
 		}
 		fmt.Print(expt.FormatPipelineSchedLatency(rows))
 		return nil
+	})
+
+	run("selector-gap", func() error {
+		var sizes [][2]int
+		seeds := []int64{*seed, *seed + 12, *seed + 26}
+		if *quick {
+			sizes, seeds = [][2]int{{2, 3}, {2, 4}, {3, 4}}, seeds[:1]
+		}
+		rows, err := expt.SelectorGap(sizes, 2000, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Print(expt.FormatSelectorGap(rows))
+		scaleSizes := [][2]int{{8, 16}, {32, 16}}
+		if *quick {
+			scaleSizes = scaleSizes[:1]
+		}
+		scale, err := expt.SelectorScale(scaleSizes, 2000, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(expt.FormatSelectorScale(scale))
+		h, c := expt.SelectorGapCSV(rows)
+		return writeCSV("selector-gap", h, c)
 	})
 
 	run("obs-overhead", func() error {

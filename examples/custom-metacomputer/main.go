@@ -63,9 +63,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Seven hosts is comfortably inside the exhaustive selector's 2^n
+	// range; ask for the greedy heuristic anyway to show the selector is
+	// pluggable — on hundreds of hosts this is what keeps the round
+	// interactive (beam and lpga trade more search for tighter gaps).
 	const n, iters = 1000, 80
 	agent, err := apples.NewAgent(tp, apples.JacobiTemplate(n, iters),
-		&apples.UserSpec{Decomposition: "strip"}, apples.NWSInformation(nws, tp))
+		&apples.UserSpec{Decomposition: "strip"}, apples.NWSInformation(nws, tp),
+		apples.WithSelector(apples.SelectorSpec{Kind: apples.SelectorGreedy}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,6 +41,9 @@ func main() {
 		Decomposition: "strip",
 	}
 
+	// The default exhaustive selector is exact up to 12 hosts; on larger
+	// pools pass e.g. WithSelector(SelectorSpec{Kind: SelectorGreedy}) to
+	// keep scheduling interactive (see examples/custom-metacomputer).
 	agent, err := apples.NewAgent(tp, tpl, spec, apples.NWSInformation(nws, tp))
 	if err != nil {
 		log.Fatal(err)

@@ -101,6 +101,9 @@ func NewAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec, info In
 			opt(&cfg)
 		}
 	}
+	if err := cfg.selector.validate(); err != nil {
+		return nil, err
+	}
 	a := &Agent{tp: tp, tpl: tpl, spec: spec, coord: cfg.Coordinator, SpillFactor: 25}
 	if cfg.spillFactor > 0 {
 		a.SpillFactor = cfg.spillFactor
@@ -150,20 +153,14 @@ func rankCandidates(cands []Candidate, k int) []Candidate {
 // fan-out, pruning bookkeeping, and the deterministic reduce.
 func (a *Agent) round(n int) Round {
 	return Round{
-		Pool: a.spec.Filter(a.tp.Hosts()),
+		Pool:     a.spec.Filter(a.tp.Hosts()),
+		Selector: string(a.coord.selector.normalized().Kind),
 		Bind: func(info Information, snapshotted bool) (ResourceSelector, CandidateEvaluator, error) {
 			rs := &resourceSelector{tp: a.tp, info: info}
 			pl := &planner{tp: a.tp, tpl: a.tpl, info: info}
 			es := newEstimator(a.tp, a.spec, a.tpl.Tasks[0].BytesPerUnit, a.SpillFactor, max(a.tpl.Iterations, 1))
 
-			sel := ResourceSelectorFunc(func(pool []*grid.Host) [][]*grid.Host {
-				if snapshotted {
-					return rs.candidates(pool, a.spec.MaxResourceSets)
-				}
-				// Legacy enumeration: re-query the source per set, as the
-				// pre-snapshot engine did (see candidatesDirect).
-				return rs.candidatesDirect(pool, a.spec.MaxResourceSets)
-			})
+			sel := newSelector(a.coord.selector, rs, a.spec.MaxResourceSets, snapshotted)
 
 			// Solo baseline for the speedup metric: best predicted
 			// single-host total.
@@ -296,9 +293,15 @@ func (a *Agent) pickBest(cands []Candidate, considered int) (*Schedule, error) {
 		CandidatesPlanned:    len(cands),
 	}
 	// Normalize host list order for reporting: the placement order is the
-	// chain; keep hosts that actually received work first.
+	// chain; keep hosts that actually received work first. Shares are
+	// resolved once up front — Fraction scans the assignment list, and a
+	// comparator doing that per probe turns quadratic on grid-size pools.
+	share := make(map[string]float64, len(best.Hosts))
+	for _, h := range best.Hosts {
+		share[h] = best.Placement.Fraction(h)
+	}
 	sort.SliceStable(best.Hosts, func(i, j int) bool {
-		return best.Placement.Fraction(best.Hosts[i]) > best.Placement.Fraction(best.Hosts[j])
+		return share[best.Hosts[i]] > share[best.Hosts[j]]
 	})
 	return best, nil
 }

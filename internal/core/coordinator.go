@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"sync/atomic"
 	"time"
@@ -24,15 +25,55 @@ import (
 // sets are host chains; for a pipeline blueprint they are single machines
 // and ordered producer/consumer pairs. The enumeration order is the
 // tie-break order of the reduce, so it must be deterministic.
+//
+// The contract is streaming: SelectSeq returns a sequence the
+// Coordinator consumes as candidates are produced, so a selector over a
+// 2048-host pool never materializes an exponential slice. A yielded set
+// is owned by the Coordinator afterwards — selectors must not reuse the
+// backing array. Selector construction (ranking, cost models) should
+// happen eagerly in SelectSeq so the round's "select" stage span keeps
+// measuring it; only per-set work belongs inside the sequence.
+// Slice-returning selectors keep working through ResourceSelectorFunc.
 type ResourceSelector interface {
-	Select(pool []*grid.Host) [][]*grid.Host
+	SelectSeq(pool []*grid.Host) iter.Seq[[]*grid.Host]
 }
 
-// ResourceSelectorFunc adapts a function to ResourceSelector.
+// ResourceSelectorFunc adapts a slice-returning function to the
+// streaming ResourceSelector interface — the compatibility shim for
+// pre-streaming selectors: the function runs eagerly (inside the select
+// stage, as before) and the sequence yields its sets in order.
 type ResourceSelectorFunc func(pool []*grid.Host) [][]*grid.Host
 
-// Select implements ResourceSelector.
-func (f ResourceSelectorFunc) Select(pool []*grid.Host) [][]*grid.Host { return f(pool) }
+// SelectSeq implements ResourceSelector.
+func (f ResourceSelectorFunc) SelectSeq(pool []*grid.Host) iter.Seq[[]*grid.Host] {
+	sets := f(pool)
+	return func(yield func([]*grid.Host) bool) {
+		for _, set := range sets {
+			if !yield(set) {
+				return
+			}
+		}
+	}
+}
+
+// SelectorStreamFunc adapts a sequence-returning function directly to
+// ResourceSelector, for selectors that are naturally streaming.
+type SelectorStreamFunc func(pool []*grid.Host) iter.Seq[[]*grid.Host]
+
+// SelectSeq implements ResourceSelector.
+func (f SelectorStreamFunc) SelectSeq(pool []*grid.Host) iter.Seq[[]*grid.Host] { return f(pool) }
+
+// TruncationReporter is implemented by selectors that may cap their
+// enumeration (e.g. userspec.MaxResourceSets). After draining the
+// sequence the Coordinator asks whether the cap hit and emits an
+// EvTruncated trace event plus the sched_selector_truncated_total
+// counter, so a capped round is visible in decision traces.
+type TruncationReporter interface {
+	// Truncated reports how many candidate sets the cap cut from the
+	// most recent SelectSeq enumeration (capped is false when the
+	// enumeration ran to completion).
+	Truncated() (dropped int, capped bool)
+}
 
 // CandidateEvaluator is the fused Planner + Performance Estimator: it
 // plans one candidate resource set and scores the plan under the user's
@@ -80,6 +121,10 @@ type Round struct {
 	// return nil to decline (e.g. when the user's metric is not the one
 	// the bound is sound for).
 	Bound func(info Information) LowerBounder
+	// Selector labels the round's candidate counter
+	// (`sched_candidates_total{selector=...}`). The blueprint agents set
+	// it to their configured selector kind; empty means "custom".
+	Selector string
 }
 
 // Coordinator owns the generic AppLeS scheduling round. It is configured
@@ -98,6 +143,9 @@ type Coordinator struct {
 	// snapshot resolves the information pool once per round (default
 	// true). See WithInfoSnapshot.
 	snapshot bool
+	// selector is the candidate-enumeration strategy the blueprint
+	// agents bind each round (default exhaustive). See WithSelector.
+	selector SelectorSpec
 
 	// tracer receives the round's decision trace; nil (the default)
 	// means tracing is off and every trace site reduces to one pointer
@@ -117,15 +165,30 @@ type Coordinator struct {
 }
 
 // roundMetrics are the Coordinator's metric handles, resolved once by
-// WithMetrics so the round hot path only performs atomic updates.
+// WithMetrics so the round hot path only performs atomic updates. The
+// per-selector candidate counter is the exception: its registry key
+// depends on the round's selector label, so it is resolved through the
+// registry once per round (not per candidate).
 type roundMetrics struct {
 	rounds     *obs.Counter
 	evaluated  *obs.Counter
 	pruned     *obs.Counter
 	infeasible *obs.Counter
+	truncated  *obs.Counter
 
 	roundLatency    *obs.Histogram
 	snapshotLatency *obs.Histogram
+
+	reg *obs.Metrics
+}
+
+// candidates resolves the labeled per-selector candidate counter,
+// `sched_candidates_total{selector=...}`.
+func (m *roundMetrics) candidates(selector string) *obs.Counter {
+	if selector == "" {
+		selector = "custom"
+	}
+	return m.reg.Counter(obs.NameWithLabels(obs.MetricCandidates, "selector", selector))
 }
 
 // NewCoordinator builds a coordinator over an information source with the
@@ -153,27 +216,31 @@ func (c *Coordinator) Information() Information { return c.info }
 // see exactly what a scheduling round would.
 func (c *Coordinator) View(hosts []string) Information {
 	if c.snapshot {
-		return SnapshotInformation(c.info, hosts)
+		return snapshotInformation(c.info, hosts)
 	}
 	return c.info
 }
 
 // EvaluateRound runs the blueprint round: resolve the information view,
-// bind the subsystems, enumerate candidate sets, fan them across the
-// worker pool, and reduce deterministically. It returns the feasible
-// candidates in enumeration order plus the number of sets considered.
+// bind the subsystems, stream candidate sets off the selector, fan them
+// across the worker pool, and reduce deterministically. It returns the
+// feasible candidates in enumeration order plus the number of sets
+// considered.
 //
 // The round proceeds in three steps:
 //
 //  1. snapshot the information pool for the filtered hosts, so every
-//     availability/bandwidth/latency value is resolved exactly once;
-//  2. fan the candidate sets out to a bounded worker pool, each worker
-//     planning and estimating against the immutable snapshot and writing
-//     its result into a per-index slot;
-//  3. reduce in index order, which makes the outcome independent of
-//     goroutine interleaving: the same candidates are feasible with the
-//     same scores, so the eventual (score, index) minimum is the one the
-//     sequential loop would have picked.
+//     availability/bandwidth/latency value is resolved exactly once
+//     (large pools freeze per-link values and compose pairs on demand);
+//  2. consume the selector's sequence as it is produced — sequentially
+//     inline, or through a bounded worker pool fed by the producing
+//     goroutine — planning and estimating each set against the immutable
+//     snapshot; the full candidate list is never materialized;
+//  3. merge worker results and reduce in enumeration-index order, which
+//     makes the outcome independent of goroutine interleaving: the same
+//     candidates are feasible with the same scores, so the eventual
+//     (score, index) minimum is the one the sequential loop would have
+//     picked.
 //
 // With pruning enabled and a bound supplied, workers additionally share
 // the best score seen so far and skip sets whose lower bound already
@@ -202,7 +269,7 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 		for i, h := range r.Pool {
 			names[i] = h.Name
 		}
-		snap := SnapshotInformation(c.info, names)
+		snap := snapshotInformation(c.info, names)
 		if observing {
 			if met != nil {
 				met.snapshotLatency.Observe(time.Since(start).Seconds())
@@ -225,7 +292,7 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	sets := sel.Select(r.Pool)
+	seq := sel.SelectSeq(r.Pool)
 	selSpan.End()
 
 	var bound LowerBounder
@@ -236,11 +303,9 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 		}
 	}
 
-	planSpan := stages.Start(round, obs.StagePlanEstimate)
-	results := make([]Candidate, len(sets))
-	feasible := make([]bool, len(sets))
-	runIndexed(len(sets), workers, func(i int) {
-		set := sets[i]
+	// evalOne plans and estimates candidate set i (0-based enumeration
+	// index); it is called concurrently for distinct sets.
+	evalOne := func(i int, set []*grid.Host) (Candidate, bool) {
 		if incumbent != nil {
 			lb := bound.LowerBound(set)
 			if inc := incumbent.load(); lb > inc {
@@ -251,7 +316,7 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 					tr.Emit(obs.Event{Round: round, Type: obs.EvPruned, Index: i + 1,
 						Hosts: hostNames(set), Bound: lb, Incumbent: inc})
 				}
-				return
+				return Candidate{}, false
 			}
 		}
 		cand, ok := ev.Evaluate(set)
@@ -263,7 +328,7 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 				tr.Emit(obs.Event{Round: round, Type: obs.EvInfeasible, Index: i + 1,
 					Hosts: hostNames(set)})
 			}
-			return
+			return Candidate{}, false
 		}
 		if met != nil {
 			met.evaluated.Inc()
@@ -272,22 +337,34 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 			tr.Emit(obs.Event{Round: round, Type: obs.EvCandidate, Index: i + 1,
 				Hosts: cand.Hosts, Predicted: cand.PredictedTotal, Score: cand.Score})
 		}
-		results[i] = cand
-		feasible[i] = true
 		if incumbent != nil {
 			incumbent.update(cand.Score)
 		}
-	})
+		return cand, true
+	}
 
+	planSpan := stages.Start(round, obs.StagePlanEstimate)
+	cands, considered := runStreamed(seq, workers, evalOne)
 	planSpan.End()
 
-	reduceSpan := stages.Start(round, obs.StageReduce)
-	var cands []Candidate
-	for i := range results {
-		if feasible[i] {
-			cands = append(cands, results[i])
+	if observing {
+		if met != nil {
+			met.candidates(r.Selector).Add(uint64(considered))
+		}
+		if trc, ok := sel.(TruncationReporter); ok {
+			if dropped, capped := trc.Truncated(); capped {
+				if met != nil {
+					met.truncated.Inc()
+				}
+				if tr != nil {
+					tr.Emit(obs.Event{Round: round, Type: obs.EvTruncated,
+						Considered: considered, Dropped: dropped})
+				}
+			}
 		}
 	}
+
+	reduceSpan := stages.Start(round, obs.StageReduce)
 	if observing {
 		if met != nil {
 			met.rounds.Inc()
@@ -302,15 +379,15 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 				w := cands[bi]
 				tr.Emit(obs.Event{Round: round, Type: obs.EvWinner, Hosts: w.Hosts,
 					Predicted: w.PredictedTotal, Score: w.Score,
-					Considered: len(sets), Planned: len(cands)})
+					Considered: considered, Planned: len(cands)})
 			} else {
 				tr.Emit(obs.Event{Round: round, Type: obs.EvWinner,
-					Reason: "no-feasible-plan", Considered: len(sets)})
+					Reason: "no-feasible-plan", Considered: considered})
 			}
 		}
 		reduceSpan.End()
 	}
-	return cands, len(sets), nil
+	return cands, considered, nil
 }
 
 // actuateSpan opens the actuation-stage span for the most recent round

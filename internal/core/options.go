@@ -75,6 +75,17 @@ func WithInfoSnapshot(on bool) AgentOption {
 	return func(c *coordConfig) { c.snapshot = on }
 }
 
+// WithSelector picks the Resource Selector strategy the blueprint
+// agents bind each scheduling round: exhaustive subsets (the default,
+// faithful to the paper but walled at 2^pool), or one of the heuristic
+// family — greedy marginal gain, width-W beam search, LP-seeded GA —
+// that scales candidate enumeration to 100–4096-host grids. Unknown
+// kinds fail agent construction. Every heuristic is deterministic for a
+// fixed SelectorSpec, so scheduling stays reproducible.
+func WithSelector(spec SelectorSpec) AgentOption {
+	return func(c *coordConfig) { c.selector = spec }
+}
+
 // WithTracer attaches a decision-trace sink to the Coordinator: every
 // scheduling round emits structured events for the snapshot built, each
 // candidate evaluated/pruned/rejected, and the winner selected, plus
@@ -115,8 +126,10 @@ func WithMetrics(m *obs.Metrics) AgentOption {
 			evaluated:       m.Counter(obs.MetricCandidatesEvaluated),
 			pruned:          m.Counter(obs.MetricCandidatesPruned),
 			infeasible:      m.Counter(obs.MetricCandidatesInfeasible),
+			truncated:       m.Counter(obs.MetricSelectorTruncated),
 			roundLatency:    m.Histogram(obs.MetricRoundSeconds, nil),
 			snapshotLatency: m.Histogram(obs.MetricSnapshotSeconds, nil),
+			reg:             m,
 		}
 	}
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"iter"
+	"sort"
 
 	"apples/internal/grid"
 	"apples/internal/hat"
@@ -93,6 +95,9 @@ func NewPipelineAgent(tp *grid.Topology, tpl *hat.Template, spec *userspec.Spec,
 			opt(&cfg)
 		}
 	}
+	if err := cfg.selector.validate(); err != nil {
+		return nil, err
+	}
 	return &PipelineAgent{tp: tp, tpl: tpl, spec: spec, coord: cfg.Coordinator, opt: opt}, nil
 }
 
@@ -131,33 +136,73 @@ func (a *PipelineAgent) singleSitePrediction(info Information, h *grid.Host) (fl
 	return t / floorAvailability(info.Availability(h.Name)), nil
 }
 
-// round assembles the pipeline blueprint's Round: the US-filtered pool, a
-// Resource Selector enumerating every single machine followed by every
-// ordered producer/consumer pair, and an evaluator that parameterizes the
-// analytic model and tunes the transfer unit. Single-site mappings have
-// one host and Unit 0; pipeline mappings have [producer, consumer] and
-// the tuned unit. Every supported metric reduces to minimizing predicted
-// time here (speedup is bestSingle/t, monotone in t for a fixed
-// baseline), so Score is the predicted execution time. The blueprint has
-// no pruning bound, so Round.Bound is nil and WithPruning is a no-op.
-func (a *PipelineAgent) round() Round {
-	return Round{
-		Pool: a.spec.Filter(a.tp.Hosts()),
-		Bind: func(info Information, _ bool) (ResourceSelector, CandidateEvaluator, error) {
-			sel := ResourceSelectorFunc(func(pool []*grid.Host) [][]*grid.Host {
-				sets := make([][]*grid.Host, 0, len(pool)*len(pool))
-				for _, h := range pool {
-					sets = append(sets, []*grid.Host{h})
+// pipelinePairLimit bounds the quadratic pair family for heuristic
+// selector kinds: ordered pairs are drawn from the pairFactor×BeamWidth
+// most effective hosts (speed × forecast availability), which keeps
+// thousand-host pools tractable while singles still cover the full pool.
+const pipelinePairFactor = 4
+
+// pairSelector streams every single machine followed by ordered
+// producer/consumer pairs. The exhaustive kind enumerates every pair in
+// pool order — the same sequence the legacy slice selector returned;
+// heuristic kinds restrict the pair family to the top hosts by frozen
+// effective speed, name tie-break.
+func pairSelector(spec SelectorSpec, info Information) ResourceSelector {
+	limit := 0
+	if spec.Kind != SelectorExhaustive {
+		limit = pipelinePairFactor * spec.BeamWidth
+	}
+	return SelectorStreamFunc(func(pool []*grid.Host) iter.Seq[[]*grid.Host] {
+		pairPool := pool
+		if limit > 0 && len(pool) > limit {
+			pairPool = append([]*grid.Host(nil), pool...)
+			eff := make(map[string]float64, len(pool))
+			for _, h := range pool {
+				eff[h.Name] = h.Speed * floorAvailability(info.Availability(h.Name))
+			}
+			sort.SliceStable(pairPool, func(i, j int) bool {
+				if eff[pairPool[i].Name] != eff[pairPool[j].Name] {
+					return eff[pairPool[i].Name] > eff[pairPool[j].Name]
 				}
-				for _, p := range pool {
-					for _, c := range pool {
-						if p.Name != c.Name {
-							sets = append(sets, []*grid.Host{p, c})
-						}
+				return pairPool[i].Name < pairPool[j].Name
+			})
+			pairPool = pairPool[:limit]
+		}
+		return func(yield func([]*grid.Host) bool) {
+			for _, h := range pool {
+				if !yield([]*grid.Host{h}) {
+					return
+				}
+			}
+			for _, p := range pairPool {
+				for _, c := range pairPool {
+					if p.Name != c.Name && !yield([]*grid.Host{p, c}) {
+						return
 					}
 				}
-				return sets
-			})
+			}
+		}
+	})
+}
+
+// round assembles the pipeline blueprint's Round: the US-filtered pool, a
+// Resource Selector streaming every single machine followed by ordered
+// producer/consumer pairs (all of them under the exhaustive kind; pairs
+// among the most effective hosts under the heuristic kinds), and an
+// evaluator that parameterizes the analytic model and tunes the transfer
+// unit. Single-site mappings have one host and Unit 0; pipeline mappings
+// have [producer, consumer] and the tuned unit. Every supported metric
+// reduces to minimizing predicted time here (speedup is bestSingle/t,
+// monotone in t for a fixed baseline), so Score is the predicted
+// execution time. The blueprint has no pruning bound, so Round.Bound is
+// nil and WithPruning is a no-op.
+func (a *PipelineAgent) round() Round {
+	spec := a.coord.selector.normalized()
+	return Round{
+		Pool:     a.spec.Filter(a.tp.Hosts()),
+		Selector: string(spec.Kind),
+		Bind: func(info Information, _ bool) (ResourceSelector, CandidateEvaluator, error) {
+			sel := pairSelector(spec, info)
 
 			minU, maxU := a.tpl.PipelineUnitMin, a.tpl.PipelineUnitMax
 			if minU == 0 {

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled relaxes wall-clock budgets when the race detector's
+// instrumentation (typically 5-10x slowdown) is active.
+const raceEnabled = true

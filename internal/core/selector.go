@@ -1,6 +1,7 @@
 package core
 
 import (
+	"iter"
 	"math"
 	"sort"
 
@@ -11,6 +12,53 @@ import (
 // candidate sets). The paper's prototype considered "all subsets" of its 8
 // machines; beyond this we fall back to desirability prefixes.
 const maxExhaustiveHosts = 12
+
+// exhaustiveSelector adapts the all-subsets enumeration (and its legacy
+// re-querying twin) to the streaming ResourceSelector contract. The
+// enumeration itself stays eager — it is the work the select stage span
+// measures, and on exhaustive-size pools the whole list fits easily —
+// but consumers still pull sets one at a time, and the cap that
+// userspec.MaxResourceSets applies is reported through
+// TruncationReporter instead of silently shrinking the round.
+type exhaustiveSelector struct {
+	rs      *resourceSelector
+	maxSets int
+	// direct switches to candidatesDirect, the per-set re-querying path
+	// used when the per-round snapshot is disabled.
+	direct  bool
+	dropped int
+	capped  bool
+}
+
+// SelectSeq implements ResourceSelector.
+func (s *exhaustiveSelector) SelectSeq(pool []*grid.Host) iter.Seq[[]*grid.Host] {
+	s.dropped, s.capped = 0, false
+	var sets [][]*grid.Host
+	if s.direct {
+		sets = s.rs.candidatesDirect(pool, s.maxSets)
+	} else {
+		sets = s.rs.candidates(pool, s.maxSets)
+	}
+	if s.maxSets > 0 && len(pool) > 0 {
+		total := len(pool)
+		if len(pool) <= maxExhaustiveHosts {
+			total = 1<<len(pool) - 1
+		}
+		if total > len(sets) {
+			s.dropped, s.capped = total-len(sets), true
+		}
+	}
+	return func(yield func([]*grid.Host) bool) {
+		for _, set := range sets {
+			if !yield(set) {
+				return
+			}
+		}
+	}
+}
+
+// Truncated implements TruncationReporter.
+func (s *exhaustiveSelector) Truncated() (int, bool) { return s.dropped, s.capped }
 
 // resourceSelector implements the Resource Selector subsystem: it ranks
 // feasible hosts by deliverable performance, orders each candidate set so

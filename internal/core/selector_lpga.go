@@ -1,0 +1,190 @@
+package core
+
+import (
+	"iter"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"apples/internal/grid"
+)
+
+// LP/GA budget: population and generation counts sized so the selector
+// explores a few hundred memberships — well under the exhaustive 2^12
+// wall it replaces, well over what the gap bounds need.
+const (
+	lpgaPopulation  = 24
+	lpgaGenerations = 16
+	lpgaElite       = 2
+	// lpgaGeneHosts caps the genome: the GA refines membership among the
+	// top-ranked hosts (a 64-bit mask), while the LP threshold sweep
+	// still yields prefixes of every ladder size over the full pool.
+	lpgaGeneHosts = 64
+)
+
+// lpgaSelector is the LP-relaxation-seeded genetic selector, after Garg
+// et al.'s LP-driven GA for utility-grid meta-scheduling: a continuous
+// relaxation of host selection is approximated by sweeping a threshold
+// down the desirability ranking (every prefix is priced under the
+// surrogate objective and yielded); the fractional solution around the
+// best threshold k* then seeds a small GA — probabilistic rounding for
+// the initial population, tournament selection, uniform crossover,
+// per-bit mutation, elitism — whose every new individual is yielded as
+// a candidate. All randomness flows from one seeded PRNG, so equal
+// seeds enumerate identical candidate sequences.
+type lpgaSelector struct {
+	rs      *resourceSelector
+	seed    int64
+	maxSets int
+	truncation
+}
+
+// SelectSeq implements ResourceSelector.
+func (g *lpgaSelector) SelectSeq(pool []*grid.Host) iter.Seq[[]*grid.Host] {
+	g.truncation = truncation{}
+	m := buildSelModel(g.rs, pool)
+	return func(yield func([]*grid.Host) bool) {
+		if m.n == 0 {
+			return
+		}
+		stopped := false
+		yielded := make(map[string]bool)
+		emitted := 0
+		emit := func(s *selState) bool {
+			if stopped || yielded[s.key()] {
+				return !stopped
+			}
+			yielded[s.key()] = true
+			if g.maxSets > 0 && emitted >= g.maxSets {
+				g.dropped++
+				g.capped = true
+				return true
+			}
+			emitted++
+			if !yield(m.chain(s.idxs)) {
+				stopped = true
+			}
+			return !stopped
+		}
+
+		// LP threshold sweep: price every prefix of the desirability
+		// ranking and yield it; the best one fixes the threshold k*.
+		prefix := newSelState(m.n)
+		next := 0
+		bestK, bestF := 1, 0.0
+		for _, size := range prefixSizes(m.n) {
+			for len(prefix.idxs) < size {
+				m.add(prefix, m.rank[next])
+				next++
+			}
+			if f := m.score(prefix); size == 1 || f < bestF {
+				bestK, bestF = size, f
+			}
+			if !emit(prefix.clone()) {
+				return
+			}
+		}
+
+		// Fractional solution: hosts above the threshold are fully in
+		// (x=1); below it, membership decays with the desirability ratio
+		// to the marginal host — the rounding probabilities for the GA's
+		// initial population.
+		genes := min(m.n, lpgaGeneHosts)
+		x := make([]float64, genes)
+		marginal := m.des[m.rank[bestK-1]]
+		for p := 0; p < genes; p++ {
+			switch {
+			case p < bestK:
+				x[p] = 1
+			case marginal <= 0:
+				x[p] = 0.05
+			default:
+				frac := 0.5 * m.des[m.rank[p]] / marginal
+				if frac < 0.05 {
+					frac = 0.05
+				}
+				x[p] = frac
+			}
+		}
+
+		rng := rand.New(rand.NewSource(g.seed))
+		type indiv struct {
+			mask uint64
+			f    float64
+		}
+		stateOf := func(mask uint64) *selState {
+			s := newSelState(m.n)
+			for p := 0; p < genes; p++ {
+				if mask&(1<<uint(p)) != 0 {
+					m.add(s, m.rank[p])
+				}
+			}
+			return s
+		}
+		fitness := func(mask uint64) float64 { return m.score(stateOf(mask)) }
+
+		pop := make([]indiv, 0, lpgaPopulation)
+		for len(pop) < lpgaPopulation {
+			var mask uint64
+			for p := 0; p < genes; p++ {
+				if rng.Float64() < x[p] {
+					mask |= 1 << uint(p)
+				}
+			}
+			if mask == 0 {
+				mask = 1
+			}
+			pop = append(pop, indiv{mask, fitness(mask)})
+			if s := stateOf(mask); !emit(s) {
+				return
+			}
+		}
+		rankPop := func() {
+			sort.SliceStable(pop, func(a, b int) bool {
+				if pop[a].f != pop[b].f {
+					return pop[a].f < pop[b].f
+				}
+				return pop[a].mask < pop[b].mask
+			})
+		}
+		tournament := func() indiv {
+			a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+			if b.f < a.f {
+				return b
+			}
+			return a
+		}
+		for gen := 0; gen < lpgaGenerations; gen++ {
+			rankPop()
+			nextPop := append([]indiv(nil), pop[:lpgaElite]...)
+			for len(nextPop) < lpgaPopulation {
+				p1, p2 := tournament(), tournament()
+				var cross uint64
+				for p := 0; p < genes; p++ {
+					if rng.Float64() < 0.5 {
+						cross |= 1 << uint(p)
+					}
+				}
+				child := (p1.mask & cross) | (p2.mask &^ cross)
+				for p := 0; p < genes; p++ {
+					if rng.Float64() < 1.0/float64(genes) {
+						child ^= 1 << uint(p)
+					}
+				}
+				if child == 0 {
+					child = p1.mask | p2.mask
+					if child == 0 {
+						child = 1
+					}
+				}
+				nextPop = append(nextPop, indiv{child, fitness(child)})
+				if bits.OnesCount64(child) > 0 {
+					if s := stateOf(child); !emit(s) {
+						return
+					}
+				}
+			}
+			pop = nextPop
+		}
+	}
+}

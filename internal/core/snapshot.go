@@ -149,3 +149,111 @@ func (s *InfoSnapshot) RouteLatency(a, b string) float64 {
 
 // Source names the underlying source as of snapshot time.
 func (s *InfoSnapshot) Source() string { return s.source }
+
+// lazySnapshotThreshold is the pool size past which a scheduling round
+// freezes per-link values instead of materializing every ordered pair:
+// at p hosts the full snapshot stores 2·p·(p−1) route values, which at
+// 2048 hosts is ~8.4M map entries per round — far more than any
+// heuristic selector will ever read.
+const lazySnapshotThreshold = 64
+
+// infoView is what a scheduling round evaluates against: a frozen
+// Information source that can report what building it cost.
+type infoView interface {
+	Information
+	Stats() SnapshotStats
+}
+
+// snapshotInformation resolves the information view for one scheduling
+// round. Pools up to lazySnapshotThreshold hosts get the fully
+// materialized InfoSnapshot; larger pools over a route-batching source
+// get a linkSnapshot, which freezes one availability per host and one
+// bandwidth per link and composes route values on demand — the same
+// values bit for bit (both paths reduce per-link bandwidth in route
+// order with the same seed and comparison), at O(hosts + links) source
+// queries instead of O(hosts²).
+func snapshotInformation(info Information, hosts []string) infoView {
+	if len(hosts) > lazySnapshotThreshold {
+		if rb, ok := info.(routeBatcher); ok {
+			return newLinkSnapshot(info, rb, hosts)
+		}
+	}
+	return SnapshotInformation(info, hosts)
+}
+
+// linkSnapshot is the large-pool information view: per-host availability
+// and per-link bandwidth are frozen eagerly; per-pair route values are
+// composed on demand by walking the topology's precomputed routes over
+// the frozen link map. All maps are read-only after construction, so
+// parallel evaluation workers share it exactly like an InfoSnapshot.
+type linkSnapshot struct {
+	tp     *grid.Topology
+	avail  map[string]float64
+	linkBW map[*grid.Link]float64
+	source string
+	base   Information
+	stats  SnapshotStats
+}
+
+func newLinkSnapshot(info Information, rb routeBatcher, hosts []string) *linkSnapshot {
+	s := &linkSnapshot{
+		tp:     rb.routeTopology(),
+		avail:  make(map[string]float64, len(hosts)),
+		source: info.Source(),
+		base:   info,
+	}
+	for _, h := range hosts {
+		s.avail[h] = info.Availability(h)
+	}
+	links := s.tp.Links()
+	s.linkBW = make(map[*grid.Link]float64, len(links))
+	for _, l := range links {
+		s.linkBW[l] = rb.linkBandwidth(l)
+	}
+	// Pairs stays 0: nothing pairwise is materialized up front.
+	s.stats = SnapshotStats{Hosts: len(hosts), SourceQueries: len(hosts) + len(links)}
+	return s
+}
+
+// Stats reports how the snapshot was built (Pairs is 0: route values are
+// composed lazily).
+func (s *linkSnapshot) Stats() SnapshotStats { return s.stats }
+
+// Availability implements Information from the frozen map.
+func (s *linkSnapshot) Availability(host string) float64 {
+	if v, ok := s.avail[host]; ok {
+		return v
+	}
+	return s.base.Availability(host)
+}
+
+// RouteBandwidth implements Information: the bottleneck min over the
+// route's frozen link bandwidths, seeded at 1e30 like every source.
+func (s *linkSnapshot) RouteBandwidth(a, b string) float64 {
+	if a == b {
+		return s.base.RouteBandwidth(a, b)
+	}
+	bw := 1e30
+	for _, l := range s.tp.Route(a, b) {
+		if v, ok := s.linkBW[l]; ok && v < bw {
+			bw = v
+		}
+	}
+	return bw
+}
+
+// RouteLatency implements Information: latencies are static link
+// properties for every built-in source, so the sum needs no freezing.
+func (s *linkSnapshot) RouteLatency(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	lat := 0.0
+	for _, l := range s.tp.Route(a, b) {
+		lat += l.Latency
+	}
+	return lat
+}
+
+// Source names the underlying source as of snapshot time.
+func (s *linkSnapshot) Source() string { return s.source }

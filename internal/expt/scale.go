@@ -126,6 +126,19 @@ func NewScaleAgent(clusters, per, n int, seed int64, opts ...core.AgentOption) (
 		core.NWSInformation(svc, tp), opts...)
 }
 
+// NewGridAgent builds a dedicated (quiet, oracle-informed)
+// cluster-of-clusters scheduling scenario. It exists for the selector
+// benchmarks and smoke tests on grid-scale pools, where NWS warmup
+// would dominate setup cost without changing what is measured.
+func NewGridAgent(clusters, per, n int, seed int64, opts ...core.AgentOption) (*core.Agent, error) {
+	eng := sim.NewEngine()
+	tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{
+		Clusters: clusters, PerCluster: per, Seed: seed, Quiet: true,
+	})
+	return core.NewAgent(tp, hat.Jacobi2D(n, 40), &userspec.Spec{Decomposition: "strip"},
+		core.OracleInformation(tp), opts...)
+}
+
 // NewScalePipelineAgent builds a warmed pipeline-scheduling scenario for
 // latency measurements and benchmarks: the same cluster-of-clusters
 // metacomputer as NewScaleAgent, but driving the pipeline blueprint with

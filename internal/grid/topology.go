@@ -3,6 +3,7 @@ package grid
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"apples/internal/load"
 	"apples/internal/sim"
@@ -25,7 +26,21 @@ type Topology struct {
 	net       *network
 	routes    map[[2]string][]*Link
 	finalized bool
+
+	// Large-topology route tables (built instead of `routes` when the
+	// host count exceeds maxExactRouteHosts): hosts attached to the same
+	// link set form an attachment class and share routes, so one BFS per
+	// class replaces one per ordered pair.
+	classOf     map[string]int       // host name -> attachment class
+	classRoutes []map[string][]*Link // class -> destination host -> path
+	classLinks  [][]*Link            // class -> single-segment intra-class path
 }
+
+// maxExactRouteHosts bounds the per-pair BFS precompute in Finalize.
+// Beyond it, routes are derived from one BFS per attachment class —
+// still minimum-hop and deterministic, but O(classes·nodes) instead of
+// O(hosts²·nodes), which is what makes 1000+-host topologies buildable.
+const maxExactRouteHosts = 64
 
 // NewTopology returns an empty topology running on eng.
 func NewTopology(eng *sim.Engine) *Topology {
@@ -134,14 +149,20 @@ func (tp *Topology) Attach(node string, link *Link) {
 }
 
 // Finalize computes all-pairs routes. It must be called once, before the
-// simulation advances, and panics if any host pair is unreachable.
+// simulation advances, and panics if any host pair is unreachable. Small
+// topologies (≤ maxExactRouteHosts hosts) run one BFS per ordered pair;
+// larger ones derive routes from one BFS per attachment class.
 func (tp *Topology) Finalize() {
 	if tp.finalized {
 		panic("grid: Finalize called twice")
 	}
 	tp.finalized = true
-	tp.routes = make(map[[2]string][]*Link)
 	names := tp.HostNames()
+	if len(names) > maxExactRouteHosts {
+		tp.finalizeByClass(names)
+		return
+	}
+	tp.routes = make(map[[2]string][]*Link)
 	for _, a := range names {
 		for _, b := range names {
 			if a == b {
@@ -154,6 +175,98 @@ func (tp *Topology) Finalize() {
 			tp.routes[[2]string{a, b}] = r
 		}
 	}
+}
+
+// finalizeByClass builds the large-topology route tables: hosts with an
+// identical attached-link set see the network from the same point, so a
+// single BFS from one class representative yields the routes for every
+// member. Same-class pairs are one shared segment apart; the path is the
+// lexically first attached link, independent of which member represents
+// the class.
+func (tp *Topology) finalizeByClass(hosts []string) {
+	// Link membership, hoisted out of the per-source BFS (deterministic
+	// order: nodes sorted by name, links in attach order).
+	members := make(map[*Link][]string)
+	nodes := make([]string, 0, len(tp.attach))
+	for n := range tp.attach {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		for _, l := range tp.attach[n] {
+			members[l] = append(members[l], n)
+		}
+	}
+	tp.classOf = make(map[string]int, len(hosts))
+	classIdx := make(map[string]int)
+	var reps []string
+	for _, h := range hosts {
+		ls := make([]string, len(tp.attach[h]))
+		for i, l := range tp.attach[h] {
+			ls[i] = l.Name
+		}
+		sort.Strings(ls)
+		key := strings.Join(ls, "\x00")
+		id, ok := classIdx[key]
+		if !ok {
+			id = len(reps)
+			classIdx[key] = id
+			reps = append(reps, h)
+		}
+		tp.classOf[h] = id
+	}
+	hostSet := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		hostSet[h] = true
+	}
+	tp.classRoutes = make([]map[string][]*Link, len(reps))
+	tp.classLinks = make([][]*Link, len(reps))
+	for id, rep := range reps {
+		att := append([]*Link(nil), tp.attach[rep]...)
+		sort.Slice(att, func(i, j int) bool { return att[i].Name < att[j].Name })
+		if len(att) > 0 {
+			tp.classLinks[id] = att[:1]
+		}
+		tp.classRoutes[id] = tp.bfsTree(rep, members, hostSet)
+		if len(tp.classRoutes[id])+1 < len(hosts) {
+			for _, b := range hosts {
+				if b != rep && tp.classRoutes[id][b] == nil {
+					panic(fmt.Sprintf("grid: no route between %q and %q", rep, b))
+				}
+			}
+		}
+	}
+}
+
+// bfsTree runs one minimum-hop BFS from a source node and records the
+// link path to every reachable host — the same traversal order as
+// bfsRoute, but answering all destinations in one pass.
+func (tp *Topology) bfsTree(from string, members map[*Link][]string, hostSet map[string]bool) map[string][]*Link {
+	type state struct {
+		node string
+		path []*Link
+	}
+	out := make(map[string][]*Link)
+	visited := map[string]bool{from: true}
+	queue := []state{{node: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, l := range tp.attach[cur.node] {
+			for _, next := range members[l] {
+				if visited[next] {
+					continue
+				}
+				visited[next] = true
+				path := append(append([]*Link(nil), cur.path...), l)
+				if hostSet[next] {
+					out[next] = path
+				}
+				queue = append(queue, state{node: next, path: path})
+			}
+		}
+	}
+	return out
 }
 
 // bfsRoute finds the minimum-hop link path between two nodes via BFS over
@@ -269,7 +382,24 @@ func (tp *Topology) Route(a, b string) []*Link {
 	if !tp.finalized {
 		panic("grid: Route before Finalize")
 	}
-	return tp.routes[[2]string{a, b}]
+	if tp.routes != nil {
+		return tp.routes[[2]string{a, b}]
+	}
+	if a == b {
+		return nil
+	}
+	ca, ok := tp.classOf[a]
+	if !ok {
+		return nil
+	}
+	cb, ok := tp.classOf[b]
+	if !ok {
+		return nil
+	}
+	if ca == cb {
+		return tp.classLinks[ca]
+	}
+	return tp.classRoutes[ca][b]
 }
 
 // Send transfers sizeMB from host a to host b; done fires on completion.

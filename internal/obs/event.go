@@ -43,6 +43,11 @@ const (
 	// pinned: snapshot, select, plan_estimate (after the candidate
 	// events), reduce (after the winner event).
 	EvSpan EventType = "span"
+	// EvTruncated: the Resource Selector capped its enumeration (e.g.
+	// MaxResourceSets) — Considered is how many sets were emitted and
+	// Dropped how many the cap cut. Without this event a capped round is
+	// indistinguishable from one that genuinely had fewer candidates.
+	EvTruncated EventType = "selector_truncated"
 )
 
 // Event is one structured record in a decision trace. It is a flat
@@ -72,6 +77,9 @@ type Event struct {
 	Incumbent  float64  `json:"incumbent,omitempty"`
 	Considered int      `json:"considered,omitempty"`
 	Planned    int      `json:"planned,omitempty"`
+	// Dropped is how many candidate sets a selector cap cut from the
+	// enumeration (EvTruncated only).
+	Dropped int `json:"dropped,omitempty"`
 
 	// Span fields. Stage names the timed phase of the round; Seconds is
 	// its measured wall-time under the span's clock.

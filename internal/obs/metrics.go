@@ -20,6 +20,14 @@ const (
 	MetricCandidatesInfeasible = "sched_candidates_infeasible_total"
 	MetricRoundSeconds         = "sched_round_seconds"
 	MetricSnapshotSeconds      = "sched_snapshot_seconds"
+	// MetricCandidates is the base name of the per-selector candidate
+	// counter family; concrete series carry a selector label in the
+	// registry key, e.g. `sched_candidates_total{selector="greedy"}`
+	// (see NameWithLabels).
+	MetricCandidates = "sched_candidates_total"
+	// MetricSelectorTruncated counts rounds whose selector capped its
+	// enumeration (the EvTruncated trace event).
+	MetricSelectorTruncated = "sched_selector_truncated_total"
 	// Sensing (nws.Service).
 	MetricBankUpdates  = "nws_bank_updates_total"
 	MetricSensorSweeps = "nws_sensor_sweeps_total"
