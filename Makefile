@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-selector bench-nws bench-json tables clean
+.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-selector bench-resched bench-nws bench-json tables clean
 
 all: build vet test
 
@@ -47,6 +47,12 @@ bench-pipeline:
 # under exhaustive, greedy, beam, and LP+GA selection.
 bench-selector:
 	$(GO) test -bench=BenchmarkSelect -benchmem -benchtime=3x -run '^$$' .
+
+# Delta-aware rescheduling loop: full per-tick round vs session cold
+# start vs one-host delta vs quiescent steady state (which must report
+# 0 allocs/op — the gate TestSessionSteadyStateAllocFree enforces).
+bench-resched:
+	$(GO) test -bench=BenchmarkResched -benchmem -benchtime=3x -run '^$$' .
 
 # NWS sensing hot path: bank update sweep (window x legacy/incremental)
 # and full-service sweep cost at 100/1k/10k watched series.

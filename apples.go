@@ -260,6 +260,26 @@ var ParseSelector = core.ParseSelector
 // SnapshotInformation freezes an Information source over a host set.
 var SnapshotInformation = core.SnapshotInformation
 
+// Delta-aware rescheduling (the kHz-rate loop).
+type (
+	// ReschedSession is the incremental form of Agent.Schedule for
+	// applications that re-ask the scheduling question at high rates: it
+	// freezes the candidate universe once (bitmasks over the pool
+	// ordering), then each Round() re-plans only candidates touched by
+	// changed hosts or links, carrying the incumbent forward. A round
+	// that observes no change is allocation-free. Create one with
+	// Agent.NewReschedSession(n).
+	ReschedSession = core.ReschedSession
+	// DeltaStats describes what one session round did: hosts/links
+	// changed, candidates rescored vs considered, incumbent carried.
+	DeltaStats = core.DeltaStats
+)
+
+// NewOverlayInformation layers a live per-host availability override map
+// on an Information source — the driver for delta-rescheduling tests,
+// benchmarks, and churn experiments.
+var NewOverlayInformation = core.NewOverlayInformation
+
 // Observability: decision traces and metrics (internal/obs). A nil
 // Tracer or Metrics means "off" and costs the instrumented hot paths a
 // single pointer check.

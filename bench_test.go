@@ -116,6 +116,117 @@ func BenchmarkSelect(b *testing.B) {
 	}
 }
 
+// BenchmarkResched measures the delta-aware rescheduling session
+// against the full per-tick blueprint round it replaces — the kHz-rate
+// loop of a long-running application re-asking "is my placement still
+// right?" every simulated second. "full" rebuilds snapshot + selection
+// + plan/estimate per tick (the old Rescheduler path); "cold" pays
+// session construction plus a first full round each iteration;
+// "delta1" perturbs one host's availability through a live overlay
+// between ticks, so the session re-plans only the candidate sets that
+// host touches; "nodelta" is the quiescent steady state, which must
+// run allocation-free (gated by TestSessionSteadyStateAllocFree). The
+// 512-host variant drives the chunked-bitmask/lazy-link path under the
+// greedy selector.
+func BenchmarkResched(b *testing.B) {
+	const n = 2000
+	b.Run("12host/full", func(b *testing.B) {
+		agent, _, err := expt.NewReschedScenario(3, 4, n, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := agent.Schedule(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("12host/cold", func(b *testing.B) {
+		agent, _, err := expt.NewReschedScenario(3, 4, n, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sess, err := agent.NewReschedSession(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := sess.Round(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("12host/delta1", func(b *testing.B) {
+		agent, overlay, err := expt.NewReschedScenario(3, 4, n, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := agent.NewReschedSession(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sess.Round(); err != nil {
+			b.Fatal(err)
+		}
+		host := sess.Pool()[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			overlay[host] = 0.3 + 0.1*float64(i%2)
+			if _, _, err := sess.Round(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("12host/nodelta", func(b *testing.B) {
+		agent, _, err := expt.NewReschedScenario(3, 4, n, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := agent.NewReschedSession(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sess.Round(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sess.Round(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("512host/greedy-delta1", func(b *testing.B) {
+		agent, overlay, err := expt.NewGridReschedScenario(32, 16, 4000, 7,
+			core.WithSelector(core.SelectorSpec{Kind: core.SelectorGreedy}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := agent.NewReschedSession(4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sess.Round(); err != nil {
+			b.Fatal(err)
+		}
+		host := sess.Pool()[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			overlay[host] = 0.3 + 0.1*float64(i%2)
+			if _, _, err := sess.Round(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPipelineEvaluate sweeps the pipeline blueprint's evaluation
 // across pool sizes and worker-pool widths on the same warmed
 // cluster-of-clusters scenarios as BenchmarkEvaluate. A pool of h hosts

@@ -37,6 +37,7 @@ type sweep struct {
 var sweeps = []sweep{
 	{Package: ".", Pattern: "^BenchmarkEvaluate$"},
 	{Package: ".", Pattern: "^BenchmarkSelect$"},
+	{Package: ".", Pattern: "^BenchmarkResched$"},
 	{Package: "./internal/nws", Pattern: "^BenchmarkBankUpdate$"},
 }
 

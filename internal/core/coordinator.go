@@ -176,6 +176,12 @@ type roundMetrics struct {
 	infeasible *obs.Counter
 	truncated  *obs.Counter
 
+	// Delta-aware session rounds (ReschedSession): the fraction of the
+	// frozen universe re-scored last round, and the running re-score
+	// total.
+	deltaRatio *obs.Gauge
+	rescored   *obs.Counter
+
 	roundLatency    *obs.Histogram
 	snapshotLatency *obs.Histogram
 

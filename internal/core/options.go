@@ -127,6 +127,8 @@ func WithMetrics(m *obs.Metrics) AgentOption {
 			pruned:          m.Counter(obs.MetricCandidatesPruned),
 			infeasible:      m.Counter(obs.MetricCandidatesInfeasible),
 			truncated:       m.Counter(obs.MetricSelectorTruncated),
+			deltaRatio:      m.Gauge(obs.MetricRoundDeltaRatio),
+			rescored:        m.Counter(obs.MetricCandidatesRescored),
 			roundLatency:    m.Histogram(obs.MetricRoundSeconds, nil),
 			snapshotLatency: m.Histogram(obs.MetricSnapshotSeconds, nil),
 			reg:             m,

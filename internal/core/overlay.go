@@ -1,0 +1,54 @@
+package core
+
+import "apples/internal/grid"
+
+// overlayInfo layers per-host availability overrides on top of another
+// Information source. Hosts present in the override map report the
+// overridden availability; every other query passes through to the
+// base. It exists so tests, benchmarks, and churn experiments can
+// perturb a few hosts between scheduling rounds without rebuilding the
+// underlying forecaster bank — exactly the small-delta regime the
+// delta-aware ReschedSession is built for.
+type overlayInfo struct {
+	base  Information
+	avail map[string]float64
+}
+
+func (o *overlayInfo) Availability(host string) float64 {
+	if v, ok := o.avail[host]; ok {
+		return v
+	}
+	return o.base.Availability(host)
+}
+
+func (o *overlayInfo) RouteBandwidth(a, b string) float64 { return o.base.RouteBandwidth(a, b) }
+func (o *overlayInfo) RouteLatency(a, b string) float64   { return o.base.RouteLatency(a, b) }
+func (o *overlayInfo) Source() string                     { return o.base.Source() + "+overlay" }
+
+// overlayBatchInfo additionally forwards the batched route-resolution
+// fast path when the base supports it. The promotion cannot happen
+// through interface embedding (routeBatcher is unexported and embedded
+// Information values do not satisfy it), so NewOverlayInformation picks
+// the variant explicitly.
+type overlayBatchInfo struct {
+	overlayInfo
+	rb routeBatcher
+}
+
+func (o *overlayBatchInfo) routeTopology() *grid.Topology      { return o.rb.routeTopology() }
+func (o *overlayBatchInfo) linkBandwidth(l *grid.Link) float64 { return o.rb.linkBandwidth(l) }
+
+// NewOverlayInformation returns an Information source that reports the
+// availabilities in avail for the named hosts and defers every other
+// query to base. The map is referenced, not copied: mutating it between
+// rounds changes what subsequent rounds observe, which makes it the
+// natural driver for delta-parity tests and steady-state resched
+// benchmarks. The returned source preserves the base's batched link
+// resolution when present, so snapshot costs do not regress.
+func NewOverlayInformation(base Information, avail map[string]float64) Information {
+	o := overlayInfo{base: base, avail: avail}
+	if rb, ok := base.(routeBatcher); ok {
+		return &overlayBatchInfo{overlayInfo: o, rb: rb}
+	}
+	return &o
+}

@@ -60,16 +60,45 @@ func (a *Agent) Rescheduler(n int, hysteresis float64) jacobi.ReplanFunc {
 		return nil
 	}
 
+	// The delta-aware session freezes the candidate universe at the first
+	// checkpoint and from then on re-scores only candidates whose
+	// forecasts changed, instead of rebuilding a full snapshot and
+	// re-enumerating per checkpoint. Construction is deferred so the pool
+	// reflects run-time state; a construction failure is sticky and the
+	// policy falls back to full blueprint rounds for the whole run.
+	var (
+		sess     *ReschedSession
+		sessErr  error
+		sessInit bool
+	)
+
 	return func(done int, current *partition.Placement) *partition.Placement {
 		remaining := totalIters - done
 		if remaining <= 0 {
 			return nil
 		}
-		fresh, err := a.Schedule(n)
+		if !sessInit {
+			sessInit = true
+			sess, sessErr = a.NewReschedSession(n)
+		}
+		var (
+			fresh *Schedule
+			err   error
+		)
+		if sessErr == nil {
+			fresh, _, err = sess.Round()
+		} else {
+			fresh, err = a.Schedule(n)
+		}
 		if err != nil {
 			return keep("no-fresh-schedule", 0, 0, 0, 0)
 		}
-		curIter, err := a.EstimatePlacement(n, current)
+		var curIter float64
+		if sessErr == nil {
+			curIter, err = sess.EstimatePlacement(current)
+		} else {
+			curIter, err = a.EstimatePlacement(n, current)
+		}
 		if err != nil {
 			return keep("estimate-failed", 0, fresh.PredictedIterTime, 0, 0)
 		}

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"apples/internal/partition"
+)
+
+// sessionScratch is the ReschedSession's reusable working memory: every
+// buffer the per-candidate solve touches, sized once at construction so
+// the steady-state path never allocates. Buffer ownership rule: scratch
+// belongs to the session and is overwritten by every chainFor/solveChain
+// call; nothing the session returns to callers aliases it (materialized
+// schedules copy what they need).
+type sessionScratch struct {
+	eff      []float64 // deliverable speed per pool index (raw availability)
+	effOrder []int     // pool indices by eff desc, name asc
+
+	touched     []uint64 // hosts whose inputs changed this round
+	linkTouched []uint64 // hosts reached through changed links
+
+	members []int // candidate members in eff-seed order
+	chain   []int // strip-chain order (pool indices)
+	rem     []int // greedy nearest-neighbor worklist
+
+	// Per chain position, the planner/balancer columns.
+	secPP      []float64
+	commSec    []float64
+	maxPts     []float64
+	relaxedMax []float64
+	area       []float64
+	state      []int
+	rows       []int
+
+	// Largest-remainder rounding worklists.
+	lrIdx []int
+	lrRem []float64
+
+	// Site-aware chain (large heuristic pools): first-appearance rank per
+	// site id, invalidated by epoch instead of clearing.
+	siteFirst []int
+	siteEpoch []int
+	epoch     int
+
+	effSort  effSorter
+	fracSort fracSorter
+	siteSort siteSorter
+}
+
+func (scr *sessionScratch) init(np, words int) {
+	scr.eff = make([]float64, np)
+	scr.effOrder = make([]int, np)
+	scr.touched = make([]uint64, words)
+	scr.linkTouched = make([]uint64, words)
+	scr.members = make([]int, np)
+	scr.chain = make([]int, np)
+	scr.rem = make([]int, np)
+	scr.secPP = make([]float64, np)
+	scr.commSec = make([]float64, np)
+	scr.maxPts = make([]float64, np)
+	scr.relaxedMax = make([]float64, np)
+	scr.area = make([]float64, np)
+	scr.state = make([]int, np)
+	scr.rows = make([]int, np)
+	scr.lrIdx = make([]int, np)
+	scr.lrRem = make([]float64, np)
+}
+
+// effSorter orders pool indices by deliverable speed descending, name
+// ascending — the chain seed order of orderChain and selModel. It is a
+// pre-stored sort.Interface value so the hot path avoids the closure
+// allocation of sort.Slice; the comparator is a total order, so any
+// correct sort yields the same permutation the closures would.
+type effSorter struct {
+	idx   []int
+	eff   []float64
+	names []string
+}
+
+func (s *effSorter) Len() int      { return len(s.idx) }
+func (s *effSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *effSorter) Less(i, j int) bool {
+	a, b := s.idx[i], s.idx[j]
+	if s.eff[a] != s.eff[b] {
+		return s.eff[a] > s.eff[b]
+	}
+	return s.names[a] < s.names[b]
+}
+
+// fracSorter orders largest-remainder fractions descending, index
+// ascending — partition.largestRemainder's total order.
+type fracSorter struct {
+	idx []int
+	rem []float64
+}
+
+func (s *fracSorter) Len() int { return len(s.idx) }
+func (s *fracSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.rem[i], s.rem[j] = s.rem[j], s.rem[i]
+}
+func (s *fracSorter) Less(i, j int) bool {
+	if s.rem[i] != s.rem[j] {
+		return s.rem[i] > s.rem[j]
+	}
+	return s.idx[i] < s.idx[j]
+}
+
+// siteSorter stably orders members by their site's first appearance in
+// the eff ranking — selModel.chain's large-pool layout. Used with
+// sort.Stable only: the comparator is not total, and stability is what
+// pins the permutation to sort.SliceStable's.
+type siteSorter struct {
+	idx    []int
+	siteID []int
+	first  []int
+}
+
+func (s *siteSorter) Len() int      { return len(s.idx) }
+func (s *siteSorter) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *siteSorter) Less(i, j int) bool {
+	return s.first[s.siteID[s.idx[i]]] < s.first[s.siteID[s.idx[j]]]
+}
+
+// routeBW composes pair (i,j)'s bandwidth: the frozen pair array when
+// present, otherwise the bottleneck min over frozen link bandwidths in
+// route order (linkSnapshot's composition, bit for bit).
+func (s *ReschedSession) routeBW(i, j int) float64 {
+	if s.pairArrays {
+		return s.pairBW[i*len(s.pool)+j]
+	}
+	bw := 1e30
+	for _, l := range s.rtp.Route(s.names[i], s.names[j]) {
+		if li, ok := s.linkIdx[l]; ok && s.linkBW[li] < bw {
+			bw = s.linkBW[li]
+		}
+	}
+	return bw
+}
+
+// routeLat composes pair (i,j)'s latency: frozen pair array or the sum
+// of static link latencies in route order.
+func (s *ReschedSession) routeLat(i, j int) float64 {
+	if s.pairArrays {
+		return s.pairLat[i*len(s.pool)+j]
+	}
+	lat := 0.0
+	for _, l := range s.rtp.Route(s.names[i], s.names[j]) {
+		lat += l.Latency
+	}
+	return lat
+}
+
+// costAt is the chain transfer cost between pool indices: latency plus
+// seconds per nominal MB on the (floored) route bandwidth — the value
+// orderChain and selModel.cost compute.
+func (s *ReschedSession) costAt(i, j int) float64 {
+	if s.pairArrays {
+		return s.cost[i*len(s.pool)+j]
+	}
+	bw := s.routeBW(i, j)
+	if bw <= 0 {
+		bw = 1e-6
+	}
+	return s.routeLat(i, j) + 1.0/bw
+}
+
+// chainFor lays candidate mask out as a strip chain into scr.chain and
+// returns its length: members filtered from the eff order, then greedy
+// nearest-neighbor by transfer cost (orderChain / exhaustive-selector
+// layout) or, for large heuristic pools, the site-aware stable order
+// (selModel.chain layout).
+func (s *ReschedSession) chainFor(mask []uint64) int {
+	scr := &s.scr
+	k := 0
+	for _, idx := range scr.effOrder {
+		if maskTest(mask, idx) {
+			scr.members[k] = idx
+			k++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	if k == 1 {
+		scr.chain[0] = scr.members[0]
+		return 1
+	}
+	if s.siteChain {
+		scr.epoch++
+		rank := 0
+		for i := 0; i < k; i++ {
+			sid := s.siteID[scr.members[i]]
+			if scr.siteEpoch[sid] != scr.epoch {
+				scr.siteEpoch[sid] = scr.epoch
+				scr.siteFirst[sid] = rank
+				rank++
+			}
+		}
+		copy(scr.chain[:k], scr.members[:k])
+		scr.siteSort.idx = scr.chain[:k]
+		sort.Stable(&scr.siteSort)
+		return k
+	}
+	cur := scr.members[0]
+	scr.chain[0] = cur
+	rem := scr.rem[:k-1]
+	copy(rem, scr.members[1:k])
+	pos := 1
+	for len(rem) > 0 {
+		bestI, bestCost := 0, math.Inf(1)
+		for i, idx := range rem {
+			if c := s.costAt(cur, idx); c < bestCost || (c == bestCost && s.names[idx] < s.names[rem[bestI]]) {
+				bestI, bestCost = i, c
+			}
+		}
+		cur = rem[bestI]
+		scr.chain[pos] = cur
+		pos++
+		rem = append(rem[:bestI], rem[bestI+1:]...)
+	}
+	return k
+}
+
+// solveChain runs the fused Planner+Estimator over scr.chain[:k]: the
+// strip cost model, the time-balance solve with drop/cap iteration and
+// capacity relaxation, largest-remainder rounding, and the estimator's
+// spill-priced iteration time. It mirrors planner.costsFor,
+// partition.TimeBalanced, and estimator.iterTime operation for
+// operation (same association order, same comparisons, same tie-breaks)
+// so results are bit-identical to the allocating path; any condition
+// those return an error for reports ok=false here. Results land in
+// scratch: scr.rows holds the row counts materialize reads.
+func (s *ReschedSession) solveChain(k int) (iterT float64, ok bool) {
+	scr := &s.scr
+	n := s.n
+	edge := float64(n) * s.borderBytes / 1e6
+	for i := 0; i < k; i++ {
+		h := scr.chain[i]
+		avail := floorAvailability(s.avail[h])
+		speed := s.speed[h] * avail * s.factor[h]
+		if speed <= 0 {
+			return 0, false
+		}
+		scr.secPP[i] = s.flopPerUnit / 1e6 / speed
+		comm := 0.0
+		if i > 0 {
+			p := scr.chain[i-1]
+			bw := s.routeBW(h, p)
+			if bw <= 0 {
+				bw = 1e-6
+			}
+			comm += 2 * (s.routeLat(h, p) + edge/bw)
+		}
+		if i < k-1 {
+			nx := scr.chain[i+1]
+			bw := s.routeBW(h, nx)
+			if bw <= 0 {
+				bw = 1e-6
+			}
+			comm += 2 * (s.routeLat(h, nx) + edge/bw)
+		}
+		scr.commSec[i] = comm
+		scr.maxPts[i] = s.capPts[h]
+	}
+
+	// partition.TimeBalanced, in place.
+	for i := 0; i < k; i++ {
+		if scr.secPP[i] <= 0 {
+			return 0, false
+		}
+		if scr.commSec[i] < 0 {
+			return 0, false
+		}
+	}
+	total := float64(n) * float64(n)
+	capTotal, unbounded := 0.0, false
+	for i := 0; i < k; i++ {
+		if scr.maxPts[i] <= 0 {
+			unbounded = true
+			break
+		}
+		capTotal += scr.maxPts[i]
+	}
+	copy(scr.relaxedMax[:k], scr.maxPts[:k])
+	if !unbounded && capTotal < total {
+		scale := total / capTotal
+		for i := 0; i < k; i++ {
+			scr.relaxedMax[i] *= scale * 1.0001 // headroom for rounding
+		}
+	}
+	for i := 0; i < k; i++ {
+		scr.area[i] = 0
+		scr.state[i] = 0 // 0 active, 1 dropped, 2 capped
+	}
+	remaining := total
+	var T float64
+	converged := false
+	for iter := 0; iter < 4*k+4; iter++ {
+		sumInvP, sumCoverP := 0.0, 0.0
+		active := 0
+		for i := 0; i < k; i++ {
+			if scr.state[i] != 0 {
+				continue
+			}
+			active++
+			sumInvP += 1 / scr.secPP[i]
+			sumCoverP += scr.commSec[i] / scr.secPP[i]
+		}
+		if active == 0 {
+			break
+		}
+		T = (remaining + sumCoverP) / sumInvP
+		worstNeg, worstNegIdx := 0.0, -1
+		worstOver, worstOverIdx := 0.0, -1
+		for i := 0; i < k; i++ {
+			if scr.state[i] != 0 {
+				continue
+			}
+			a := (T - scr.commSec[i]) / scr.secPP[i]
+			scr.area[i] = a
+			if a < 0 && a < worstNeg {
+				worstNeg, worstNegIdx = a, i
+			}
+			if scr.relaxedMax[i] > 0 && a > scr.relaxedMax[i] {
+				if over := a - scr.relaxedMax[i]; over > worstOver {
+					worstOver, worstOverIdx = over, i
+				}
+			}
+		}
+		if worstNegIdx >= 0 {
+			scr.state[worstNegIdx] = 1
+			scr.area[worstNegIdx] = 0
+			continue
+		}
+		if worstOverIdx >= 0 {
+			scr.state[worstOverIdx] = 2
+			scr.area[worstOverIdx] = scr.relaxedMax[worstOverIdx]
+			remaining -= scr.relaxedMax[worstOverIdx]
+			continue
+		}
+		converged = true
+		break
+	}
+	if !converged {
+		return 0, false
+	}
+	s.roundRows(k, n)
+	sumRows, bands := 0, 0
+	for i := 0; i < k; i++ {
+		sumRows += scr.rows[i]
+		if scr.rows[i] > 0 {
+			bands++
+		}
+	}
+	if sumRows != n {
+		return 0, false // internal rounding error
+	}
+	if bands == 0 {
+		return 0, false // every host dropped
+	}
+
+	// estimator.iterTime over the bands in chain (= placement) order.
+	worst := 0.0
+	for i := 0; i < k; i++ {
+		if scr.rows[i] == 0 {
+			continue
+		}
+		pts := scr.rows[i] * n
+		mult := 1.0
+		if s.bytesPerUnit > 0 {
+			memMB := s.memMB[scr.chain[i]]
+			needMB := float64(pts) * s.bytesPerUnit / 1e6
+			if needMB > memMB {
+				spill := (needMB - memMB) / needMB
+				mult = 1 + spill*(s.spillFactor-1)
+			}
+		}
+		t := float64(pts)*scr.secPP[i]*mult + scr.commSec[i]
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, true
+}
+
+// roundRows applies partition.largestRemainder to scr.area[:k] with
+// total rows, writing scr.rows[:k] — same floor/remainder/tie-break and
+// degenerate-dump sequence, allocation-free.
+func (s *ReschedSession) roundRows(k, total int) {
+	scr := &s.scr
+	for i := 0; i < k; i++ {
+		scr.rows[i] = 0
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		if scr.area[i] > 0 {
+			sum += scr.area[i]
+		}
+	}
+	if sum == 0 || total <= 0 {
+		return
+	}
+	assigned := 0
+	nf := 0
+	for i := 0; i < k; i++ {
+		w := scr.area[i]
+		if w <= 0 {
+			continue
+		}
+		exact := float64(total) * w / sum
+		fl := math.Floor(exact)
+		scr.rows[i] = int(fl)
+		assigned += int(fl)
+		scr.lrIdx[nf] = i
+		scr.lrRem[nf] = exact - fl
+		nf++
+	}
+	scr.fracSort.idx = scr.lrIdx[:nf]
+	scr.fracSort.rem = scr.lrRem[:nf]
+	sort.Sort(&scr.fracSort)
+	for f := 0; assigned < total && f < nf; f++ {
+		scr.rows[scr.lrIdx[f]]++
+		assigned++
+	}
+	// Degenerate rounding shortfall (all remainders zero): dump on the
+	// largest weight.
+	for assigned < total {
+		best := 0
+		for i := 0; i < k; i++ {
+			if scr.area[i] > scr.area[best] {
+				best = i
+			}
+		}
+		scr.rows[best]++
+		assigned++
+	}
+}
+
+// sortHostsByShare is pickBest's reporting order: hosts with the larger
+// placement fraction first, ties keeping chain order.
+func sortHostsByShare(hosts []string, share map[string]float64) {
+	sort.SliceStable(hosts, func(i, j int) bool { return share[hosts[i]] > share[hosts[j]] })
+}
+
+// EstimatePlacement prices an existing placement under the inputs of
+// the session's most recent Round refresh — the allocation-free twin of
+// Agent.EstimatePlacement, sharing one refresh per tick instead of
+// building a fresh snapshot per call. Placements touching hosts outside
+// the frozen pool (or predating the first Round) delegate to the agent.
+func (s *ReschedSession) EstimatePlacement(p *partition.Placement) (float64, error) {
+	if s.rounds == 0 {
+		return s.a.EstimatePlacement(s.n, p)
+	}
+	scr := &s.scr
+	k := 0
+	for _, asg := range p.Assignments {
+		if asg.Points == 0 {
+			continue
+		}
+		if s.a.tp.Host(asg.Host) == nil {
+			continue
+		}
+		idx, ok := s.poolIdx[asg.Host]
+		if !ok || k >= len(scr.chain) {
+			return s.a.EstimatePlacement(s.n, p)
+		}
+		scr.chain[k] = idx
+		k++
+	}
+	// planner.costsFor over the worked hosts in assignment order.
+	edge := float64(s.n) * s.borderBytes / 1e6
+	for i := 0; i < k; i++ {
+		h := scr.chain[i]
+		avail := floorAvailability(s.avail[h])
+		speed := s.speed[h] * avail * s.factor[h]
+		if speed <= 0 {
+			return 0, fmt.Errorf("core: host %s has no deliverable speed", s.names[h])
+		}
+		scr.secPP[i] = s.flopPerUnit / 1e6 / speed
+		comm := 0.0
+		if i > 0 {
+			pv := scr.chain[i-1]
+			bw := s.routeBW(h, pv)
+			if bw <= 0 {
+				bw = 1e-6
+			}
+			comm += 2 * (s.routeLat(h, pv) + edge/bw)
+		}
+		if i < k-1 {
+			nx := scr.chain[i+1]
+			bw := s.routeBW(h, nx)
+			if bw <= 0 {
+				bw = 1e-6
+			}
+			comm += 2 * (s.routeLat(h, nx) + edge/bw)
+		}
+		scr.commSec[i] = comm
+	}
+	// estimator.iterTime: match each worked assignment to its cost column
+	// by name, +Inf when a host has no column (unknown machine).
+	worst := 0.0
+	for _, asg := range p.Assignments {
+		if asg.Points == 0 {
+			continue
+		}
+		pos := -1
+		for i := 0; i < k; i++ {
+			if s.names[scr.chain[i]] == asg.Host {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return math.Inf(1), nil
+		}
+		mult := 1.0
+		if s.bytesPerUnit > 0 {
+			memMB := s.memMB[scr.chain[pos]]
+			needMB := float64(asg.Points) * s.bytesPerUnit / 1e6
+			if needMB > memMB {
+				spill := (needMB - memMB) / needMB
+				mult = 1 + spill*(s.spillFactor-1)
+			}
+		}
+		t := float64(asg.Points)*scr.secPP[pos]*mult + scr.commSec[pos]
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}

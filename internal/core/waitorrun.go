@@ -58,7 +58,30 @@ func (a *Agent) WaitOrRun(n int, offer DedicatedOffer) (*WaitOrRunDecision, erro
 	if offer.WaitSec < 0 {
 		return nil, fmt.Errorf("core: negative queue wait %v", offer.WaitSec)
 	}
-	shared, err := a.Schedule(n)
+	// Both branches price against ONE frozen information view, resolved
+	// over the union of the shared pool and the offered hosts. This halves
+	// the forecaster traffic (the old path built a full snapshot per
+	// branch) and guarantees the comparison is internally consistent: the
+	// shared and dedicated predictions cannot diverge because the source
+	// moved between the two evaluations. Under the simulation's
+	// stopped-clock scheduling the decisions are value-identical to the
+	// two-snapshot path.
+	union := make([]string, 0, len(a.spec.Filter(a.tp.Hosts()))+len(offer.Hosts))
+	seen := map[string]bool{}
+	for _, h := range a.spec.Filter(a.tp.Hosts()) {
+		union = append(union, h.Name)
+		seen[h.Name] = true
+	}
+	for _, name := range offer.Hosts {
+		if !seen[name] {
+			union = append(union, name)
+		}
+	}
+	snap := snapshotInformation(a.coord.info, union)
+
+	sharedAgent := a.clone()
+	sharedAgent.coord.info = snap
+	shared, err := sharedAgent.Schedule(n)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +97,7 @@ func (a *Agent) WaitOrRun(n int, offer DedicatedOffer) (*WaitOrRunDecision, erro
 	// configuration (spill factor, parallelism, pruning, snapshotting).
 	dedAgent := a.clone()
 	dedAgent.spec = &dedSpec
-	dedAgent.coord.info = &dedicatedInfo{Information: a.coord.Information(), hosts: hostSet}
+	dedAgent.coord.info = &dedicatedInfo{Information: snap, hosts: hostSet}
 	dedicated, err := dedAgent.Schedule(n)
 	if err != nil {
 		return nil, fmt.Errorf("core: dedicated offer unschedulable: %w", err)

@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"apples/internal/core"
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/nws"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+// NewReschedScenario builds the steady-state rescheduling scenario the
+// delta benchmarks and parity sweeps drive: the same warmed NWS
+// cluster-of-clusters as NewScaleAgent, but with the information source
+// wrapped in an availability overlay. The returned map is live — writing
+// a host's availability into it (and deleting it again) is how callers
+// inject per-round deltas without advancing the simulation, which is
+// exactly the small-perturbation regime a kHz rescheduling loop sees
+// between forecaster updates.
+func NewReschedScenario(clusters, per, n int, seed int64, opts ...core.AgentOption) (*core.Agent, map[string]float64, error) {
+	eng := sim.NewEngine()
+	eng.SetEventLimit(200_000_000)
+	tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{
+		Clusters: clusters, PerCluster: per, Seed: seed,
+	})
+	svc := nws.NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(300); err != nil {
+		return nil, nil, err
+	}
+	svc.Stop()
+	overlay := map[string]float64{}
+	info := core.NewOverlayInformation(core.NWSInformation(svc, tp), overlay)
+	agent, err := core.NewAgent(tp, hat.Jacobi2D(n, 40), &userspec.Spec{Decomposition: "strip"},
+		info, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return agent, overlay, nil
+}
+
+// NewGridReschedScenario is the grid-scale variant: a dedicated (quiet,
+// oracle-informed) cluster-of-clusters with the same live availability
+// overlay, for exercising the chunked-bitmask and lazy-link paths on
+// pools past the pair-array threshold without NWS warmup cost.
+func NewGridReschedScenario(clusters, per, n int, seed int64, opts ...core.AgentOption) (*core.Agent, map[string]float64, error) {
+	eng := sim.NewEngine()
+	tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{
+		Clusters: clusters, PerCluster: per, Seed: seed, Quiet: true,
+	})
+	overlay := map[string]float64{}
+	info := core.NewOverlayInformation(core.OracleInformation(tp), overlay)
+	agent, err := core.NewAgent(tp, hat.Jacobi2D(n, 40), &userspec.Spec{Decomposition: "strip"},
+		info, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return agent, overlay, nil
+}

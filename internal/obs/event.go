@@ -48,6 +48,14 @@ const (
 	// Dropped how many the cap cut. Without this event a capped round is
 	// indistinguishable from one that genuinely had fewer candidates.
 	EvTruncated EventType = "selector_truncated"
+	// EvDeltaRound: a ReschedSession round completed incrementally.
+	// Changed counts pool hosts whose inputs differ from the previous
+	// round (directly or through a changed link on one of their routes),
+	// Rescored how many candidate sets were re-planned, Considered the
+	// frozen universe size, and Carried whether the incumbent winner was
+	// carried forward unchanged. Hosts/Predicted/Score describe the
+	// winner, as in EvWinner.
+	EvDeltaRound EventType = "delta_round"
 )
 
 // Event is one structured record in a decision trace. It is a flat
@@ -80,6 +88,14 @@ type Event struct {
 	// Dropped is how many candidate sets a selector cap cut from the
 	// enumeration (EvTruncated only).
 	Dropped int `json:"dropped,omitempty"`
+
+	// Delta-round fields (EvDeltaRound only). Changed is the number of
+	// pool hosts whose inputs changed since the previous session round,
+	// Rescored how many candidate sets were re-planned, and Carried
+	// whether the previous winner survived without re-materialization.
+	Changed  int  `json:"changed,omitempty"`
+	Rescored int  `json:"rescored,omitempty"`
+	Carried  bool `json:"carried,omitempty"`
 
 	// Span fields. Stage names the timed phase of the round; Seconds is
 	// its measured wall-time under the span's clock.

@@ -28,6 +28,13 @@ const (
 	// MetricSelectorTruncated counts rounds whose selector capped its
 	// enumeration (the EvTruncated trace event).
 	MetricSelectorTruncated = "sched_selector_truncated_total"
+	// MetricRoundDeltaRatio is the fraction of the frozen candidate
+	// universe re-scored by the most recent delta-aware session round
+	// (0 on a carried round, 1 on a cold or full round).
+	MetricRoundDeltaRatio = "sched_round_delta_ratio"
+	// MetricCandidatesRescored counts candidate sets re-planned by
+	// delta-aware session rounds across the process lifetime.
+	MetricCandidatesRescored = "sched_candidates_rescored_total"
 	// Sensing (nws.Service).
 	MetricBankUpdates  = "nws_bank_updates_total"
 	MetricSensorSweeps = "nws_sensor_sweeps_total"
