@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-selector bench-resched bench-nws bench-json tables clean
+.PHONY: all build test race vet cover fuzz bench bench-evaluate bench-pipeline bench-selector bench-resched bench-service bench-nws bench-json tables clean
 
 all: build vet test
 
@@ -53,6 +53,11 @@ bench-selector:
 # 0 allocs/op — the gate TestSessionSteadyStateAllocFree enforces).
 bench-resched:
 	$(GO) test -bench=BenchmarkResched -benchmem -benchtime=3x -run '^$$' .
+
+# Multi-tenant serving: 64 agents round-robin through one SchedService,
+# copy-on-write snapshot sharing, greedy vs exhaustive selection.
+bench-service:
+	$(GO) test -bench=BenchmarkService -benchmem -benchtime=3x -run '^$$' .
 
 # NWS sensing hot path: bank update sweep (window x legacy/incremental)
 # and full-service sweep cost at 100/1k/10k watched series.

@@ -280,6 +280,68 @@ type (
 // benchmarks, and churn experiments.
 var NewOverlayInformation = core.NewOverlayInformation
 
+// Multi-tenant scheduling service (the shared daemon behind
+// `apples -serve`). Agents and rescheduling sessions register as
+// tenants; the service shares one frozen information snapshot across
+// concurrent tenant rounds (copy-on-write), meters the evaluation
+// worker pool under one service-wide budget, and admission-controls
+// submissions behind a bounded queue.
+type (
+	// SchedService is the shared scheduling daemon: registered tenants
+	// submit rounds, runners serve them with per-tenant FIFO ordering,
+	// and concurrent rounds over the same (information, pool) share one
+	// snapshot.
+	SchedService = core.SchedService
+	// SchedTenant is one registered client of a SchedService (an Agent
+	// or a ReschedSession).
+	SchedTenant = core.Tenant
+	// SchedServiceOption configures NewSchedService.
+	SchedServiceOption = core.ServiceOption
+	// SchedRoundResult is one completed service round.
+	SchedRoundResult = core.RoundResult
+	// SchedTenantStatus is the /tenants table row for one tenant.
+	SchedTenantStatus = core.TenantStatus
+)
+
+// NewSchedService builds the shared scheduling daemon.
+func NewSchedService(opts ...SchedServiceOption) *SchedService { return core.NewSchedService(opts...) }
+
+// Scheduling-service construction options.
+var (
+	// WithQueueDepth bounds the admission queue; submissions beyond it
+	// fail fast with ErrSchedQueueFull.
+	WithQueueDepth = core.WithQueueDepth
+	// WithServiceRunners sets how many rounds the service serves
+	// concurrently (default GOMAXPROCS).
+	WithServiceRunners = core.WithServiceRunners
+	// WithServiceBudget caps the service-wide evaluation worker pool
+	// shared by all concurrent rounds (default GOMAXPROCS).
+	WithServiceBudget = core.WithServiceBudget
+	// WithServiceMetrics registers the service's queue, snapshot, and
+	// per-tenant round instruments in a shared registry.
+	WithServiceMetrics = core.WithServiceMetrics
+	// WithServiceTracer streams tenant_round events to a trace sink.
+	WithServiceTracer = core.WithServiceTracer
+)
+
+// Scheduling-service sentinel errors.
+var (
+	// ErrSchedQueueFull: the admission queue is at capacity; back off
+	// and retry.
+	ErrSchedQueueFull = core.ErrQueueFull
+	// ErrSchedServiceClosed: the service has been closed.
+	ErrSchedServiceClosed = core.ErrServiceClosed
+)
+
+// ServeScheduler starts the service HTTP front end on addr (":0" picks
+// an ephemeral port): /schedule runs one tenant round, /tenants serves
+// the tenant table, and the observability endpoints (/metrics,
+// /trace/recent, /healthz, /debug/pprof) ride along. Stop it with
+// Close; closing the server does not close the service.
+func ServeScheduler(addr string, svc *SchedService, m *Metrics, ring *RingTracer) (*ObsServer, error) {
+	return obshttp.ServeService(addr, svc, m, ring)
+}
+
 // Observability: decision traces and metrics (internal/obs). A nil
 // Tracer or Metrics means "off" and costs the instrumented hot paths a
 // single pointer check.

@@ -227,6 +227,46 @@ func BenchmarkResched(b *testing.B) {
 	})
 }
 
+// BenchmarkService measures the multi-tenant scheduling daemon: 64
+// registered agents sharing one information source and one 12-host
+// pool, rounds submitted round-robin through the service's admission
+// queue. Every round after the first reuses the copy-on-write snapshot
+// (shared-ratio approaches 1), so the cost per round is queue dispatch
+// plus selection and planning over the frozen view. The greedy
+// selector is the serving headline; the exhaustive variant prices the
+// same pipeline under 4095-set enumeration for contrast.
+func BenchmarkService(b *testing.B) {
+	const n = 600
+	run := func(name string, opts ...core.AgentOption) {
+		b.Run(name, func(b *testing.B) {
+			sched, clients, err := expt.NewServiceScenario(64, 3, 4, n, 11, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sched.Close()
+			// One round per tenant first, so tenant-side lazy setup is
+			// out of the timed region.
+			for _, c := range clients {
+				if _, err := c.Schedule(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := clients[i%len(clients)].Schedule(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+			b.ReportMetric(sched.SharedRatio(), "shared-ratio")
+		})
+	}
+	run("64tenant/12host/greedy", core.WithSelector(core.SelectorSpec{Kind: core.SelectorGreedy}))
+	run("64tenant/12host/exhaustive")
+}
+
 // BenchmarkPipelineEvaluate sweeps the pipeline blueprint's evaluation
 // across pool sizes and worker-pool widths on the same warmed
 // cluster-of-clusters scenarios as BenchmarkEvaluate. A pool of h hosts

@@ -7,6 +7,13 @@
 //	apples -n 2000 -iters 100 -seed 11 -info nws
 //	apples -n 4000 -sp2 -info oracle
 //	apples -n 2000 -listen :9090    # live /metrics, /trace/recent, pprof
+//
+// With -serve the binary runs as a multi-tenant scheduling daemon
+// instead of executing one run: -tenants agents register with a shared
+// core.SchedService and HTTP clients drive rounds through
+// /schedule?tenant=ID&n=SIZE (see cmd/loadgen -target):
+//
+//	apples -serve -tenants 8 -listen 127.0.0.1:9090
 package main
 
 import (
@@ -45,8 +52,14 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the run's metrics registry (rounds, candidates, sensing, sim events) on exit")
 	listen := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /trace/recent, /debug/pprof); keeps serving after the run until interrupted")
 	ringSize := flag.Int("trace-ring", 512, "events retained for /trace/recent when -listen is set")
+	serve := flag.Bool("serve", false, "run as a multi-tenant scheduling daemon (/schedule, /tenants) instead of executing one run")
+	tenants := flag.Int("tenants", 8, "agents registered as tenants t0..tN-1 in -serve mode")
+	queueDepth := flag.Int("queue-depth", 1024, "admission-queue bound in -serve mode (full queue -> 429)")
 	flag.Parse()
 
+	if *serve && *listen == "" {
+		*listen = "127.0.0.1:0"
+	}
 	var reg *apples.Metrics
 	if *metrics || *listen != "" {
 		reg = apples.NewMetrics()
@@ -81,13 +94,17 @@ func main() {
 			sink = ring
 		}
 		stages = apples.NewStageTimer(reg, sink, nil)
-		var err error
-		server, err = apples.ServeObservability(*listen, reg, ring)
-		if err != nil {
-			fail(err)
+		// In -serve mode the scheduling-service mux (which embeds the
+		// observability endpoints) binds this address instead.
+		if !*serve {
+			var err error
+			server, err = apples.ServeObservability(*listen, reg, ring)
+			if err != nil {
+				fail(err)
+			}
+			defer server.Close()
+			fmt.Printf("observability listening on %s\n", server.URL())
 		}
-		defer server.Close()
-		fmt.Printf("observability listening on %s\n", server.URL())
 	}
 
 	eng := apples.NewEngine()
@@ -189,6 +206,12 @@ func main() {
 	if stages != nil {
 		agentOpts = append(agentOpts, apples.WithStageTiming(stages))
 	}
+
+	if *serve {
+		serveDaemon(tp, tpl, spec, source, agentOpts, sink, reg, ring, *listen, *tenants, *queueDepth, *n)
+		return
+	}
+
 	agent, err := apples.NewAgent(tp, tpl, spec, source, agentOpts...)
 	if err != nil {
 		fail(err)
@@ -262,6 +285,45 @@ func main() {
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
 	}
+}
+
+// serveDaemon registers nTenants identically-configured agents with a
+// shared scheduling service and serves /schedule, /tenants, and the
+// observability endpoints until interrupted.
+func serveDaemon(tp *apples.Topology, tpl *apples.Template, spec *apples.UserSpec, source apples.Information,
+	agentOpts []apples.AgentOption, sink apples.Tracer, reg *apples.Metrics, ring *apples.RingTracer,
+	listen string, nTenants, queueDepth, n int) {
+	if nTenants <= 0 {
+		fail(fmt.Errorf("-serve needs a positive -tenants, got %d", nTenants))
+	}
+	svcOpts := []apples.SchedServiceOption{apples.WithQueueDepth(queueDepth)}
+	if reg != nil {
+		svcOpts = append(svcOpts, apples.WithServiceMetrics(reg))
+	}
+	if sink != nil {
+		svcOpts = append(svcOpts, apples.WithServiceTracer(sink))
+	}
+	svc := apples.NewSchedService(svcOpts...)
+	defer svc.Close()
+	for i := 0; i < nTenants; i++ {
+		agent, err := apples.NewAgent(tp, tpl, spec, source, agentOpts...)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := svc.Register(fmt.Sprintf("t%d", i), agent); err != nil {
+			fail(err)
+		}
+	}
+	server, err := apples.ServeScheduler(listen, svc, reg, ring)
+	if err != nil {
+		fail(err)
+	}
+	defer server.Close()
+	fmt.Printf("scheduling service on %s (%d tenants t0..t%d)\n", server.URL(), nTenants, nTenants-1)
+	fmt.Printf("  try: %s/schedule?tenant=t0&n=%d  then /tenants and /metrics  (Ctrl-C to exit)\n", server.URL(), n)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
 }
 
 func fail(err error) {

@@ -1,7 +1,9 @@
 // Command benchjson runs the scheduler's headline benchmark sweeps —
 // candidate evaluation (BenchmarkEvaluate), grid-scale selector
-// families (BenchmarkSelect), and the NWS sensing hot path
-// (BenchmarkBankUpdate) — and writes the parsed results as JSON so CI
+// families (BenchmarkSelect), the delta rescheduling loop
+// (BenchmarkResched), the multi-tenant service (BenchmarkService), and
+// the NWS sensing hot path (BenchmarkBankUpdate) — and writes the
+// parsed results as JSON so CI
 // and PR descriptions can diff performance across revisions without
 // scraping `go test -bench` text output.
 //
@@ -38,6 +40,7 @@ var sweeps = []sweep{
 	{Package: ".", Pattern: "^BenchmarkEvaluate$"},
 	{Package: ".", Pattern: "^BenchmarkSelect$"},
 	{Package: ".", Pattern: "^BenchmarkResched$"},
+	{Package: ".", Pattern: "^BenchmarkService$"},
 	{Package: "./internal/nws", Pattern: "^BenchmarkBankUpdate$"},
 }
 

@@ -10,7 +10,9 @@
 // Figures: 3, 4, 5, 6, react, nile, a1 (forecast ablation), a3
 // (selection ablation), sched / pipeline-sched (scheduler decision
 // latency for the two blueprints), nws-scale (sensing throughput),
-// obs-overhead (decision-trace instrumentation cost), all.
+// obs-overhead (decision-trace instrumentation cost), tenant-converge
+// (competing agents on one scheduling service: oscillation vs
+// damped convergence), all.
 package main
 
 import (
@@ -26,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,selector-gap,nws-scale,obs-overhead,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,selector-gap,nws-scale,obs-overhead,tenant-converge,all")
 	seed := flag.Int64("seed", 11, "base seed for ambient load")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
@@ -358,5 +360,22 @@ func main() {
 		}
 		fmt.Print(expt.FormatMultiApp(res))
 		return nil
+	})
+
+	run("tenant-converge", func() error {
+		cfg := expt.TenantConvergeConfig{
+			Tenants: 6, N: 1200, Rounds: 12, Hysteresis: 0.05,
+			Clusters: 2, PerCluster: 4, Seed: *seed,
+		}
+		if *quick {
+			cfg.Rounds = 6
+		}
+		undamped, stale, seq, err := expt.TenantConvergeRegimes(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(expt.FormatTenantConverge(undamped, stale, seq))
+		h, c := expt.TenantConvergeCSV(undamped, stale, seq)
+		return writeCSV("tenant-converge", h, c)
 	})
 }

@@ -7,12 +7,26 @@
 //
 //	loadgen -kind ar1 -mean 1.2 -horizon 3600 -seed 7 -o sparc2.trace
 //	loadgen -kind onoff -busy 3 -o bursts.trace
+//
+// With -target the command instead drives a running scheduling daemon
+// (apples -serve): workers fire /schedule rounds round-robin across
+// tenants — closed-loop by default, paced when -rate is set — and
+// report achieved rounds/sec plus the latency distribution:
+//
+//	loadgen -target http://127.0.0.1:9090 -requests 100 -concurrency 100
+//	loadgen -target http://127.0.0.1:9090 -rate 200 -duration 10
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"apples"
 )
@@ -38,7 +52,20 @@ func main() {
 
 	gap := flag.Float64("gap", 240, "spikes: mean gap seconds")
 	width := flag.Float64("width", 30, "spikes: spike width seconds")
+
+	target := flag.String("target", "", "drive a scheduling daemon at this base URL instead of generating a trace")
+	requests := flag.Int("requests", 0, "target: stop after exactly this many submissions (0 = run for -duration)")
+	duration := flag.Float64("duration", 10, "target: wall-clock seconds to run when -requests is 0")
+	rate := flag.Float64("rate", 0, "target: paced request rate in rounds/sec (0 = closed loop, as fast as the service admits)")
+	concurrency := flag.Int("concurrency", 16, "target: concurrent client workers")
+	tenants := flag.Int("tenants", 8, "target: spread requests round-robin over tenants t0..tN-1")
+	size := flag.Int("n", 600, "target: problem size submitted with each round")
 	flag.Parse()
+
+	if *target != "" {
+		runTarget(*target, *tenants, *size, *requests, *concurrency, *rate, *duration)
+		return
+	}
 
 	rng := apples.NewRand(*seed)
 	var src apples.LoadSource
@@ -74,4 +101,105 @@ func main() {
 	if *out != "" {
 		fmt.Printf("wrote %d steps covering %.0f s to %s\n", len(steps), *horizon, *out)
 	}
+}
+
+// runTarget fires scheduling rounds at a running daemon and reports the
+// achieved throughput and latency distribution. Admission rejections
+// (HTTP 429, the service's ErrQueueFull surface) are counted separately
+// from hard errors: under closed-loop overload they are the expected
+// backpressure signal, not a failure.
+func runTarget(target string, tenants, n, requests, concurrency int, rate, duration float64) {
+	if tenants <= 0 || concurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -tenants and -concurrency must be positive")
+		os.Exit(1)
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// One pacing ticker shared by every worker: whichever worker is free
+	// takes the next tick, so the aggregate submission rate tracks -rate.
+	var pace <-chan time.Time
+	if rate > 0 {
+		tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer tick.Stop()
+		pace = tick.C
+	}
+
+	var (
+		seq       atomic.Int64
+		completed atomic.Int64
+		rejected  atomic.Int64
+		failed    atomic.Int64
+		wg        sync.WaitGroup
+	)
+	latencies := make([][]float64, concurrency)
+	deadline := time.Now().Add(time.Duration(duration * float64(time.Second)))
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := seq.Add(1) - 1
+				if requests > 0 {
+					if i >= int64(requests) {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				if pace != nil {
+					<-pace
+				}
+				url := fmt.Sprintf("%s/schedule?tenant=t%d&n=%d", target, i%int64(tenants), n)
+				t0 := time.Now()
+				res, err := client.Get(url)
+				elapsed := time.Since(t0).Seconds()
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+				switch res.StatusCode {
+				case http.StatusOK:
+					completed.Add(1)
+					latencies[w] = append(latencies[w], elapsed)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	mode := "closed-loop"
+	if rate > 0 {
+		mode = fmt.Sprintf("paced %.0f/s", rate)
+	}
+	fmt.Printf("target %s: %d rounds in %.2f s -> %.1f rounds/sec (%s, concurrency %d, tenants %d, n=%d)\n",
+		target, completed.Load(), elapsed, float64(completed.Load())/elapsed, mode, concurrency, tenants, n)
+	if len(all) > 0 {
+		fmt.Printf("latency: p50 %.1f ms  p99 %.1f ms  max %.1f ms\n",
+			1e3*quantile(all, 0.50), 1e3*quantile(all, 0.99), 1e3*all[len(all)-1])
+	}
+	fmt.Printf("rejected (429): %d  errors: %d\n", rejected.Load(), failed.Load())
+	if completed.Load() == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no round completed")
+		os.Exit(1)
+	}
+}
+
+// quantile reads the q-th quantile from an ascending-sorted sample by
+// nearest-rank.
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
 }

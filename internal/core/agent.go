@@ -277,6 +277,24 @@ func (a *Agent) Schedule(n int) (*Schedule, error) {
 	return a.pickBest(cands, considered)
 }
 
+// scheduleWith is Schedule with the SchedService's injection points: the
+// round evaluates against an externally resolved frozen view (nil falls
+// back to the agent's own snapshotting) with a granted worker count
+// (0 keeps the configured parallelism). The decision is bit-identical to
+// Schedule(n) against the same frozen values — the view only moves
+// snapshot ownership out of the round, and the worker grant only bounds
+// fan-out, which the deterministic (score, index) reduce is immune to.
+func (a *Agent) scheduleWith(n int, view infoView, workers int) (*Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: non-positive problem size %d", n)
+	}
+	cands, considered, err := a.coord.evaluateRound(a.round(n), view, workers)
+	if err != nil {
+		return nil, err
+	}
+	return a.pickBest(cands, considered)
+}
+
 func (a *Agent) pickBest(cands []Candidate, considered int) (*Schedule, error) {
 	bestIdx := bestCandidate(cands)
 	if bestIdx < 0 {

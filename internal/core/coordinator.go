@@ -253,6 +253,20 @@ func (c *Coordinator) View(hosts []string) Information {
 // exceeds it. The bound never overestimates, so a pruned set could not
 // have won; pruning only reduces how many sets are planned.
 func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
+	return c.evaluateRound(r, nil, 0)
+}
+
+// evaluateRound is EvaluateRound with the SchedService's injection
+// points exposed: a non-nil view is an externally resolved frozen
+// information view (typically a cache-shared snapshot) that replaces
+// the round's own freeze, and workers > 0 overrides the configured
+// parallelism for this round only — the service grants each round's
+// fan-out width out of a service-wide budget. With view == nil and
+// workers == 0 this is exactly the standalone round; an injected view
+// built by roundSnapshot over the same pool yields bit-identical
+// decisions, since the view only changes who froze the values, never
+// the values themselves.
+func (c *Coordinator) evaluateRound(r Round, view infoView, workersOverride int) ([]Candidate, int, error) {
 	if len(r.Pool) == 0 {
 		return nil, 0, fmt.Errorf("core: %w: user specification filters out every host", ErrNoFeasibleHosts)
 	}
@@ -269,13 +283,24 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 	}
 	info := c.info
 	workers := c.parallelism
-	if c.snapshot {
-		snapSpan := stages.Start(round, obs.StageSnapshot)
-		names := make([]string, len(r.Pool))
-		for i, h := range r.Pool {
-			names[i] = h.Name
+	if workersOverride > 0 {
+		workers = workersOverride
+	}
+	snapshotted := c.snapshot || view != nil
+	switch {
+	case view != nil:
+		// An injected view is already frozen; the round reads it exactly
+		// like a snapshot it built itself. The snapshot event re-reports
+		// the original build's stats and marks the reuse.
+		if tr != nil {
+			st := view.Stats()
+			tr.Emit(obs.Event{Round: round, Type: obs.EvSnapshot, Pool: st.Hosts,
+				Pairs: st.Pairs, Queries: st.SourceQueries, SharedSnap: true})
 		}
-		snap := snapshotInformation(c.info, names)
+		info = view
+	case c.snapshot:
+		snapSpan := stages.Start(round, obs.StageSnapshot)
+		snap := roundSnapshot(c.info, r.Pool)
 		if observing {
 			if met != nil {
 				met.snapshotLatency.Observe(time.Since(start).Seconds())
@@ -288,13 +313,13 @@ func (c *Coordinator) EvaluateRound(r Round) ([]Candidate, int, error) {
 			snapSpan.End()
 		}
 		info = snap
-	} else {
-		// Without the snapshot, workers would race on the underlying
+	default:
+		// Without a frozen view, workers would race on the underlying
 		// Information source (forecast banks are not thread-safe).
 		workers = 1
 	}
 	selSpan := stages.Start(round, obs.StageSelect)
-	sel, ev, err := r.Bind(info, c.snapshot)
+	sel, ev, err := r.Bind(info, snapshotted)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -25,4 +25,13 @@ var (
 	// blueprint it was handed to (wrong paradigm, missing tasks or comm
 	// edges, or failed validation).
 	ErrBadTemplate = errors.New("bad application template")
+
+	// ErrQueueFull: the multi-tenant service's admission queue is at its
+	// configured depth; the submission was rejected without queueing.
+	// Back off and retry — nothing was scheduled.
+	ErrQueueFull = errors.New("scheduling queue full")
+
+	// ErrServiceClosed: the multi-tenant service has shut down; no new
+	// tenants or rounds are accepted.
+	ErrServiceClosed = errors.New("scheduling service closed")
 )

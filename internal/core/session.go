@@ -259,7 +259,7 @@ func (a *Agent) NewReschedSession(n int) (*ReschedSession, error) {
 	// Enumerate the universe once, exactly the way a scheduling round
 	// does: the real selector over a real snapshot of the current
 	// information, honoring MaxResourceSets.
-	snap := snapshotInformation(a.coord.info, s.names)
+	snap := roundSnapshot(a.coord.info, pool)
 	rs := &resourceSelector{tp: a.tp, info: snap}
 	sel := newSelector(a.coord.selector, rs, a.spec.MaxResourceSets, true)
 	for set := range sel.SelectSeq(pool) {

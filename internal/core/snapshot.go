@@ -164,6 +164,32 @@ type infoView interface {
 	Stats() SnapshotStats
 }
 
+// roundSnapshot is the one snapshot constructor every scheduling path
+// resolves through: Coordinator.EvaluateRound, WaitOrRun's union view,
+// the ReschedSession cold path, and the SchedService's shared-snapshot
+// cache. It extracts the pool's host names (deduplicated, in pool
+// order), appends any extra names not already present (WaitOrRun's
+// offered hosts), and freezes the view via snapshotInformation — so
+// "what does a round see" has exactly one answer regardless of which
+// layer asked.
+func roundSnapshot(info Information, pool []*grid.Host, extra ...string) infoView {
+	names := make([]string, 0, len(pool)+len(extra))
+	seen := make(map[string]bool, len(pool)+len(extra))
+	for _, h := range pool {
+		if !seen[h.Name] {
+			seen[h.Name] = true
+			names = append(names, h.Name)
+		}
+	}
+	for _, name := range extra {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return snapshotInformation(info, names)
+}
+
 // snapshotInformation resolves the information view for one scheduling
 // round. Pools up to lazySnapshotThreshold hosts get the fully
 // materialized InfoSnapshot; larger pools over a route-batching source

@@ -66,18 +66,7 @@ func (a *Agent) WaitOrRun(n int, offer DedicatedOffer) (*WaitOrRunDecision, erro
 	// moved between the two evaluations. Under the simulation's
 	// stopped-clock scheduling the decisions are value-identical to the
 	// two-snapshot path.
-	union := make([]string, 0, len(a.spec.Filter(a.tp.Hosts()))+len(offer.Hosts))
-	seen := map[string]bool{}
-	for _, h := range a.spec.Filter(a.tp.Hosts()) {
-		union = append(union, h.Name)
-		seen[h.Name] = true
-	}
-	for _, name := range offer.Hosts {
-		if !seen[name] {
-			union = append(union, name)
-		}
-	}
-	snap := snapshotInformation(a.coord.info, union)
+	snap := roundSnapshot(a.coord.info, a.spec.Filter(a.tp.Hosts()), offer.Hosts...)
 
 	sharedAgent := a.clone()
 	sharedAgent.coord.info = snap

@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"fmt"
+
+	"apples/internal/core"
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/nws"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+// NewServiceScenario builds the multi-tenant serving scenario the
+// service benchmarks and smoke tests drive: K identically-configured
+// Jacobi2D agents over ONE warmed NWS information source and one
+// cluster-of-clusters pool, all registered with a fresh SchedService.
+// Because every tenant shares the information source and pool, their
+// concurrent rounds collapse onto one copy-on-write snapshot — the
+// regime the sched_snapshot_shared_ratio gauge is about.
+func NewServiceScenario(tenants, clusters, per, n int, seed int64, opts ...core.AgentOption) (*core.SchedService, []*core.Tenant, error) {
+	eng := sim.NewEngine()
+	tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{
+		Clusters: clusters, PerCluster: per, Seed: seed,
+	})
+	svc := nws.NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(300); err != nil {
+		return nil, nil, err
+	}
+	svc.Stop()
+	info := core.NWSInformation(svc, tp)
+
+	sched := core.NewSchedService()
+	clients := make([]*core.Tenant, tenants)
+	for k := range clients {
+		agent, err := core.NewAgent(tp, hat.Jacobi2D(n, 40), &userspec.Spec{Decomposition: "strip"},
+			info, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		if clients[k], err = sched.Register(fmt.Sprintf("t%d", k), agent); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sched, clients, nil
+}

@@ -1,0 +1,491 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"apples/internal/core"
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/jacobi"
+	"apples/internal/nws"
+	"apples/internal/obs"
+	"apples/internal/partition"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+// TenantConvergeConfig parameterizes the multi-tenant convergence
+// experiment: K competing AppLeS agents registered with one scheduling
+// service, each seeing the metacomputer through an overlay that folds
+// the OTHER tenants' placements into per-host availability. Every loop
+// round each tenant re-schedules through the service and applies the
+// Section 3.2 migrate/keep policy (hysteresis + migration cost)
+// against its current placement.
+//
+// Sequential selects the information regime, the experiment's
+// independent variable. false (simultaneous) is the stale-information
+// regime: every tenant decides from LAST round's placements, so
+// identical agents make identical decisions and herd between host
+// sets. true is the fresh-information regime: tenants update one at a
+// time within a round, each seeing the placements as they are NOW —
+// the application-centric analogue of scheduling from current rather
+// than stale weather.
+type TenantConvergeConfig struct {
+	Tenants    int     // competing agents (default 6)
+	N          int     // Jacobi2D problem size (default 1200)
+	Rounds     int     // loop rounds before declaring oscillation (default 12)
+	Hysteresis float64 // minimum fractional improvement to migrate (default 0.15)
+	Horizon    int     // iterations a migration must amortize over (default 40)
+	Sequential bool    // fresh-information (one-at-a-time) updates
+	Undamped   bool    // migrate on ANY predicted gain (no hysteresis, no cost gate)
+	Seed       int64
+	Clusters   int // testbed clusters (default 3)
+	PerCluster int // hosts per cluster (default 4)
+}
+
+func (c *TenantConvergeConfig) defaults() {
+	if c.Tenants == 0 {
+		c.Tenants = 6
+	}
+	if c.N == 0 {
+		c.N = 1200
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 12
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 0.15
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 40
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 3
+	}
+	if c.PerCluster == 0 {
+		c.PerCluster = 4
+	}
+}
+
+// TenantFinal is one tenant's state when the loop stopped.
+type TenantFinal struct {
+	ID         string
+	Hosts      []string
+	IterTime   float64 // predicted s/iter of the placement it holds
+	Migrations int     // migrate verdicts over the run (first adoption included)
+}
+
+// TenantConvergeResult reports one regime of the experiment.
+type TenantConvergeResult struct {
+	Cfg             TenantConvergeConfig
+	Changed         []int // migrations per loop round
+	ConvergedAt     int   // first round with zero migrations (0 = never)
+	Oscillating     bool  // never went quiet within Cfg.Rounds
+	Fairness        float64
+	VerdictsChecked int // migrate/keep verdicts re-derived from the trace
+	Final           []TenantFinal
+	Events          []obs.Event // the shared decision trace (service + policy)
+}
+
+// TenantConverge runs K competing agents through one SchedService until
+// no tenant migrates (a fixed point: identical placements imply
+// identical overlays imply identical decisions forever) or Cfg.Rounds
+// elapse. Every migrate/keep verdict is emitted as an EvReschedule into
+// the shared trace and re-derived from the recorded fields before the
+// result is returned.
+func TenantConverge(cfg TenantConvergeConfig) (*TenantConvergeResult, error) {
+	cfg.defaults()
+	eng := sim.NewEngine()
+	tp := grid.ClusterOfClusters(eng, grid.ClusterOptions{
+		Clusters: cfg.Clusters, PerCluster: cfg.PerCluster, Seed: cfg.Seed,
+	})
+	svc := nws.NewService(eng, 10)
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(300); err != nil {
+		return nil, err
+	}
+	svc.Stop()
+	base := core.NWSInformation(svc, tp)
+
+	trace := obs.NewCollector()
+	sched := core.NewSchedService(core.WithServiceTracer(trace))
+	defer sched.Close()
+
+	tpl := hat.Jacobi2D(cfg.N, cfg.Horizon)
+	bytesPerPoint := tpl.Tasks[0].BytesPerUnit
+	hosts := tp.Hosts()
+
+	type tenant struct {
+		id         string
+		overlay    map[string]float64
+		info       core.Information
+		agent      *core.Agent
+		client     *core.Tenant
+		placement  *partition.Placement
+		iterTime   float64
+		migrations int
+	}
+	tenants := make([]*tenant, cfg.Tenants)
+	for k := range tenants {
+		overlay := map[string]float64{}
+		info := core.NewOverlayInformation(base, overlay)
+		agent, err := core.NewAgent(tp, tpl, &userspec.Spec{Decomposition: "strip"}, info)
+		if err != nil {
+			return nil, err
+		}
+		t := &tenant{id: fmt.Sprintf("t%d", k), overlay: overlay, info: info, agent: agent}
+		if t.client, err = sched.Register(t.id, agent); err != nil {
+			return nil, err
+		}
+		tenants[k] = t
+	}
+
+	// refreshOverlay folds every OTHER tenant's current placement into
+	// t's availability view: a host carrying fraction f of a competitor
+	// looks 1/(1+f) as available. The tenant's own load is excluded —
+	// hosts it already holds look clean to it, which is what makes
+	// staying put attractive once hysteresis damps the loop.
+	refreshOverlay := func(t *tenant) {
+		clear(t.overlay)
+		for _, h := range hosts {
+			load := 0.0
+			for _, o := range tenants {
+				if o != t && o.placement != nil {
+					load += o.placement.Fraction(h.Name)
+				}
+			}
+			if load > 0 {
+				t.overlay[h.Name] = base.Availability(h.Name) / (1 + load)
+			}
+		}
+	}
+
+	// decide applies the Section 3.2 policy to the fresh service round
+	// and emits the verdict into the shared trace.
+	decide := func(t *tenant, round int, fresh *core.Schedule) (migrated bool, err error) {
+		ev := obs.Event{Type: obs.EvReschedule, Tenant: t.id, Round: uint64(round)}
+		adopt := func() {
+			t.placement, t.iterTime = fresh.Placement, fresh.PredictedIterTime
+			t.migrations++
+		}
+		if t.placement == nil {
+			adopt()
+			ev.Verdict, ev.Reason = "migrate", "initial"
+			ev.Fresh, ev.Hosts = fresh.PredictedIterTime, fresh.Hosts
+			trace.Emit(ev)
+			return true, nil
+		}
+		cur, err := t.agent.EstimatePlacement(cfg.N, t.placement)
+		if err != nil {
+			return false, err
+		}
+		ev.Current, ev.Fresh = cur, fresh.PredictedIterTime
+		if cfg.Undamped {
+			// The greedy feedback loop the damping exists to prevent:
+			// chase any predicted gain, however small, cost be damned.
+			if fresh.PredictedIterTime < cur {
+				adopt()
+				ev.Verdict, ev.Reason, ev.Hosts = "migrate", "undamped", fresh.Hosts
+				trace.Emit(ev)
+				return true, nil
+			}
+			ev.Verdict, ev.Reason = "keep", "undamped"
+			trace.Emit(ev)
+			return false, nil
+		}
+		if fresh.PredictedIterTime >= cur*(1-cfg.Hysteresis) {
+			ev.Verdict, ev.Reason = "keep", "hysteresis"
+			trace.Emit(ev)
+			return false, nil
+		}
+		savings := (cur - fresh.PredictedIterTime) * float64(cfg.Horizon)
+		migMB := jacobi.EstimateMigrationMB(t.placement, fresh.Placement, bytesPerPoint)
+		migCost := migrationSeconds(t.info, t.placement, fresh.Placement, migMB)
+		ev.Savings, ev.MigCost = savings, migCost
+		if savings <= migCost {
+			ev.Verdict, ev.Reason = "keep", "migration-cost"
+			trace.Emit(ev)
+			return false, nil
+		}
+		adopt()
+		ev.Verdict, ev.Hosts = "migrate", fresh.Hosts
+		trace.Emit(ev)
+		return true, nil
+	}
+
+	res := &TenantConvergeResult{Cfg: cfg}
+	for round := 1; round <= cfg.Rounds; round++ {
+		changed := 0
+		if cfg.Sequential {
+			// Fresh information: each tenant sees the placements as they
+			// are NOW, including moves made earlier this same round.
+			for _, t := range tenants {
+				refreshOverlay(t)
+				sched.InvalidateSnapshots()
+				s, err := t.client.Schedule(cfg.N)
+				if err != nil {
+					return nil, err
+				}
+				m, err := decide(t, round, s)
+				if err != nil {
+					return nil, err
+				}
+				if m {
+					changed++
+				}
+			}
+		} else {
+			// Stale information: every overlay is computed from LAST
+			// round's placements, then all tenants re-schedule
+			// concurrently through the service.
+			for _, t := range tenants {
+				refreshOverlay(t)
+			}
+			sched.InvalidateSnapshots()
+			fresh := make([]*core.Schedule, len(tenants))
+			errs := make([]error, len(tenants))
+			var wg sync.WaitGroup
+			for k, t := range tenants {
+				wg.Add(1)
+				go func(k int, t *tenant) {
+					defer wg.Done()
+					fresh[k], errs[k] = t.client.Schedule(cfg.N)
+				}(k, t)
+			}
+			wg.Wait()
+			for k, t := range tenants {
+				if errs[k] != nil {
+					return nil, errs[k]
+				}
+				m, err := decide(t, round, fresh[k])
+				if err != nil {
+					return nil, err
+				}
+				if m {
+					changed++
+				}
+			}
+		}
+		res.Changed = append(res.Changed, changed)
+		if changed == 0 {
+			// Fixed point: unchanged placements reproduce the same
+			// overlays, snapshots, and verdicts forever.
+			res.ConvergedAt = round
+			break
+		}
+	}
+	res.Oscillating = res.ConvergedAt == 0
+	res.Fairness = sched.Fairness()
+	for _, t := range tenants {
+		res.Final = append(res.Final, TenantFinal{
+			ID: t.id, Hosts: t.placement.Hosts(), IterTime: t.iterTime, Migrations: t.migrations,
+		})
+	}
+	res.Events = trace.Events()
+	checked, err := VerifyTenantVerdicts(res.Events, cfg.Hysteresis)
+	if err != nil {
+		return nil, fmt.Errorf("tenant-converge: trace verification failed: %w", err)
+	}
+	res.VerdictsChecked = checked
+	return res, nil
+}
+
+// migrationSeconds prices moving migMB between the placements through
+// the slowest forecast route linking a shrinking host to a growing one
+// (the same bottleneck model Agent.Rescheduler applies in-run).
+func migrationSeconds(info core.Information, oldP, newP *partition.Placement, migMB float64) float64 {
+	if migMB <= 0 {
+		return 0
+	}
+	oldPts := map[string]int{}
+	for _, a := range oldP.Assignments {
+		oldPts[a.Host] = a.Points
+	}
+	var shrank, grew []string
+	seen := map[string]bool{}
+	for _, a := range newP.Assignments {
+		seen[a.Host] = true
+		switch d := a.Points - oldPts[a.Host]; {
+		case d > 0:
+			grew = append(grew, a.Host)
+		case d < 0:
+			shrank = append(shrank, a.Host)
+		}
+	}
+	for h, pts := range oldPts {
+		if !seen[h] && pts > 0 {
+			shrank = append(shrank, h)
+		}
+	}
+	worstBW := 1e30
+	for _, s := range shrank {
+		for _, g := range grew {
+			if bw := info.RouteBandwidth(s, g); bw < worstBW {
+				worstBW = bw
+			}
+		}
+	}
+	if worstBW <= 0 || worstBW >= 1e30 {
+		return 0
+	}
+	return migMB / worstBW
+}
+
+// VerifyTenantVerdicts re-derives every migrate/keep verdict in a
+// decision trace from the numeric fields recorded alongside it, and
+// cross-checks the policy stream against the service stream: each
+// EvReschedule must be backed by exactly one EvTenantRound for the
+// same tenant. It returns how many verdicts were checked; any
+// inconsistency is an error.
+func VerifyTenantVerdicts(events []obs.Event, hysteresis float64) (int, error) {
+	const eps = 1e-9
+	rounds := map[string]int{}
+	verdicts := map[string]int{}
+	checked := 0
+	for _, e := range events {
+		switch e.Type {
+		case obs.EvTenantRound:
+			rounds[e.Tenant]++
+		case obs.EvReschedule:
+			verdicts[e.Tenant]++
+			id := fmt.Sprintf("%s round %d", e.Tenant, e.Round)
+			switch {
+			case e.Verdict == "migrate" && e.Reason == "initial":
+				// First adoption: nothing to compare against yet.
+				continue
+			case e.Verdict == "migrate" && e.Reason == "undamped":
+				if e.Fresh >= e.Current {
+					return checked, fmt.Errorf("%s: undamped migrate but fresh %.6f >= current %.6f",
+						id, e.Fresh, e.Current)
+				}
+			case e.Verdict == "keep" && e.Reason == "undamped":
+				if e.Fresh < e.Current {
+					return checked, fmt.Errorf("%s: undamped keep but fresh %.6f < current %.6f",
+						id, e.Fresh, e.Current)
+				}
+			case e.Verdict == "migrate":
+				if e.Fresh >= e.Current*(1-hysteresis)+eps {
+					return checked, fmt.Errorf("%s: migrated but fresh %.6f does not beat current %.6f by %.0f%%",
+						id, e.Fresh, e.Current, 100*hysteresis)
+				}
+				if e.Savings <= e.MigCost {
+					return checked, fmt.Errorf("%s: migrated but savings %.6f <= migration cost %.6f",
+						id, e.Savings, e.MigCost)
+				}
+			case e.Verdict == "keep" && e.Reason == "hysteresis":
+				if e.Fresh < e.Current*(1-hysteresis)-eps {
+					return checked, fmt.Errorf("%s: kept on hysteresis but fresh %.6f beats current %.6f by more than %.0f%%",
+						id, e.Fresh, e.Current, 100*hysteresis)
+				}
+			case e.Verdict == "keep" && e.Reason == "migration-cost":
+				if e.Savings > e.MigCost+eps {
+					return checked, fmt.Errorf("%s: kept on migration cost but savings %.6f > cost %.6f",
+						id, e.Savings, e.MigCost)
+				}
+			default:
+				return checked, fmt.Errorf("%s: unrecognized verdict %q/%q", id, e.Verdict, e.Reason)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		return 0, fmt.Errorf("no migrate/keep verdict in the trace to verify")
+	}
+	for id, v := range verdicts {
+		if rounds[id] != v {
+			return checked, fmt.Errorf("tenant %s: %d verdicts but %d service rounds", id, v, rounds[id])
+		}
+	}
+	return checked, nil
+}
+
+// TenantConvergeRegimes runs the three-regime contrast the figure
+// prints: undamped greedy feedback on stale placements (the herd that
+// never settles), the damped Section 3.2 policy on stale placements,
+// and the damped policy on fresh one-at-a-time placements.
+func TenantConvergeRegimes(cfg TenantConvergeConfig) (undamped, stale, seq *TenantConvergeResult, err error) {
+	c := cfg
+	c.Sequential, c.Undamped = false, true
+	if undamped, err = TenantConverge(c); err != nil {
+		return nil, nil, nil, err
+	}
+	c.Undamped = false
+	if stale, err = TenantConverge(c); err != nil {
+		return nil, nil, nil, err
+	}
+	c.Sequential = true
+	if seq, err = TenantConverge(c); err != nil {
+		return nil, nil, nil, err
+	}
+	return undamped, stale, seq, nil
+}
+
+// FormatTenantConverge renders the three regimes side by side as the
+// oscillate-vs-converge table.
+func FormatTenantConverge(undamped, stale, seq *TenantConvergeResult) string {
+	var sb strings.Builder
+	cfg := stale.Cfg
+	fmt.Fprintf(&sb, "Tenant convergence — %d competing agents on one scheduling service (%dx%d hosts, Jacobi2D %d, hysteresis %.0f%%)\n",
+		cfg.Tenants, cfg.Clusters, cfg.PerCluster, cfg.N, 100*cfg.Hysteresis)
+	fmt.Fprintf(&sb, "  migrations per loop round:\n")
+	results := []*TenantConvergeResult{undamped, stale, seq}
+	labels := []string{"undamped, stale info", "damped, stale info", "damped, fresh info"}
+	fmt.Fprintf(&sb, "  %5s  %-22s  %-22s  %-22s\n", "round", labels[0], labels[1], labels[2])
+	rows := 0
+	for _, r := range results {
+		rows = max(rows, len(r.Changed))
+	}
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "  %5d", i+1)
+		for _, r := range results {
+			if i < len(r.Changed) {
+				fmt.Fprintf(&sb, "  %-22d", r.Changed[i])
+			} else {
+				fmt.Fprintf(&sb, "  %-22s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "  %5s", "")
+	for _, r := range results {
+		if r.Oscillating {
+			fmt.Fprintf(&sb, "  %-22s", "OSCILLATES")
+		} else {
+			fmt.Fprintf(&sb, "  %-22s", fmt.Sprintf("converges at round %d", r.ConvergedAt))
+		}
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "  fairness (max/min tenant rounds): %.2f / %.2f / %.2f\n",
+		undamped.Fairness, stale.Fairness, seq.Fairness)
+	fmt.Fprintf(&sb, "  verdicts re-derived from decision trace: %d\n",
+		undamped.VerdictsChecked+stale.VerdictsChecked+seq.VerdictsChecked)
+	fmt.Fprintf(&sb, "  final placements (damped, fresh info):\n")
+	for _, t := range seq.Final {
+		fmt.Fprintf(&sb, "    %-4s %2d migration(s)  %.4f s/iter  hosts=%v\n",
+			t.ID, t.Migrations, t.IterTime, t.Hosts)
+	}
+	return sb.String()
+}
+
+// TenantConvergeCSV flattens the regimes into per-round rows.
+func TenantConvergeCSV(undamped, stale, seq *TenantConvergeResult) ([]string, [][]string) {
+	header := []string{"regime", "round", "migrations", "converged_at", "oscillating"}
+	var cells [][]string
+	emit := func(name string, r *TenantConvergeResult) {
+		for i, c := range r.Changed {
+			cells = append(cells, []string{
+				name,
+				fmt.Sprint(i + 1),
+				fmt.Sprint(c),
+				fmt.Sprint(r.ConvergedAt),
+				fmt.Sprint(r.Oscillating),
+			})
+		}
+	}
+	emit("undamped-stale", undamped)
+	emit("damped-stale", stale)
+	emit("damped-fresh", seq)
+	return header, cells
+}

@@ -1,0 +1,106 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"apples/internal/obs"
+)
+
+func quickConvergeConfig() TenantConvergeConfig {
+	return TenantConvergeConfig{
+		Tenants: 6, N: 1200, Rounds: 8, Hysteresis: 0.05,
+		Clusters: 2, PerCluster: 4, Seed: 11,
+	}
+}
+
+// The figure's headline contrast: greedy feedback on stale placements
+// herds forever, the damped policy settles, and fresh information
+// settles at least as fast as stale.
+func TestTenantConvergeRegimes(t *testing.T) {
+	undamped, stale, seq, err := TenantConvergeRegimes(quickConvergeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !undamped.Oscillating || undamped.ConvergedAt != 0 {
+		t.Fatalf("undamped regime should oscillate, got converged at %d (changed=%v)",
+			undamped.ConvergedAt, undamped.Changed)
+	}
+	for _, c := range undamped.Changed {
+		if c == 0 {
+			t.Fatalf("undamped regime went quiet mid-run: %v", undamped.Changed)
+		}
+	}
+	for name, r := range map[string]*TenantConvergeResult{"damped-stale": stale, "damped-fresh": seq} {
+		if r.Oscillating || r.ConvergedAt == 0 {
+			t.Fatalf("%s should converge, got changed=%v", name, r.Changed)
+		}
+		if last := r.Changed[len(r.Changed)-1]; last != 0 {
+			t.Fatalf("%s: final round still migrated %d tenants", name, last)
+		}
+	}
+	if seq.ConvergedAt > stale.ConvergedAt {
+		t.Fatalf("fresh info converged at %d, later than stale info at %d",
+			seq.ConvergedAt, stale.ConvergedAt)
+	}
+	for name, r := range map[string]*TenantConvergeResult{
+		"undamped": undamped, "damped-stale": stale, "damped-fresh": seq,
+	} {
+		if r.VerdictsChecked < 1 {
+			t.Fatalf("%s: no verdict re-derived from the trace", name)
+		}
+		if r.Fairness != 1 {
+			t.Fatalf("%s: fairness = %v, want 1 (every tenant ran every round)", name, r.Fairness)
+		}
+	}
+}
+
+// Every verdict in the trace must be re-derivable from its recorded
+// fields, and the verifier must actually reject corrupted traces.
+func TestVerifyTenantVerdicts(t *testing.T) {
+	r, err := TenantConverge(quickConvergeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := VerifyTenantVerdicts(r.Events, r.Cfg.Hysteresis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != r.VerdictsChecked {
+		t.Fatalf("re-verification checked %d verdicts, run recorded %d", checked, r.VerdictsChecked)
+	}
+
+	// A migrate verdict whose fresh prediction does not actually beat
+	// the incumbent must fail verification.
+	bad := append([]obs.Event(nil), r.Events...)
+	corrupted := false
+	for i := range bad {
+		if bad[i].Type == obs.EvReschedule && bad[i].Verdict == "migrate" && bad[i].Reason != "initial" {
+			bad[i].Fresh = bad[i].Current * 2
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("trace has no non-initial migrate verdict to corrupt")
+	}
+	if _, err := VerifyTenantVerdicts(bad, r.Cfg.Hysteresis); err == nil {
+		t.Fatal("verifier accepted a corrupted migrate verdict")
+	}
+
+	// Dropping a tenant's service round breaks the policy/service
+	// cross-check.
+	var drop []obs.Event
+	dropped := false
+	for _, e := range r.Events {
+		if !dropped && e.Type == obs.EvTenantRound {
+			dropped = true
+			continue
+		}
+		drop = append(drop, e)
+	}
+	if _, err := VerifyTenantVerdicts(drop, r.Cfg.Hysteresis); err == nil ||
+		!strings.Contains(err.Error(), "service rounds") {
+		t.Fatalf("verifier missed the dropped service round, err=%v", err)
+	}
+}

@@ -48,6 +48,12 @@ const (
 	// Dropped how many the cap cut. Without this event a capped round is
 	// indistinguishable from one that genuinely had fewer candidates.
 	EvTruncated EventType = "selector_truncated"
+	// EvTenantRound: one multi-tenant service round completed. Tenant
+	// names the registered client, Round is the tenant-local completed
+	// round sequence, Hosts/Predicted the decision, SharedSnap whether
+	// the round reused a cache-shared snapshot, and Seconds the queue +
+	// evaluation wall-time.
+	EvTenantRound EventType = "tenant_round"
 	// EvDeltaRound: a ReschedSession round completed incrementally.
 	// Changed counts pool hosts whose inputs differ from the previous
 	// round (directly or through a changed link on one of their routes),
@@ -71,10 +77,17 @@ type Event struct {
 	Round uint64    `json:"round,omitempty"`
 	Type  EventType `json:"type"`
 
-	// Snapshot fields.
-	Pool    int `json:"pool,omitempty"`
-	Pairs   int `json:"pairs,omitempty"`
-	Queries int `json:"queries,omitempty"`
+	// Snapshot fields. SharedSnap marks a round that evaluated against a
+	// shared frozen view from the service's snapshot cache instead of
+	// freezing its own (the stats then describe the original build).
+	Pool       int  `json:"pool,omitempty"`
+	Pairs      int  `json:"pairs,omitempty"`
+	Queries    int  `json:"queries,omitempty"`
+	SharedSnap bool `json:"shared_snap,omitempty"`
+
+	// Tenant names the multi-tenant service client the event belongs to
+	// (EvTenantRound, and service-side verdict events).
+	Tenant string `json:"tenant,omitempty"`
 
 	// Candidate / pruned / winner fields.
 	Index      int      `json:"index,omitempty"`

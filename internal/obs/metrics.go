@@ -35,6 +35,27 @@ const (
 	// MetricCandidatesRescored counts candidate sets re-planned by
 	// delta-aware session rounds across the process lifetime.
 	MetricCandidatesRescored = "sched_candidates_rescored_total"
+	// Multi-tenant scheduling service (core.SchedService).
+	// MetricTenantRounds and MetricTenantRoundSeconds are per-tenant
+	// label families: concrete series carry a tenant label in the
+	// registry key, e.g. `sched_tenant_rounds_total{tenant="t3"}`.
+	MetricTenantRounds       = "sched_tenant_rounds_total"
+	MetricTenantRoundSeconds = "sched_tenant_round_seconds"
+	// MetricQueueDepth is the service's admitted-but-unfinished request
+	// count; MetricQueueRejected counts submissions bounced with
+	// ErrQueueFull.
+	MetricQueueDepth    = "sched_queue_depth"
+	MetricQueueRejected = "sched_queue_rejected_total"
+	// MetricSnapshotShared is the running fraction of service rounds that
+	// reused a cache-shared snapshot instead of freezing their own;
+	// MetricSnapshotBuilds and MetricSnapshotReused are the underlying
+	// counters.
+	MetricSnapshotShared = "sched_snapshot_shared_ratio"
+	MetricSnapshotBuilds = "sched_snapshot_builds_total"
+	MetricSnapshotReused = "sched_snapshot_reused_total"
+	// MetricTenantFairness is the max/min completed-round ratio across
+	// tenants that have finished at least one round (1 = perfectly fair).
+	MetricTenantFairness = "sched_tenant_fairness_ratio"
 	// Sensing (nws.Service).
 	MetricBankUpdates  = "nws_bank_updates_total"
 	MetricSensorSweeps = "nws_sensor_sweeps_total"

@@ -1,0 +1,134 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"apples/internal/core"
+	"apples/internal/obs"
+)
+
+// ScheduleResponse is the /schedule endpoint's JSON schema: one
+// completed service round.
+type ScheduleResponse struct {
+	Tenant            string   `json:"tenant"`
+	Seq               uint64   `json:"seq"`
+	Hosts             []string `json:"hosts"`
+	PredictedIterTime float64  `json:"predicted_iter_time"`
+	PredictedTotal    float64  `json:"predicted_total"`
+	InfoSource        string   `json:"info_source"`
+	SharedSnapshot    bool     `json:"shared_snapshot"`
+	ElapsedMS         float64  `json:"elapsed_ms"`
+}
+
+// ServiceHandler extends the observability mux with the multi-tenant
+// scheduling endpoints:
+//
+//	/schedule?tenant=ID&n=SIZE  run one round for a tenant (GET or
+//	                            POST), synchronously returning the
+//	                            decision as JSON. 404 for an unknown
+//	                            tenant, 429 when the admission queue is
+//	                            full, 503 when the service is closed.
+//	/tenants                    the tenant table as a JSON array
+//	                            (core.TenantStatus), plus queue depth,
+//	                            shared-snapshot ratio, and fairness in
+//	                            the surrounding object.
+//
+// The metrics registry and ring behave as in Handler and may be nil.
+func ServiceHandler(svc *core.SchedService, m *obs.Metrics, ring *obs.RingTracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(m, ring))
+	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("tenant")
+		if id == "" {
+			http.Error(w, "missing tenant parameter", http.StatusBadRequest)
+			return
+		}
+		t, ok := svc.Tenant(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown tenant %q", id), http.StatusNotFound)
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad n: want a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		ch, err := t.Submit(n)
+		if err != nil {
+			switch {
+			case errors.Is(err, core.ErrQueueFull):
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+			case errors.Is(err, core.ErrServiceClosed):
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			default:
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		res := <-ch
+		if res.Err != nil {
+			http.Error(w, res.Err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		resp := ScheduleResponse{
+			Tenant:            res.Tenant,
+			Seq:               res.Seq,
+			Hosts:             res.Schedule.Hosts,
+			PredictedIterTime: res.Schedule.PredictedIterTime,
+			PredictedTotal:    res.Schedule.PredictedTotal,
+			InfoSource:        res.Schedule.InfoSource,
+			SharedSnapshot:    res.SharedSnapshot,
+			ElapsedMS:         float64(res.Elapsed) / float64(time.Millisecond),
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, _ *http.Request) {
+		type tenantsResponse struct {
+			Tenants     []core.TenantStatus `json:"tenants"`
+			QueueDepth  int                 `json:"queue_depth"`
+			SharedRatio float64             `json:"shared_ratio"`
+			Fairness    float64             `json:"fairness"`
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(tenantsResponse{
+			Tenants:     svc.Tenants(),
+			QueueDepth:  svc.QueueDepth(),
+			SharedRatio: svc.SharedRatio(),
+			Fairness:    svc.Fairness(),
+		})
+	})
+	return mux
+}
+
+// ServeService binds addr and serves the scheduling service mux (the
+// observability endpoints plus /schedule and /tenants) on a background
+// goroutine until Close.
+func ServeService(addr string, svc *core.SchedService, m *obs.Metrics, ring *obs.RingTracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           ServiceHandler(svc, m, ring),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
