@@ -14,14 +14,14 @@ test:
 # package holds the worker pool, snapshot, and determinism tests; the
 # root package exercises the facade against the same engine.
 race:
-	$(GO) test -race ./internal/core/... .
+	$(GO) test -race ./internal/core/... ./internal/mstore/... .
 
 vet:
 	$(GO) vet ./...
 
 # Coverage over the decision-critical packages (CI enforces a 70% floor).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core ./internal/nws ./internal/obs
+	$(GO) test -coverprofile=cover.out ./internal/core ./internal/nws ./internal/obs ./internal/mstore
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Short fuzz probe of the serialization decoders; the committed corpora
@@ -29,6 +29,7 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzReadPlacement -fuzztime=10s ./internal/partition
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=10s ./internal/nws
+	$(GO) test -fuzz=FuzzSegmentDecode -fuzztime=10s ./internal/mstore
 
 # Full reproduction benchmarks (paper figures + ablations).
 bench:

@@ -31,6 +31,7 @@ import (
 	"apples/internal/hat"
 	"apples/internal/jacobi"
 	"apples/internal/load"
+	"apples/internal/mstore"
 	"apples/internal/nile"
 	"apples/internal/nws"
 	"apples/internal/obs"
@@ -147,6 +148,49 @@ type NWSSnapshot = nws.Snapshot
 
 // ReadNWSSnapshot deserializes a snapshot written by Snapshot.WriteTo.
 func ReadNWSSnapshot(r io.Reader) (*NWSSnapshot, error) { return nws.ReadSnapshot(r) }
+
+// Durable measurement history: an append-only segment/WAL store shared
+// by NWS sensing, load traces, and replay experiments.
+type (
+	// MeasurementStore is a crash-safe append-only store of measurement
+	// records, organised as CRC-framed fixed-size segments.
+	MeasurementStore = mstore.Store
+	// MeasurementRecord is one stored sample: kind, series, tick, value.
+	MeasurementRecord = mstore.Record
+	// MeasurementKind tags what a record measures (CPU, bandwidth, load).
+	MeasurementKind = mstore.Kind
+	// StoreOption configures OpenMeasurementStore.
+	StoreOption = mstore.Option
+	// StoreRecovery reports what reopening a store after a crash found.
+	StoreRecovery = mstore.Recovery
+	// LoadTraceStore reads and writes load traces in the store format.
+	LoadTraceStore = load.TraceFile
+)
+
+// Measurement record kinds.
+const (
+	KindCPU       = mstore.KindCPU
+	KindBandwidth = mstore.KindBandwidth
+	KindLoad      = mstore.KindLoad
+)
+
+// OpenMeasurementStore opens (creating if needed) a store directory.
+func OpenMeasurementStore(dir string, opts ...StoreOption) (*MeasurementStore, error) {
+	return mstore.Open(dir, opts...)
+}
+
+// StoreReadOnly opens a store for reading only: no files are created or
+// repaired, and Append fails.
+func StoreReadOnly() StoreOption { return mstore.ReadOnly() }
+
+// WithStoreMetrics registers the store's segment gauge, byte counter,
+// and append-latency histogram on the registry.
+func WithStoreMetrics(m *Metrics) StoreOption { return mstore.WithMetrics(m) }
+
+// WithNWSStore makes an NWS instance append every observed sample to
+// the store; pair with NWS.RestoreFromStore to warm-start forecaster
+// banks bit-identically across restarts.
+func WithNWSStore(st *MeasurementStore) NWSOption { return nws.WithStore(st) }
 
 // Application templates (HAT) and user specifications (US).
 type (

@@ -7,6 +7,7 @@
 //	apples -n 2000 -iters 100 -seed 11 -info nws
 //	apples -n 4000 -sp2 -info oracle
 //	apples -n 2000 -listen :9090    # live /metrics, /trace/recent, pprof
+//	apples -n 2000 -store ./history # durable NWS history + warm start
 //
 // With -serve the binary runs as a multi-tenant scheduling daemon
 // instead of executing one run: -tenants agents register with a shared
@@ -52,6 +53,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the run's metrics registry (rounds, candidates, sensing, sim events) on exit")
 	listen := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /trace/recent, /debug/pprof); keeps serving after the run until interrupted")
 	ringSize := flag.Int("trace-ring", 512, "events retained for /trace/recent when -listen is set")
+	storeDir := flag.String("store", "", "durable measurement store directory: NWS samples are appended, and existing history warm-starts the forecasters (-info nws only)")
 	serve := flag.Bool("serve", false, "run as a multi-tenant scheduling daemon (/schedule, /tenants) instead of executing one run")
 	tenants := flag.Int("tenants", 8, "agents registered as tenants t0..tN-1 in -serve mode")
 	queueDepth := flag.Int("queue-depth", 1024, "admission-queue bound in -serve mode (full queue -> 429)")
@@ -113,6 +115,27 @@ func main() {
 	}
 	tp := apples.SDSCPCL(eng, apples.TestbedOptions{Seed: *seed, Quiet: *quiet, WithSP2: *sp2})
 
+	var store *apples.MeasurementStore
+	if *storeDir != "" {
+		if *info != "nws" {
+			fail(fmt.Errorf("-store records NWS sensing history; it needs -info nws, not %q", *info))
+		}
+		var stOpts []apples.StoreOption
+		if reg != nil {
+			stOpts = append(stOpts, apples.WithStoreMetrics(reg))
+		}
+		var err error
+		store, err = apples.OpenMeasurementStore(*storeDir, stOpts...)
+		if err != nil {
+			fail(err)
+		}
+		defer store.Close()
+		if rec := store.Recovery(); rec.DroppedBytes > 0 {
+			fmt.Printf("store %s: recovered after unclean shutdown, dropped %d torn trailing bytes\n",
+				*storeDir, rec.DroppedBytes)
+		}
+	}
+
 	if *topo {
 		fmt.Print(tp.Describe())
 		return
@@ -150,12 +173,32 @@ func main() {
 		if stages != nil {
 			nwsOpts = append(nwsOpts, apples.WithNWSStageTiming(stages))
 		}
+		if store != nil {
+			nwsOpts = append(nwsOpts, apples.WithNWSStore(store))
+		}
 		svc := apples.NewNWS(eng, 10, nwsOpts...)
+		if store != nil {
+			replayed, err := svc.RestoreFromStore(store)
+			if err != nil {
+				fail(err)
+			}
+			if replayed > 0 {
+				fmt.Printf("store %s: warm-started forecasters from %d records\n", *storeDir, replayed)
+			}
+		}
 		svc.WatchTopology(tp)
 		if err := eng.RunUntil(*warm); err != nil {
 			fail(err)
 		}
 		svc.Stop()
+		if store != nil {
+			if err := svc.StoreErr(); err != nil {
+				fail(err)
+			}
+			if err := store.Sync(); err != nil {
+				fail(err)
+			}
+		}
 		source = apples.NWSInformation(svc, tp)
 	case "oracle":
 		if err := eng.RunUntil(*warm); err != nil {

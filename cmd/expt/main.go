@@ -12,7 +12,8 @@
 // latency for the two blueprints), nws-scale (sensing throughput),
 // obs-overhead (decision-trace instrumentation cost), tenant-converge
 // (competing agents on one scheduling service: oscillation vs
-// damped convergence), all.
+// damped convergence), replay (record a sensing run to a durable
+// store, replay it twice, assert identical decision traces), all.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,selector-gap,nws-scale,obs-overhead,tenant-converge,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,selector-gap,nws-scale,obs-overhead,tenant-converge,replay,all")
 	seed := flag.Int64("seed", 11, "base seed for ambient load")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
@@ -359,6 +360,22 @@ func main() {
 			return err
 		}
 		fmt.Print(expt.FormatMultiApp(res))
+		return nil
+	})
+
+	run("replay", func() error {
+		spec := expt.ReplaySpec{Seed: *seed}
+		if *quick {
+			spec = expt.ReplaySpec{N: 600, Iterations: 10, Seed: *seed, WarmupSec: 120}
+		}
+		res, err := expt.Replay(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(expt.FormatReplay(res))
+		if !res.Deterministic || !res.MatchesLive {
+			return fmt.Errorf("replay diverged: deterministic=%v matches-live=%v", res.Deterministic, res.MatchesLive)
+		}
 		return nil
 	})
 

@@ -7,6 +7,7 @@
 //
 //	loadgen -kind ar1 -mean 1.2 -horizon 3600 -seed 7 -o sparc2.trace
 //	loadgen -kind onoff -busy 3 -o bursts.trace
+//	loadgen -kind ar1 -store ./history -series sparc2   # durable store format
 //
 // With -target the command instead drives a running scheduling daemon
 // (apples -serve): workers fire /schedule rounds round-robin across
@@ -37,6 +38,8 @@ func main() {
 	horizon := flag.Float64("horizon", 3600, "trace length (virtual seconds)")
 	dt := flag.Float64("dt", 5, "sampling step (seconds)")
 	out := flag.String("o", "", "output file (default stdout)")
+	storeDir := flag.String("store", "", "append the trace to a durable measurement store directory instead of writing text")
+	series := flag.String("series", "", "store series name (default: the generator kind)")
 
 	mean := flag.Float64("mean", 1.0, "ar1: mean load")
 	phi := flag.Float64("phi", 0.9, "ar1: persistence")
@@ -84,6 +87,20 @@ func main() {
 	}
 
 	steps := apples.RecordLoadSource(src, *dt, *horizon)
+	if *storeDir != "" {
+		name := *series
+		if name == "" {
+			name = *kind
+		}
+		tf := apples.LoadTraceStore{Dir: *storeDir}
+		if err := tf.Write(map[string][]apples.LoadStep{name: steps}); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended %d steps covering %.0f s to store %s (series %q)\n",
+			len(steps), *horizon, *storeDir, name)
+		return
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -1,0 +1,108 @@
+package expt
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateReplayGolden = flag.Bool("update", false, "re-record the committed replay store and golden trace under testdata/")
+
+// goldenReplaySpec is deliberately small: 12 sensing sweeps and a 600²
+// problem keep the committed store a few kilobytes and the golden
+// winner/verdict trace a reviewable handful of lines.
+var goldenReplaySpec = ReplaySpec{N: 600, Iterations: 10, Seed: 11, WarmupSec: 120}
+
+// winnerVerdictLines filters a JSONL decision trace down to the lines
+// that state decisions — the winner of each scheduling round and the
+// wait-or-run verdict — which is what the golden file pins.
+func winnerVerdictLines(trace []byte) []byte {
+	var out bytes.Buffer
+	for _, line := range bytes.Split(trace, []byte("\n")) {
+		if bytes.Contains(line, []byte(`"type":"winner"`)) || bytes.Contains(line, []byte(`"type":"wait-or-run"`)) {
+			out.Write(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.Bytes()
+}
+
+// TestGoldenReplayTrace pins the full replay contract with committed
+// artifacts: testdata/replay_store is a recorded sensing run in the
+// durable store format, and testdata/golden_replay_trace.jsonl is the
+// winner/verdict trace the original (live) run derived from it. A
+// store-driven replay on a fresh process must re-derive that exact
+// JSONL, and two replays must agree on every traced byte. Regenerate
+// both artifacts with `go test -run GoldenReplay -update`.
+func TestGoldenReplayTrace(t *testing.T) {
+	storeDir := filepath.Join("testdata", "replay_store")
+	golden := filepath.Join("testdata", "golden_replay_trace.jsonl")
+
+	if *updateReplayGolden {
+		if err := os.RemoveAll(storeDir); err != nil {
+			t.Fatal(err)
+		}
+		live, err := RecordReplayRun(goldenReplaySpec, storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, winnerVerdictLines(live.Trace), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first, err := ReplayRunFromStore(goldenReplaySpec, storeDir)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run GoldenReplay -update` to record the store)", err)
+	}
+	second, err := ReplayRunFromStore(goldenReplaySpec, storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Trace, second.Trace) {
+		t.Fatal("two replays of the committed store produced different decision traces")
+	}
+	if first.Records == 0 {
+		t.Fatal("replay restored no records from the committed store")
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run GoldenReplay -update` to create it)", err)
+	}
+	if got := winnerVerdictLines(first.Trace); !bytes.Equal(got, want) {
+		t.Fatalf("replay re-derived a different winner/verdict trace than the recorded run —\n"+
+			"if the schema or decision change is intended, regenerate with -update\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReplayEndToEnd runs the full record→replay→replay figure on a
+// throwaway store and asserts both determinism properties hold, with
+// the actuated times agreeing too — the replay drives the same
+// schedule through the same world.
+func TestReplayEndToEnd(t *testing.T) {
+	spec := goldenReplaySpec
+	spec.StoreDir = t.TempDir()
+	r, err := Replay(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deterministic {
+		t.Error("replay-1 and replay-2 decision traces diverged")
+	}
+	if !r.MatchesLive {
+		t.Error("replay decision trace diverged from the live run")
+	}
+	if r.Live.Measured != r.First.Measured || r.First.Measured != r.Second.Measured {
+		t.Errorf("actuated times diverged: live %v, replay-1 %v, replay-2 %v",
+			r.Live.Measured, r.First.Measured, r.Second.Measured)
+	}
+	if r.StoreRecords == 0 || r.StoreSegments == 0 {
+		t.Errorf("store reports %d records in %d segments", r.StoreRecords, r.StoreSegments)
+	}
+	if out := FormatReplay(r); !bytes.Contains([]byte(out), []byte("identical")) {
+		t.Errorf("FormatReplay output carries no verdict:\n%s", out)
+	}
+}

@@ -1,0 +1,119 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+
+	"apples/internal/mstore"
+)
+
+// TraceFile is a durable load-trace collection backed by an mstore
+// directory — the same segment/WAL format the NWS sensing history uses,
+// so one store can hold both measurements and the contention scenario
+// that produced them. Each step of a series becomes one KindLoad
+// record: the record tick carries the step time (mstore.TimeTick, a
+// lossless float64 embedding) and the record value the load level.
+type TraceFile struct {
+	// Dir is the store directory. Write creates it on first use.
+	Dir string
+}
+
+// Write appends every series' steps to the store, fsyncing before it
+// returns. Steps must satisfy the ParseTrace invariants (non-negative,
+// strictly increasing times); series are written in sorted name order
+// so identical inputs produce identical stores.
+func (tf TraceFile) Write(traces map[string][]Step) error {
+	st, err := mstore.Open(tf.Dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	names := make([]string, 0, len(traces))
+	for name := range traces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := AppendTrace(st, name, traces[name]); err != nil {
+			return err
+		}
+	}
+	return st.Close()
+}
+
+// Read loads every load-trace series in the store. Records of other
+// kinds (e.g. NWS sensor history sharing the directory) are skipped.
+func (tf TraceFile) Read() (map[string][]Step, error) {
+	st, err := mstore.Open(tf.Dir, mstore.ReadOnly())
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return DecodeTraces(st)
+}
+
+// ReadSeries loads one series and errors if the store doesn't hold it.
+func (tf TraceFile) ReadSeries(name string) ([]Step, error) {
+	traces, err := tf.Read()
+	if err != nil {
+		return nil, err
+	}
+	steps, ok := traces[name]
+	if !ok {
+		return nil, fmt.Errorf("load: store %s holds no trace series %q", tf.Dir, name)
+	}
+	return steps, nil
+}
+
+// AppendTrace writes one series' steps to an already-open store —
+// the building block for mixing traces into a store another subsystem
+// owns. The steps are validated like ParseTrace input.
+func AppendTrace(st *mstore.Store, series string, steps []Step) error {
+	if len(steps) == 0 {
+		return fmt.Errorf("load: empty trace for series %q", series)
+	}
+	prev := -1.0
+	for _, s := range steps {
+		if s.At < 0 || s.Value < 0 {
+			return fmt.Errorf("load: series %q: negative step {%v %v}", series, s.At, s.Value)
+		}
+		if s.At <= prev && prev >= 0 {
+			return fmt.Errorf("load: series %q: time %v not increasing", series, s.At)
+		}
+		prev = s.At
+		r := mstore.Record{Kind: mstore.KindLoad, Series: series, Tick: mstore.TimeTick(s.At), Value: s.Value}
+		if err := st.Append(r); err != nil {
+			return fmt.Errorf("load: appending series %q: %w", series, err)
+		}
+	}
+	return st.Sync()
+}
+
+// DecodeTraces streams an open store and reassembles its KindLoad
+// records into per-series step lists, re-checking the trace invariants
+// so a corrupted or hand-edited store cannot smuggle in a trace
+// ParseTrace would have rejected.
+func DecodeTraces(st *mstore.Store) (map[string][]Step, error) {
+	traces := make(map[string][]Step)
+	for r, err := range st.Records() {
+		if err != nil {
+			return nil, fmt.Errorf("load: reading trace store: %w", err)
+		}
+		if r.Kind != mstore.KindLoad {
+			continue
+		}
+		s := Step{At: mstore.TickTime(r.Tick), Value: r.Value}
+		prev := traces[r.Series]
+		if s.At < 0 || s.Value < 0 {
+			return nil, fmt.Errorf("load: store series %q: negative step {%v %v}", r.Series, s.At, s.Value)
+		}
+		if len(prev) > 0 && s.At <= prev[len(prev)-1].At {
+			return nil, fmt.Errorf("load: store series %q: time %v not increasing", r.Series, s.At)
+		}
+		traces[r.Series] = append(prev, s)
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("load: store holds no trace series")
+	}
+	return traces, nil
+}

@@ -1,0 +1,140 @@
+package load
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"apples/internal/mstore"
+)
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tf := TraceFile{Dir: filepath.Join(t.TempDir(), "traces")}
+	want := map[string][]Step{
+		"sparc2": {{At: 0, Value: 1.25}, {At: 12.5, Value: 0}, {At: 60, Value: 2.75}},
+		"alpha1": {{At: 0.1, Value: 0.5}, {At: math.Pi, Value: 1e-9}},
+	}
+	if err := tf.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tf.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+	steps, err := tf.ReadSeries("sparc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(steps, want["sparc2"]) {
+		t.Fatalf("ReadSeries diverged: %+v", steps)
+	}
+	if _, err := tf.ReadSeries("missing"); err == nil {
+		t.Fatal("ReadSeries accepted a series the store does not hold")
+	}
+
+	// A second Write extends the same series durably.
+	if err := tf.Write(map[string][]Step{"sparc2": {{At: 90, Value: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	steps, err = tf.ReadSeries("sparc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := steps[len(steps)-1]; got != (Step{At: 90, Value: 3}) {
+		t.Fatalf("append did not extend the series: last step %+v", got)
+	}
+}
+
+// TestTraceFileSharedStore pins the co-tenancy contract: load traces and
+// other record kinds can share one store, and each reader sees only its
+// own kind.
+func TestTraceFileSharedStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := mstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(mstore.Record{Kind: mstore.KindCPU, Series: "sparc2", Tick: 1, Value: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrace(st, "sparc2", []Step{{At: 0, Value: 1}, {At: 5, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(mstore.Record{Kind: mstore.KindBandwidth, Series: "lnk", Tick: 1, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := TraceFile{Dir: dir}.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]Step{"sparc2": {{At: 0, Value: 1}, {At: 5, Value: 2}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shared store read diverged: %+v", got)
+	}
+}
+
+func TestTraceFileRejectsBadTraces(t *testing.T) {
+	dir := t.TempDir()
+	tf := TraceFile{Dir: dir}
+	for name, traces := range map[string]map[string][]Step{
+		"empty series":    {"x": nil},
+		"negative time":   {"x": {{At: -1, Value: 0}}},
+		"negative value":  {"x": {{At: 0, Value: -2}}},
+		"non-increasing":  {"x": {{At: 5, Value: 1}, {At: 5, Value: 2}}},
+		"time regression": {"x": {{At: 5, Value: 1}, {At: 4, Value: 2}}},
+	} {
+		if err := tf.Write(traces); err == nil {
+			t.Errorf("%s: Write accepted an invalid trace", name)
+		}
+	}
+
+	// A store whose on-disk records regress in time must be rejected on
+	// read, too: write two Steps as raw records out of order.
+	st, err := mstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []float64{9, 3} {
+		r := mstore.Record{Kind: mstore.KindLoad, Series: "x", Tick: mstore.TimeTick(at), Value: 1}
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.Read(); err == nil {
+		t.Fatal("Read accepted a store with regressing step times")
+	}
+}
+
+// TestTraceFileDrivesSource closes the loop with the generator side: a
+// recorded source written through a TraceFile and read back replays the
+// same load curve.
+func TestTraceFileDrivesSource(t *testing.T) {
+	src := NewPeriodic(5, 600, 1, 0.5, 0)
+	steps := RecordSource(src, 5, 1200)
+	tf := TraceFile{Dir: t.TempDir()}
+	if err := tf.Write(map[string][]Step{"gen": steps}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tf.ReadSeries("gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, replay := NewTrace(steps), NewTrace(back)
+	for ts := 0.0; ts < 1200; ts += 7 {
+		a, _ := orig.Sample(ts)
+		b, _ := replay.Sample(ts)
+		if a != b {
+			t.Fatalf("replayed trace diverged at t=%v: %v vs %v", ts, a, b)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package mstore
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildCrashFixture writes a store whose live segment carries a healthy
+// share of the records (small segments force rotations first), closes
+// it, and returns the directory, the full record stream, and the frame
+// end-offsets of the live segment — the ground truth the kill-point
+// checks are scored against.
+func buildCrashFixture(t *testing.T, n int) (dir string, recs []Record, liveName string, frameEnds []int) {
+	t.Helper()
+	dir = t.TempDir()
+	st, err := Open(dir, WithSegmentBytes(int64(len(segMagic)+frameHeader+maxPayload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = mkRecords(n)
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveName = names[len(names)-1]
+	data, err := os.ReadFile(filepath.Join(dir, liveName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		_, n, ok := decodeFrame(data[off:])
+		if !ok {
+			t.Fatalf("fixture live segment has invalid frame at %d", off)
+		}
+		off += n
+		frameEnds = append(frameEnds, off)
+	}
+	if len(frameEnds) < 3 {
+		t.Fatalf("fixture live segment holds only %d records; kill points need more", len(frameEnds))
+	}
+	return dir, recs, liveName, frameEnds
+}
+
+// copyStore clones a store directory so each kill point mutates a fresh
+// copy.
+func copyStore(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestCrashRecoveryKillPoints is the crash-recovery property harness: it
+// truncates the live segment at randomized byte offsets — mid-frame,
+// mid-header, inside the magic, at exact frame boundaries — and reopen
+// must (a) never panic, (b) recover every record up to the torn tail,
+// (c) report exactly the dropped trailing bytes, and (d) accept further
+// appends that extend the recovered prefix. At least 50 randomized kill
+// points run, plus the deliberate edge offsets.
+func TestCrashRecoveryKillPoints(t *testing.T) {
+	dir, recs, liveName, frameEnds := buildCrashFixture(t, 400)
+	livePath := func(d string) string { return filepath.Join(d, liveName) }
+	liveSize := frameEnds[len(frameEnds)-1]
+	liveRecords := len(frameEnds)
+	sealedRecords := len(recs) - liveRecords
+
+	rng := rand.New(rand.NewSource(20260808))
+	cuts := []int{0, 1, len(segMagic) - 1, len(segMagic), liveSize - 1, liveSize,
+		frameEnds[0], frameEnds[0] + 1, frameEnds[0] + frameHeader - 1}
+	for len(cuts) < 59 { // 50 randomized points on top of the edges
+		cuts = append(cuts, rng.Intn(liveSize+1))
+	}
+
+	for _, cut := range cuts {
+		dst := copyStore(t, dir)
+		if err := os.Truncate(livePath(dst), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		// Expected survivors: all sealed records plus the live frames
+		// wholly before the cut.
+		goodFrames := 0
+		goodOff := len(segMagic)
+		for _, end := range frameEnds {
+			if end <= cut {
+				goodFrames++
+				goodOff = end
+			}
+		}
+		wantDropped := int64(cut - goodOff)
+		if cut < len(segMagic) {
+			wantDropped = int64(cut) // torn header: every byte is unusable
+		}
+		want := recs[:sealedRecords+goodFrames]
+
+		st, err := Open(dst, WithSegmentBytes(int64(len(segMagic)+frameHeader+maxPayload)))
+		if err != nil {
+			t.Fatalf("cut=%d: reopen failed: %v", cut, err)
+		}
+		if got := st.Recovery().DroppedBytes; got != wantDropped {
+			t.Fatalf("cut=%d: recovery reported %d dropped bytes, want %d", cut, got, wantDropped)
+		}
+		if got := st.Recovery().LiveRecords; got != goodFrames {
+			t.Fatalf("cut=%d: recovery reported %d live records, want %d", cut, got, goodFrames)
+		}
+		got := collect(t, st)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut=%d: recovered %d records, want %d (prefix property violated)", cut, len(got), len(want))
+		}
+
+		// Life goes on: appends after recovery extend the recovered
+		// prefix and survive another clean reopen.
+		extra := Record{Kind: KindCPU, Series: "post-crash", Tick: 999, Value: 0.5}
+		if err := st.Append(extra); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("cut=%d: close after recovery: %v", cut, err)
+		}
+		re, err := Open(dst)
+		if err != nil {
+			t.Fatalf("cut=%d: second reopen: %v", cut, err)
+		}
+		if re.Recovery().DroppedBytes != 0 {
+			t.Fatalf("cut=%d: clean reopen still reports %d dropped bytes", cut, re.Recovery().DroppedBytes)
+		}
+		if got := collect(t, re); !reflect.DeepEqual(got, append(append([]Record(nil), want...), extra)) {
+			t.Fatalf("cut=%d: post-recovery append did not extend the stream", cut)
+		}
+		re.Close()
+	}
+}
+
+// TestCrashRecoverySealedCorruption pins the other half of the recovery
+// contract: damage to a *sealed* segment is not a crash artifact and
+// must surface as a typed ErrCorruptSegment from the read stream — never
+// as silently dropped or fabricated records.
+func TestCrashRecoverySealedCorruption(t *testing.T) {
+	dir, _, liveName, _ := buildCrashFixture(t, 400)
+	names, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] == liveName {
+		t.Fatal("fixture needs at least one sealed segment")
+	}
+	for _, damage := range []struct {
+		name string
+		mut  func(path string) error
+	}{
+		{"truncated", func(p string) error {
+			info, err := os.Stat(p)
+			if err != nil {
+				return err
+			}
+			return os.Truncate(p, info.Size()-5)
+		}},
+		{"flipped byte", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0x40
+			return os.WriteFile(p, data, 0o644)
+		}},
+	} {
+		dst := copyStore(t, dir)
+		if err := damage.mut(filepath.Join(dst, names[0])); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dst)
+		if err != nil {
+			t.Fatalf("%s: open must succeed (sealed segments are read lazily): %v", damage.name, err)
+		}
+		var sawErr error
+		for _, err := range st.Records() {
+			if err != nil {
+				sawErr = err
+				break
+			}
+		}
+		if !errors.Is(sawErr, ErrCorruptSegment) {
+			t.Fatalf("%s sealed segment: stream returned %v, want ErrCorruptSegment", damage.name, sawErr)
+		}
+		st.Close()
+	}
+}

@@ -1,0 +1,31 @@
+// Package mstore is the durable measurement store: an append-only
+// segment/WAL log of (kind, series, tick, value) records that survives
+// process restarts, so forecaster banks warm-start instead of
+// cold-starting and recorded monitoring streams replay deterministically
+// through the full scheduling pipeline.
+//
+// Layout on disk is a directory holding fixed-size segment files plus a
+// MANIFEST naming them in order:
+//
+//	store/
+//	  MANIFEST          # "mstore-manifest v1" + one segment name per line
+//	  00000001.seg      # sealed (full) segments, fsynced on rotation
+//	  00000002.seg
+//	  00000003.seg      # the live segment, appended to in place
+//
+// Each segment opens with an 8-byte magic header and then carries
+// length+CRC-framed records (see record.go). Sealed segments are
+// immutable and must decode cleanly end to end — any damage is a typed
+// ErrCorruptSegment. The live segment is the only file a crash can tear:
+// on open, the store scans it to the last whole frame, truncates the torn
+// tail, and reports how many trailing bytes were dropped (Recovery).
+// Nothing before the tear is ever lost, and a torn tail never panics the
+// reader — the crash-recovery property test drives ≥50 randomized
+// kill-points through exactly this path.
+//
+// Reads stream: Records returns an iter.Seq2 that walks the manifest
+// order frame by frame, so hours of history replay without loading the
+// store into memory. Appends go through a buffered writer; Sync flushes
+// and fsyncs, rotation always fsyncs the sealed segment before the
+// manifest adds its successor.
+package mstore

@@ -1,0 +1,153 @@
+package mstore
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update", false, "rewrite the committed fuzz corpus under testdata/")
+
+// corpusSeeds builds the committed FuzzSegmentDecode corpus: valid
+// segments of each shape, then one entry per corruption class the
+// decoder must reject with a typed error — flipped CRC bytes, truncated
+// frames, impossible lengths, bad magic, zero-length files, trailing
+// garbage.
+func corpusSeeds(t testing.TB) map[string][]byte {
+	t.Helper()
+	mustEncode := func(recs []Record) []byte {
+		img, err := EncodeSegment(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	valid := mustEncode([]Record{
+		{Kind: KindCPU, Series: "alpha1", Tick: 1, Value: 0.93},
+		{Kind: KindBandwidth, Series: "link-alpha1-alpha2", Tick: 1, Value: 7.25},
+		{Kind: KindLoad, Series: "sparc2", Tick: TimeTick(12.5), Value: 1.5},
+	})
+	seeds := map[string][]byte{
+		"seed-valid":       valid,
+		"seed-empty":       append([]byte(nil), segMagic...),
+		"seed-one":         mustEncode([]Record{{Kind: KindCPU, Series: "x", Tick: 0, Value: math.Inf(1)}}),
+		"seed-empty-name":  mustEncode([]Record{{Kind: KindLoad, Series: "", Tick: 7, Value: -0.0}}),
+		"seed-zero-length": {},
+		"seed-short-magic": []byte("MST"),
+		"seed-bad-magic":   []byte("NOTSTORE"),
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(segMagic)+4] ^= 0xFF // first frame's CRC field
+	seeds["seed-flipped-crc"] = flipped
+	flippedBody := append([]byte(nil), valid...)
+	flippedBody[len(flippedBody)-1] ^= 0x01 // last frame's value bits
+	seeds["seed-flipped-value"] = flippedBody
+	seeds["seed-truncated-frame"] = valid[:len(valid)-5]
+	seeds["seed-truncated-header"] = valid[:len(segMagic)+3]
+	huge := append([]byte(nil), segMagic...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0) // length 2^32-1
+	seeds["seed-huge-length"] = huge
+	seeds["seed-trailing-garbage"] = append(append([]byte(nil), valid...), "tail"...)
+	return seeds
+}
+
+// TestFuzzCorpusCommitted keeps the committed corpus in sync with
+// corpusSeeds (regenerate with `go test -run FuzzCorpus -update`) and
+// replays every committed entry through the decode invariants, so the
+// corpus guards the decoder on every plain `go test` run, not only under
+// -fuzz.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzSegmentDecode")
+	if *updateCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range corpusSeeds(t) {
+			entry := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(entry), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run FuzzCorpus -update` to create the corpus)", err)
+	}
+	want := corpusSeeds(t)
+	seen := 0
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := bytes.SplitN(raw, []byte("\n"), 3)
+		if len(lines) < 2 || string(lines[0]) != "go test fuzz v1" {
+			t.Fatalf("%s: not a go fuzz v1 corpus entry", e.Name())
+		}
+		quoted := bytes.TrimSuffix(bytes.TrimPrefix(lines[1], []byte("[]byte(")), []byte(")"))
+		data, err := strconv.Unquote(string(quoted))
+		if err != nil {
+			t.Fatalf("%s: unparseable corpus payload: %v", e.Name(), err)
+		}
+		if wantData, ok := want[e.Name()]; ok {
+			if !bytes.Equal([]byte(data), wantData) {
+				t.Fatalf("%s: committed corpus diverged from corpusSeeds (regenerate with -update)", e.Name())
+			}
+			seen++
+		}
+		checkDecodeInvariants(t, []byte(data))
+	}
+	if seen != len(want) {
+		t.Fatalf("corpus holds %d of %d seed entries (regenerate with -update)", seen, len(want))
+	}
+}
+
+// checkDecodeInvariants is the shared oracle for the fuzzer and the
+// corpus replay: DecodeSegment must never panic, must reject damage with
+// the typed ErrCorruptSegment (never garbage records), and must accept
+// only byte streams its encoder reproduces exactly.
+func checkDecodeInvariants(t *testing.T, data []byte) {
+	t.Helper()
+	recs, err := DecodeSegment(data)
+	if err != nil {
+		if !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("DecodeSegment returned untyped error %v", err)
+		}
+		if recs != nil {
+			t.Fatal("DecodeSegment returned records alongside an error")
+		}
+		return
+	}
+	// Accepted input: the frame encoding is canonical, so re-encoding
+	// the records must reproduce the input bit for bit.
+	img, err := EncodeSegment(recs)
+	if err != nil {
+		t.Fatalf("re-encoding accepted records failed: %v", err)
+	}
+	if !bytes.Equal(img, data) {
+		t.Fatalf("accepted segment is not canonical: %d input bytes re-encode to %d", len(data), len(img))
+	}
+	for _, r := range recs {
+		if len(r.Series) > maxSeries {
+			t.Fatalf("decoded series longer than maxSeries: %d", len(r.Series))
+		}
+	}
+}
+
+// FuzzSegmentDecode drives arbitrary bytes through the strict
+// sealed-segment decoder. The committed corpus under testdata/fuzz seeds
+// the interesting shapes; the invariants live in checkDecodeInvariants.
+func FuzzSegmentDecode(f *testing.F) {
+	for _, data := range corpusSeeds(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkDecodeInvariants(t, data)
+	})
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package mstore
+
+import "os"
+
+// Non-unix platforms have no flock(2); writable opens proceed unguarded,
+// matching the store's pre-lock behavior. The single-writer guarantee is
+// only enforced where advisory file locks exist.
+func acquireDirLock(string) (*os.File, error) { return nil, nil }
+
+func releaseDirLock(*os.File) {}

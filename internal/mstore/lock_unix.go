@@ -1,0 +1,41 @@
+//go:build unix
+
+package mstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive advisory flock on dir/LOCK so at most
+// one writable Store exists per directory per machine. flock locks belong
+// to the open file description, so a second Open in the same process (a
+// distinct descriptor) conflicts just like one from another process. The
+// lock dies with the descriptor: a crashed writer never wedges the
+// directory. The name "LOCK" does not parse as a segment, so the
+// manifest and orphan sweeps ignore it.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+string(os.PathSeparator)+"LOCK", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mstore: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, fmt.Errorf("%w: %s", ErrStoreLocked, dir)
+		}
+		return nil, fmt.Errorf("mstore: flock %s: %w", dir, err)
+	}
+	return f, nil
+}
+
+// releaseDirLock drops the lock. Closing the descriptor releases the
+// flock; the explicit unlock just makes the handoff immediate.
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

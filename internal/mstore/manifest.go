@@ -1,0 +1,126 @@
+package mstore
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The manifest is the authority on segment order: a text file whose
+// header line pins the format and whose remaining lines name segments
+// oldest first. The last named segment is the live one. Rotation rewrites
+// the manifest atomically (temp file + rename + directory fsync), so a
+// crash leaves either the old list or the new list — never half of one.
+const (
+	manifestName   = "MANIFEST"
+	manifestHeader = "mstore-manifest v1"
+)
+
+// segName renders the canonical file name of segment seq.
+func segName(seq uint64) string { return fmt.Sprintf("%08d.seg", seq) }
+
+// parseSegName extracts the sequence number from a canonical segment
+// name.
+func parseSegName(name string) (uint64, bool) {
+	if len(name) != 12 || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[:8], 10, 64)
+	if err != nil || segName(seq) != name {
+		return 0, false
+	}
+	return seq, true
+}
+
+// readManifest loads and validates the segment list: header intact,
+// every name canonical, sequence numbers strictly increasing (which also
+// rules out duplicates), at least one segment. Violations are
+// ErrBadManifest — an untrustworthy manifest must stop the open, not
+// guess an order.
+func readManifest(dir string) ([]string, error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != manifestHeader {
+		return nil, fmt.Errorf("%w: missing header %q", ErrBadManifest, manifestHeader)
+	}
+	var names []string
+	var prev uint64
+	for sc.Scan() {
+		name := strings.TrimSpace(sc.Text())
+		if name == "" {
+			continue
+		}
+		seq, ok := parseSegName(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: bad segment name %q", ErrBadManifest, name)
+		}
+		if len(names) > 0 && seq <= prev {
+			return nil, fmt.Errorf("%w: segment %q out of order after %08d.seg", ErrBadManifest, name, prev)
+		}
+		names = append(names, name)
+		prev = seq
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w: no segments listed", ErrBadManifest)
+	}
+	return names, nil
+}
+
+// writeManifest atomically replaces the manifest with the given segment
+// list and fsyncs both the file and the directory, so the new list is
+// durable before any caller relies on it.
+func writeManifest(dir string, names []string) error {
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, manifestHeader)
+	for _, name := range names {
+		fmt.Fprintln(w, name)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creations inside it are
+// durable. Platforms that reject directory fsync (it is advisory on some
+// filesystems) do not fail the store.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		// EINVAL from directory fsync is a filesystem quirk, not data loss.
+		if pe, ok := err.(*os.PathError); !ok || pe.Err.Error() != "invalid argument" {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package mstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Kind names the resource class a measurement belongs to. Kinds keep one
+// store shared by several subsystems self-describing: the NWS writes CPU
+// and bandwidth samples, load traces write ambient-load steps, and a
+// reader filters by kind without out-of-band context.
+type Kind uint8
+
+const (
+	// KindCPU is a host CPU-availability sample (0..1], one per sensor
+	// sweep.
+	KindCPU Kind = 1
+	// KindBandwidth is a link available-bandwidth sample (MB/s).
+	KindBandwidth Kind = 2
+	// KindLoad is one step of a piecewise-constant ambient-load trace;
+	// its tick carries the step's start time (see TimeTick).
+	KindLoad Kind = 3
+)
+
+// String names the kind for reports and errors.
+func (k Kind) String() string {
+	switch k {
+	case KindCPU:
+		return "cpu"
+	case KindBandwidth:
+		return "bandwidth"
+	case KindLoad:
+		return "load"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one measurement: resource kind, series name, tick, value.
+// Tick is the sample's position on the series' time axis — a sweep
+// sequence number for sensor series, or the IEEE-754 bits of a float
+// time for trace steps (TimeTick/TickTime round-trip losslessly).
+// Records replay in append order, so tick is ordering metadata for
+// readers, not a replay key.
+type Record struct {
+	Kind   Kind
+	Series string
+	Tick   uint64
+	Value  float64
+}
+
+// TimeTick packs a float64 time into a tick losslessly.
+func TimeTick(t float64) uint64 { return math.Float64bits(t) }
+
+// TickTime unpacks a tick written by TimeTick.
+func TickTime(tick uint64) float64 { return math.Float64frombits(tick) }
+
+// Typed failures. Readers must surface corruption as one of these — never
+// as garbage records, never as a panic.
+var (
+	// ErrCorruptSegment reports a sealed segment (or an explicit strict
+	// decode) whose bytes do not parse: bad magic, an impossible frame
+	// length, a CRC mismatch, or a frame running past end of file.
+	ErrCorruptSegment = errors.New("mstore: corrupt segment")
+	// ErrBadManifest reports a manifest that cannot be trusted: garbled
+	// header, unparseable or out-of-order segment names, duplicates, or a
+	// named segment missing from the directory.
+	ErrBadManifest = errors.New("mstore: bad manifest")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("mstore: store is closed")
+	// ErrReadOnly reports an append to a store opened with ReadOnly.
+	ErrReadOnly = errors.New("mstore: store is read-only")
+	// ErrStoreLocked reports a writable Open of a directory that another
+	// live Store already holds for writing. Two writers on one directory
+	// would clobber each other's frames (each flushes at its own notion
+	// of the live offset), so the second Open fails instead.
+	ErrStoreLocked = errors.New("mstore: store locked by another writer")
+)
+
+// Frame layout, little-endian:
+//
+//	u32 payload length
+//	u32 CRC-32 (IEEE) of the payload
+//	payload:
+//	  u8  kind
+//	  u16 series-name length, then the name bytes
+//	  u64 tick
+//	  u64 value (float64 bits)
+//
+// The length field is written first and covers only the payload, so a
+// reader always knows how many bytes a whole frame needs before trusting
+// any of them; the CRC then vouches for the payload. minPayload is the
+// payload size of an empty series name; maxPayload bounds the length
+// field so a torn or flipped length byte cannot send the reader chasing
+// gigabytes.
+const (
+	frameHeader = 8
+	minPayload  = 1 + 2 + 8 + 8
+	maxSeries   = 1 << 10
+	maxPayload  = minPayload + maxSeries
+)
+
+// appendFrame encodes r as one frame onto buf and returns the extended
+// slice. The series name must fit maxSeries.
+func appendFrame(buf []byte, r Record) ([]byte, error) {
+	if len(r.Series) > maxSeries {
+		return buf, fmt.Errorf("mstore: series name %d bytes, max %d", len(r.Series), maxSeries)
+	}
+	payload := minPayload + len(r.Series)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+	crcAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // CRC placeholder
+	payloadAt := len(buf)
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Series)))
+	buf = append(buf, r.Series...)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Tick)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value))
+	crc := crc32.ChecksumIEEE(buf[payloadAt:])
+	binary.LittleEndian.PutUint32(buf[crcAt:], crc)
+	return buf, nil
+}
+
+// decodeFrame parses one frame at the start of data. ok reports a whole,
+// CRC-clean frame; n is its total size. !ok means data holds no valid
+// frame at offset 0 — the caller decides whether that is a torn tail
+// (live segment) or corruption (sealed segment).
+func decodeFrame(data []byte) (r Record, n int, ok bool) {
+	if len(data) < frameHeader {
+		return Record{}, 0, false
+	}
+	payload := int(binary.LittleEndian.Uint32(data))
+	if payload < minPayload || payload > maxPayload {
+		return Record{}, 0, false
+	}
+	n = frameHeader + payload
+	if len(data) < n {
+		return Record{}, 0, false
+	}
+	crc := binary.LittleEndian.Uint32(data[4:])
+	body := data[frameHeader:n]
+	if crc32.ChecksumIEEE(body) != crc {
+		return Record{}, 0, false
+	}
+	nameLen := int(binary.LittleEndian.Uint16(body[1:]))
+	if minPayload+nameLen != payload {
+		return Record{}, 0, false
+	}
+	r.Kind = Kind(body[0])
+	r.Series = string(body[3 : 3+nameLen])
+	rest := body[3+nameLen:]
+	r.Tick = binary.LittleEndian.Uint64(rest)
+	r.Value = math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
+	return r, n, true
+}

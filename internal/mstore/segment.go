@@ -1,0 +1,80 @@
+package mstore
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// segMagic opens every segment file. It keeps a stray file from being
+// mistaken for a segment and gives the torn-tail scanner a fixed prefix:
+// a live segment shorter than the magic is a crash during creation, and
+// everything after the magic is frames.
+var segMagic = []byte("MSTORE1\n")
+
+// scanSegment walks the frames of one segment image.
+//
+// In strict mode (sealed segments, DecodeSegment) any flaw — missing or
+// wrong magic, an invalid frame, trailing bytes that are not a whole
+// frame — is ErrCorruptSegment: sealed segments were fsynced before the
+// manifest committed them, so damage there is corruption, not a crash
+// artifact.
+//
+// In live mode the segment is the one file a kill can tear, and torn
+// writes only ever truncate a suffix. The scanner keeps every whole,
+// CRC-clean frame and reports the first offset that does not start one;
+// the caller drops [good, len(data)) as the torn tail. A live segment
+// shorter than the magic recovers as empty with all bytes dropped.
+func scanSegment(data []byte, strict bool, fn func(Record) bool) (good int, err error) {
+	if len(data) < len(segMagic) || !bytes.Equal(data[:len(segMagic)], segMagic) {
+		if strict {
+			return 0, fmt.Errorf("%w: missing segment magic", ErrCorruptSegment)
+		}
+		return 0, nil
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		r, n, ok := decodeFrame(data[off:])
+		if !ok {
+			if strict {
+				return off, fmt.Errorf("%w: invalid frame at byte %d", ErrCorruptSegment, off)
+			}
+			return off, nil
+		}
+		off += n
+		if fn != nil && !fn(r) {
+			return off, nil
+		}
+	}
+	return off, nil
+}
+
+// DecodeSegment strictly decodes one whole segment image (magic header
+// plus frames) into its records. Any corruption — wrong magic, flipped
+// CRC bytes, a truncated frame, an impossible length — returns a typed
+// ErrCorruptSegment; the decoder never fabricates records from damaged
+// bytes and never panics. This is the sealed-segment read path and the
+// FuzzSegmentDecode entry point.
+func DecodeSegment(data []byte) ([]Record, error) {
+	var recs []Record
+	if _, err := scanSegment(data, true, func(r Record) bool {
+		recs = append(recs, r)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// EncodeSegment renders records as one segment image, the inverse of
+// DecodeSegment (tests and the fuzz corpus generator use it; the store
+// itself streams frames through its writer).
+func EncodeSegment(recs []Record) ([]byte, error) {
+	buf := append([]byte(nil), segMagic...)
+	var err error
+	for _, r := range recs {
+		if buf, err = appendFrame(buf, r); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,491 @@
+package mstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"apples/internal/obs"
+)
+
+// DefaultSegmentBytes is the rotation threshold when WithSegmentBytes
+// does not override it: large enough that a day of 10-second sweeps over
+// a mid-size testbed fits a handful of segments, small enough that
+// sealed-segment fsyncs stay off the append fast path.
+const DefaultSegmentBytes = 1 << 20
+
+// Option configures a Store at open.
+type Option func(*Store)
+
+// WithSegmentBytes caps the live segment: an append that would push it
+// past n bytes seals it (flush + fsync) and rotates to a fresh segment.
+// n must cover at least one maximal frame.
+func WithSegmentBytes(n int64) Option {
+	if n < int64(len(segMagic)+frameHeader+maxPayload) {
+		panic("mstore: segment size must hold at least one frame")
+	}
+	return func(s *Store) { s.segBytes = n }
+}
+
+// WithMetrics registers the store's instruments in the registry:
+// mstore_segments (gauge), mstore_appended_bytes_total (counter), and
+// the mstore_append_seconds latency histogram. Handles resolve here,
+// once; nil leaves metrics off.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(s *Store) {
+		if m == nil {
+			s.metSegments, s.metBytes, s.metAppend = nil, nil, nil
+			return
+		}
+		s.metSegments = m.Gauge(obs.MetricStoreSegments)
+		s.metBytes = m.Counter(obs.MetricStoreBytes)
+		s.metAppend = m.Histogram(obs.MetricStoreAppendSeconds, obs.StoreAppendBuckets)
+	}
+}
+
+// ReadOnly opens the store for streaming reads only: Append fails with
+// ErrReadOnly and recovery is observational — a torn live tail is
+// reported in Recovery but the file is left untouched. This is how
+// committed golden stores are replayed from testdata without modifying
+// the repository.
+func ReadOnly() Option {
+	return func(s *Store) { s.readOnly = true }
+}
+
+// Recovery reports what opening the store found at the live segment's
+// tail. DroppedBytes is how many trailing bytes did not form whole
+// CRC-clean frames — a torn write from a crash — and were truncated
+// away (read-only opens report without truncating).
+type Recovery struct {
+	DroppedBytes int64
+	// LiveRecords is how many records the live segment held after
+	// recovery.
+	LiveRecords int
+}
+
+// Store is an append-only segment log of measurement records. All
+// methods are safe for concurrent use; appends are serialized, reads
+// stream a point-in-time view of the manifest.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	segBytes int64
+	readOnly bool
+	closed   bool
+
+	names    []string // manifest order; the last is the live segment
+	lock     *os.File // exclusive flock on dir/LOCK; nil when read-only
+	live     *os.File
+	w        *bufio.Writer
+	liveSize int64
+	appended uint64
+	recovery Recovery
+	buf      []byte // frame scratch, reused across appends
+
+	metSegments *obs.Gauge
+	metBytes    *obs.Counter
+	metAppend   *obs.Histogram
+}
+
+// Open opens (creating if needed) the store in dir. It validates the
+// manifest, removes segment files orphaned by a crash mid-rotation,
+// recovers the live segment's torn tail, and leaves the store ready to
+// append. Manifest damage is ErrBadManifest; the live segment can never
+// fail open — any tail damage truncates and is reported via Recovery.
+//
+// Writable opens take an exclusive advisory lock on the directory: a
+// second writable Open while the first Store is live fails with
+// ErrStoreLocked rather than letting two writers flush over each
+// other's frames. Read-only opens never lock and coexist with a writer.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{dir: dir, segBytes: DefaultSegmentBytes}
+	for _, opt := range opts {
+		opt(s)
+	}
+	ok := false
+	if !s.readOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		lock, err := acquireDirLock(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.lock = lock
+		defer func() {
+			if !ok {
+				releaseDirLock(s.lock)
+				s.lock = nil
+			}
+		}()
+	}
+	names, err := readManifest(dir)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if s.readOnly {
+			return nil, fmt.Errorf("mstore: open read-only %s: %w", dir, err)
+		}
+		// Fresh store: first segment, then the manifest naming it.
+		name := segName(1)
+		if err := createSegment(dir, name); err != nil {
+			return nil, err
+		}
+		if err := writeManifest(dir, []string{name}); err != nil {
+			return nil, err
+		}
+		names = []string{name}
+	case err != nil:
+		return nil, err
+	}
+	for _, name := range names {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("%w: listed segment %s: %v", ErrBadManifest, name, err)
+		}
+	}
+	if !s.readOnly {
+		if err := s.removeOrphans(names); err != nil {
+			return nil, err
+		}
+	}
+	s.names = names
+	if err := s.openLive(); err != nil {
+		return nil, err
+	}
+	if s.metSegments != nil {
+		s.metSegments.Set(float64(len(s.names)))
+	}
+	ok = true
+	return s, nil
+}
+
+// createSegment writes a fresh segment file holding only the magic
+// header and fsyncs it, so the manifest never commits a name whose file
+// could vanish in a crash.
+func createSegment(dir, name string) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// removeOrphans deletes segment files a crash left behind between
+// creating the next segment and committing it to the manifest. Only
+// files with sequence numbers beyond the manifest tail qualify; an
+// unlisted file inside the manifest's range means the directory and
+// manifest disagree about history, which is ErrBadManifest.
+func (s *Store) removeOrphans(names []string) error {
+	listed := make(map[string]bool, len(names))
+	for _, n := range names {
+		listed[n] = true
+	}
+	lastSeq, _ := parseSegName(names[len(names)-1])
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestName+".tmp" {
+			os.Remove(filepath.Join(s.dir, name)) // half-written rotation
+			continue
+		}
+		seq, ok := parseSegName(name)
+		if !ok || listed[name] {
+			continue
+		}
+		if seq <= lastSeq {
+			return fmt.Errorf("%w: directory holds unlisted segment %s", ErrBadManifest, name)
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openLive scans the live (last) segment for its torn tail, truncates it
+// to the last whole frame (unless read-only), and positions the appender
+// after it.
+func (s *Store) openLive() error {
+	path := filepath.Join(s.dir, s.names[len(s.names)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	live := 0
+	good, _ := scanSegment(data, false, func(Record) bool { live++; return true })
+	s.recovery = Recovery{DroppedBytes: int64(len(data) - good), LiveRecords: live}
+	if s.readOnly {
+		return nil
+	}
+	if good < len(segMagic) {
+		// The crash tore the header itself: nothing is recoverable, so
+		// rewrite the magic and start the segment over.
+		if err := os.WriteFile(path, segMagic, 0o644); err != nil {
+			return err
+		}
+		good = len(segMagic)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if s.recovery.DroppedBytes > 0 {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	s.live = f
+	s.liveSize = int64(good)
+	s.w = bufio.NewWriter(f)
+	return nil
+}
+
+// Append adds one record to the live segment, rotating first when the
+// segment is full. The write lands in the store's buffer; it reaches the
+// disk at the next rotation, Sync, or Close — and a crash before then
+// loses at most the buffered tail, which recovery truncates cleanly.
+func (s *Store) Append(r Record) error {
+	var start time.Time
+	if s.metAppend != nil {
+		start = time.Now()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	buf, err := appendFrame(s.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	s.buf = buf
+	if s.liveSize+int64(len(buf)) > s.segBytes && s.liveSize > int64(len(segMagic)) {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.w.Write(buf); err != nil {
+		return err
+	}
+	s.liveSize += int64(len(buf))
+	s.appended++
+	if s.metBytes != nil {
+		s.metBytes.Add(uint64(len(buf)))
+	}
+	if s.metAppend != nil {
+		s.metAppend.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// rotateLocked seals the live segment — flush, fsync, close — then
+// creates its successor and commits it to the manifest. Once sealed, a
+// segment is immutable and reads of it are strict.
+func (s *Store) rotateLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.live.Sync(); err != nil {
+		return err
+	}
+	if err := s.live.Close(); err != nil {
+		return err
+	}
+	lastSeq, _ := parseSegName(s.names[len(s.names)-1])
+	name := segName(lastSeq + 1)
+	if err := createSegment(s.dir, name); err != nil {
+		return err
+	}
+	names := append(append([]string(nil), s.names...), name)
+	if err := writeManifest(s.dir, names); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(int64(len(segMagic)), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	s.names = names
+	s.live = f
+	s.liveSize = int64(len(segMagic))
+	s.w = bufio.NewWriter(f)
+	if s.metSegments != nil {
+		s.metSegments.Set(float64(len(s.names)))
+	}
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the live segment.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.readOnly {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.live.Sync()
+}
+
+// Close flushes, fsyncs, and releases the store. Further appends fail
+// with ErrClosed; Records keeps working (it reads from disk).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	defer func() {
+		releaseDirLock(s.lock)
+		s.lock = nil
+	}()
+	if s.readOnly || s.live == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.live.Sync(); err != nil {
+		return err
+	}
+	return s.live.Close()
+}
+
+// Records streams every record in manifest order, oldest segment first.
+// Sealed segments decode strictly (corruption surfaces as a yielded
+// ErrCorruptSegment); the live segment reads leniently up to its last
+// whole frame, matching recovery semantics. The walk is frame by frame
+// through a buffered reader, so replaying hours of history holds one
+// frame in memory, not the store.
+func (s *Store) Records() iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		s.mu.Lock()
+		if !s.closed && !s.readOnly && s.w != nil {
+			// Surface buffered appends to this read without forcing an
+			// fsync; durability still arrives at the next Sync/rotation.
+			if err := s.w.Flush(); err != nil {
+				s.mu.Unlock()
+				yield(Record{}, err)
+				return
+			}
+		}
+		names := append([]string(nil), s.names...)
+		s.mu.Unlock()
+		for i, name := range names {
+			sealed := i < len(names)-1
+			if !streamSegment(filepath.Join(s.dir, name), sealed, yield) {
+				return
+			}
+		}
+	}
+}
+
+// streamSegment yields the records of one segment file. Returns false
+// when the consumer stopped the iteration.
+func streamSegment(path string, strict bool, yield func(Record, error) bool) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return yield(Record{}, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != string(segMagic) {
+		if strict {
+			return yield(Record{}, fmt.Errorf("%w: %s: missing segment magic", ErrCorruptSegment, filepath.Base(path)))
+		}
+		return true // torn header on a read-only live segment: empty
+	}
+	frame := make([]byte, frameHeader+maxPayload)
+	for {
+		if _, err := io.ReadFull(br, frame[:frameHeader]); err != nil {
+			if err == io.EOF {
+				return true
+			}
+			if strict {
+				return yield(Record{}, fmt.Errorf("%w: %s: truncated frame header", ErrCorruptSegment, filepath.Base(path)))
+			}
+			return true
+		}
+		payload := int(binary.LittleEndian.Uint32(frame))
+		if payload < minPayload || payload > maxPayload {
+			if strict {
+				return yield(Record{}, fmt.Errorf("%w: %s: impossible frame length %d", ErrCorruptSegment, filepath.Base(path), payload))
+			}
+			return true
+		}
+		if _, err := io.ReadFull(br, frame[frameHeader:frameHeader+payload]); err != nil {
+			if strict {
+				return yield(Record{}, fmt.Errorf("%w: %s: truncated frame payload", ErrCorruptSegment, filepath.Base(path)))
+			}
+			return true
+		}
+		r, n, ok := decodeFrame(frame[:frameHeader+payload])
+		if !ok || n != frameHeader+payload {
+			if strict {
+				return yield(Record{}, fmt.Errorf("%w: %s: frame CRC mismatch", ErrCorruptSegment, filepath.Base(path)))
+			}
+			return true
+		}
+		if !yield(r, nil) {
+			return false
+		}
+	}
+}
+
+// Segments reports how many segment files the manifest lists.
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.names)
+}
+
+// Appended reports how many records this process appended.
+func (s *Store) Appended() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// Recovery reports what Open found at the live segment's tail.
+func (s *Store) Recovery() Recovery { return s.recovery }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }

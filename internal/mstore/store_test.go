@@ -1,0 +1,379 @@
+package mstore
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"apples/internal/obs"
+)
+
+// mkRecords builds a deterministic record stream that exercises every
+// kind, varied series names, and awkward float values.
+func mkRecords(n int) []Record {
+	kinds := []Kind{KindCPU, KindBandwidth, KindLoad}
+	series := []string{"alpha1", "link-alpha1-alpha2", "sp2a", "x"}
+	recs := make([]Record, n)
+	for i := range recs {
+		v := math.Sin(float64(i)) * float64(i%7+1)
+		if i%13 == 0 {
+			v = 0
+		}
+		recs[i] = Record{
+			Kind:   kinds[i%len(kinds)],
+			Series: series[i%len(series)],
+			Tick:   uint64(i),
+			Value:  v,
+		}
+	}
+	return recs
+}
+
+// collect drains a store's record stream, failing the test on a yielded
+// error.
+func collect(t *testing.T, st *Store) []Record {
+	t.Helper()
+	var recs []Record
+	for r, err := range st.Records() {
+		if err != nil {
+			t.Fatalf("Records yielded error: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkRecords(500)
+	for _, r := range want {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Records must see buffered appends without an intervening Sync.
+	if got := collect(t, st); !reflect.DeepEqual(got, want) {
+		t.Fatalf("in-process read returned %d records, want %d (or contents differ)", len(got), len(want))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Recovery().DroppedBytes != 0 {
+		t.Fatalf("clean close reported %d dropped bytes", re.Recovery().DroppedBytes)
+	}
+	if got := collect(t, re); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopen lost or changed records: got %d want %d", len(got), len(want))
+	}
+}
+
+func TestStoreRotationAndManifestOrder(t *testing.T) {
+	dir := t.TempDir()
+	// The smallest legal segment holds a few dozen of these short
+	// frames, so 200 appends must rotate several times.
+	st, err := Open(dir, WithSegmentBytes(int64(len(segMagic)+frameHeader+maxPayload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkRecords(200)
+	for _, r := range want {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Segments() < 5 {
+		t.Fatalf("only %d segments after 200 tiny-segment appends", st.Segments())
+	}
+	if got := collect(t, st); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rotated store returned wrong records (got %d, want %d)", len(got), len(want))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != st.Segments() {
+		t.Fatalf("manifest lists %d segments, store reports %d", len(names), st.Segments())
+	}
+	for i := 1; i < len(names); i++ {
+		a, _ := parseSegName(names[i-1])
+		b, _ := parseSegName(names[i])
+		if b <= a {
+			t.Fatalf("manifest out of order: %s then %s", names[i-1], names[i])
+		}
+	}
+
+	// Reopen and continue appending: the stream stays one ordered log.
+	re, err := Open(dir, WithSegmentBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	more := mkRecords(50)
+	for _, r := range more {
+		if err := re.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := collect(t, re); !reflect.DeepEqual(got, append(append([]Record(nil), want...), more...)) {
+		t.Fatal("reopen+append did not extend the original stream")
+	}
+}
+
+func TestStoreReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkRecords(40)
+	for _, r := range want {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(dir, ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Append(want[0]); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only append returned %v, want ErrReadOnly", err)
+	}
+	if got := collect(t, ro); !reflect.DeepEqual(got, want) {
+		t.Fatal("read-only stream differs from what was written")
+	}
+
+	// A torn tail is reported but not repaired in read-only mode.
+	seg := filepath.Join(dir, segName(1))
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := Open(dir, ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn.Recovery().DroppedBytes == 0 {
+		t.Fatal("read-only open did not report the torn tail")
+	}
+	after, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != info.Size()-3 {
+		t.Fatalf("read-only open modified the segment file (size %d -> %d)", info.Size()-3, after.Size())
+	}
+	if got := collect(t, torn); !reflect.DeepEqual(got, want[:len(want)-1]) {
+		t.Fatalf("torn read-only stream has %d records, want %d", len(got), len(want)-1)
+	}
+	if _, err := Open(t.TempDir(), ReadOnly()); err == nil {
+		t.Fatal("read-only open of an empty directory must fail, not create a store")
+	}
+}
+
+func TestStoreMetrics(t *testing.T) {
+	reg := obs.NewMetrics()
+	st, err := Open(t.TempDir(), WithMetrics(reg),
+		WithSegmentBytes(int64(len(segMagic)+4*(frameHeader+maxPayload))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, r := range mkRecords(300) {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Gauge(obs.MetricStoreSegments).Value(); got != float64(st.Segments()) {
+		t.Fatalf("segments gauge %v, store has %d", got, st.Segments())
+	}
+	if reg.Counter(obs.MetricStoreBytes).Value() == 0 {
+		t.Fatal("appended-bytes counter never moved")
+	}
+	if got := reg.Histogram(obs.MetricStoreAppendSeconds, nil).Count(); got != 300 {
+		t.Fatalf("append histogram holds %d observations, want 300", got)
+	}
+}
+
+func TestStoreBadManifest(t *testing.T) {
+	cases := map[string]string{
+		"garbled header":  "not a manifest\n00000001.seg\n",
+		"bad name":        manifestHeader + "\nnope.seg\n",
+		"out of order":    manifestHeader + "\n00000002.seg\n00000001.seg\n",
+		"duplicate":       manifestHeader + "\n00000001.seg\n00000001.seg\n",
+		"empty list":      manifestHeader + "\n",
+		"missing segment": manifestHeader + "\n00000009.seg\n",
+	}
+	for name, content := range cases {
+		dir := t.TempDir()
+		// Give the in-range names real files so only the manifest is at
+		// fault (except the "missing segment" case).
+		for _, seg := range []string{segName(1), segName(2)} {
+			if err := createSegment(dir, seg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir); !errors.Is(err, ErrBadManifest) {
+			t.Errorf("%s: Open returned %v, want ErrBadManifest", name, err)
+		}
+	}
+}
+
+func TestStoreOrphanCleanup(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkRecords(10)
+	for _, r := range want {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between creating the next segment and committing
+	// it to the manifest: the orphan must vanish on reopen and the next
+	// rotation must be able to reuse its name.
+	if err := createSegment(dir, segName(2)); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, manifestName+".tmp"), []byte("half"), 0o644)
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := os.Stat(filepath.Join(dir, segName(2))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphan segment survived reopen")
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName+".tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("half-written manifest temp survived reopen")
+	}
+	if got := collect(t, re); !reflect.DeepEqual(got, want) {
+		t.Fatal("orphan cleanup disturbed the record stream")
+	}
+}
+
+func TestStoreClosed(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Record{Kind: KindCPU, Series: "a", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Record{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close returned %v, want ErrClosed", err)
+	}
+	if err := st.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close returned %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close returned %v", err)
+	}
+	// Reads still work after close.
+	if got := collect(t, st); len(got) != 1 {
+		t.Fatalf("post-close read returned %d records, want 1", len(got))
+	}
+}
+
+func TestTimeTickRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, 0.1, 3600.25, math.Inf(1), -0.0, 1e-300} {
+		if got := TickTime(TimeTick(v)); got != v && !(math.IsNaN(got) && math.IsNaN(v)) {
+			t.Fatalf("TickTime(TimeTick(%v)) = %v", v, got)
+		}
+	}
+}
+
+func TestSegmentEncodeDecodeRoundTrip(t *testing.T) {
+	want := mkRecords(64)
+	img, err := EncodeSegment(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSegment(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("EncodeSegment/DecodeSegment round trip changed the records")
+	}
+	// Empty segment: just the magic.
+	if recs, err := DecodeSegment(segMagic); err != nil || len(recs) != 0 {
+		t.Fatalf("empty segment decoded to (%d records, %v)", len(recs), err)
+	}
+}
+
+// A second writable Open on a live store must fail loudly instead of
+// silently clobbering the first writer's frames: each handle flushes at
+// its own notion of the live offset, so two writers corrupt the log.
+func TestStoreSingleWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(mkRecords(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("second writable Open: got %v, want ErrStoreLocked", err)
+	}
+
+	// Readers coexist with the live writer.
+	ro, err := Open(dir, ReadOnly())
+	if err != nil {
+		t.Fatalf("read-only Open alongside writer: %v", err)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close releases the lock; the next writer takes over cleanly and
+	// sees the first writer's record.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	if got := b.Recovery().LiveRecords; got != 1 {
+		t.Fatalf("reopened store holds %d live records, want 1", got)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

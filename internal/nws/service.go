@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"apples/internal/grid"
+	"apples/internal/mstore"
 	"apples/internal/obs"
 	"apples/internal/sim"
 )
@@ -99,6 +100,10 @@ type Service struct {
 	sweepHook      bool
 	// stages, when non-nil, times each batch sweep as a StageSweep span.
 	stages *obs.StageTimer
+	// store, when non-nil, receives every observed sample as an appended
+	// record (WithStore); storeErr latches the first append failure.
+	store    *mstore.Store
+	storeErr error
 }
 
 // NewService creates a service sampling every period seconds of virtual
@@ -129,7 +134,7 @@ func NewService(eng *sim.Engine, period float64, opts ...ServiceOption) *Service
 
 // addSensor registers one sampling callback on the shared batch tick,
 // creating the tick lazily so an idle service schedules nothing.
-func (s *Service) addSensor(bank *Bank, series *ring, sample func() float64) {
+func (s *Service) addSensor(kind mstore.Kind, name string, bank *Bank, series *ring, sample func() float64) {
 	if s.batch == nil {
 		s.batch = sim.NewBatchTicker(s.eng, s.period)
 		s.sweepHook = false
@@ -155,6 +160,15 @@ func (s *Service) addSensor(bank *Bank, series *ring, sample func() float64) {
 		if updates != nil {
 			updates.Inc()
 		}
+		if s.store != nil && s.storeErr == nil {
+			// The ring's total is the sample's 1-based position in its
+			// series — monotonic across restarts once RestoreFromStore
+			// has replayed the history.
+			err := s.store.Append(mstore.Record{Kind: kind, Series: name, Tick: series.total, Value: v})
+			if err != nil {
+				s.storeErr = err
+			}
+		}
 	})
 }
 
@@ -176,7 +190,7 @@ func (s *Service) WatchHost(h *grid.Host) {
 		s.cpuSeries[h.Name] = series
 	}
 	s.hosts[h.Name] = h
-	s.addSensor(bank, series, h.Availability)
+	s.addSensor(mstore.KindCPU, h.Name, bank, series, h.Availability)
 }
 
 // WatchLink installs an available-bandwidth sensor on the link. A bank
@@ -197,7 +211,7 @@ func (s *Service) WatchLink(l *grid.Link) {
 		s.bwSeries[l.Name] = series
 	}
 	s.links[l.Name] = l
-	s.addSensor(bank, series, l.AvailableBandwidth)
+	s.addSensor(mstore.KindBandwidth, l.Name, bank, series, l.AvailableBandwidth)
 }
 
 // WatchTopology installs sensors on every host and link of a topology.

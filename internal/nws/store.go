@@ -1,0 +1,68 @@
+package nws
+
+import (
+	"fmt"
+
+	"apples/internal/mstore"
+)
+
+// WithStore attaches a durable measurement store: every sample a sensor
+// observes is appended as one record (KindCPU for host availability,
+// KindBandwidth for link bandwidth; the record tick is the sample's
+// 1-based position in its series). Appends ride the sensing sweep and
+// are buffered — the store's own rotation/Sync policy decides when they
+// reach disk. The first append failure is latched (StoreErr) and stops
+// further appends rather than failing the sweep: sensing keeps the
+// in-memory banks correct even when the disk misbehaves.
+func WithStore(st *mstore.Store) ServiceOption {
+	return func(s *Service) { s.store = st }
+}
+
+// StoreErr reports the first store-append failure, or nil. Callers that
+// care about durability check it after sensing stops (the CLIs do on
+// exit).
+func (s *Service) StoreErr() error { return s.storeErr }
+
+// RestoreFromStore replays every sensor record in the store — the full
+// history, not one retention window — into fresh forecaster banks and
+// retention rings, exactly as living through the samples would have:
+// forecasts, per-forecaster error state, and bank winners come out
+// bit-identical (forecasters are deterministic functions of their input
+// series, and the store preserves append order). Series present in the
+// service but absent from the store are left untouched; records of
+// non-sensor kinds (e.g. load-trace steps sharing the store) are
+// skipped. Call it before watching resources, like Restore; subsequent
+// sensing appends to both the banks and — when WithStore points at the
+// same store — the history itself, so ticks stay monotonic across
+// restarts.
+//
+// It returns how many sensor records were replayed.
+func (s *Service) RestoreFromStore(st *mstore.Store) (int, error) {
+	replayed := 0
+	fresh := make(map[string]bool) // kind-prefixed series started over
+	for r, err := range st.Records() {
+		if err != nil {
+			return replayed, fmt.Errorf("nws: restore from store: %w", err)
+		}
+		var banks map[string]*Bank
+		var rings map[string]*ring
+		switch r.Kind {
+		case mstore.KindCPU:
+			banks, rings = s.cpuBanks, s.cpuSeries
+		case mstore.KindBandwidth:
+			banks, rings = s.bwBanks, s.bwSeries
+		default:
+			continue
+		}
+		key := r.Kind.String() + "\x00" + r.Series
+		if !fresh[key] {
+			fresh[key] = true
+			banks[r.Series] = s.newBank()
+			rings[r.Series] = newRing(s.retention)
+		}
+		banks[r.Series].Update(r.Value)
+		rings[r.Series].push(r.Value)
+		replayed++
+	}
+	return replayed, nil
+}

@@ -59,6 +59,11 @@ const (
 	// Sensing (nws.Service).
 	MetricBankUpdates  = "nws_bank_updates_total"
 	MetricSensorSweeps = "nws_sensor_sweeps_total"
+	// Durable measurement store (mstore.Store): segment count, appended
+	// bytes, and the per-append latency distribution.
+	MetricStoreSegments      = "mstore_segments"
+	MetricStoreBytes         = "mstore_appended_bytes_total"
+	MetricStoreAppendSeconds = "mstore_append_seconds"
 	// Simulation (sim.Engine).
 	MetricSimEvents = "sim_events_total"
 )
@@ -66,6 +71,11 @@ const (
 // DefaultLatencyBuckets are the upper bounds (seconds) used for the
 // round- and snapshot-latency histograms: decades from 10µs to 10s.
 var DefaultLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// StoreAppendBuckets are the bounds for mstore_append_seconds: a
+// buffered append is sub-microsecond, a rotation pays an fsync, so the
+// decades run from 100ns to 100ms.
+var StoreAppendBuckets = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
 
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Uint64 }
