@@ -21,7 +21,7 @@ vet:
 
 # Coverage over the decision-critical packages (CI enforces a 70% floor).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core ./internal/nws ./internal/obs ./internal/mstore
+	$(GO) test -coverprofile=cover.out ./internal/core ./internal/nws ./internal/obs ./internal/obs/audit ./internal/mstore
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Short fuzz probe of the serialization decoders; the committed corpora

@@ -35,6 +35,7 @@ import (
 	"apples/internal/nile"
 	"apples/internal/nws"
 	"apples/internal/obs"
+	"apples/internal/obs/audit"
 	"apples/internal/obs/obshttp"
 	"apples/internal/partition"
 	"apples/internal/react"
@@ -382,8 +383,8 @@ var (
 // the tenant table, and the observability endpoints (/metrics,
 // /trace/recent, /healthz, /debug/pprof) ride along. Stop it with
 // Close; closing the server does not close the service.
-func ServeScheduler(addr string, svc *SchedService, m *Metrics, ring *RingTracer) (*ObsServer, error) {
-	return obshttp.ServeService(addr, svc, m, ring)
+func ServeScheduler(addr string, svc *SchedService, m *Metrics, ring *RingTracer, opts ...ObsServeOption) (*ObsServer, error) {
+	return obshttp.ServeService(addr, svc, m, ring, opts...)
 }
 
 // Observability: decision traces and metrics (internal/obs). A nil
@@ -452,9 +453,78 @@ func NewStageTimer(m *Metrics, tr Tracer, clock func() float64) *StageTimer {
 // Prometheus text format, /trace/recent the ring's latest events as
 // JSON, /healthz a liveness probe, and /debug/pprof the Go profiler.
 // Either registry or ring may be nil; the matching endpoint then
-// reports 404. Stop it with Close.
-func ServeObservability(addr string, m *Metrics, ring *RingTracer) (*ObsServer, error) {
-	return obshttp.Serve(addr, m, ring)
+// reports 404. Stop it with Close. Options add component health checks
+// (WithObsComponent) and the audit endpoints (WithObsAudit).
+func ServeObservability(addr string, m *Metrics, ring *RingTracer, opts ...ObsServeOption) (*ObsServer, error) {
+	return obshttp.Serve(addr, m, ring, opts...)
+}
+
+// Forecast & decision quality auditing (internal/obs/audit): the
+// closing-the-loop subsystem joining each scheduling round's
+// completion-time prediction with the observed actual, scoring every
+// forecaster against the naive last-value baseline, and flipping
+// drifting series into degraded on /healthz. A nil engine is off
+// everywhere and costs one pointer check.
+type (
+	// AuditEngine is the online predicted-vs-actual audit engine.
+	AuditEngine = audit.Engine
+	// AuditOption configures NewAuditEngine.
+	AuditOption = audit.Option
+	// AuditSnapshot is the decision-quality report (/audit).
+	AuditSnapshot = audit.Snapshot
+	// AuditSeriesReport is one series' forecaster skill report
+	// (/audit/series).
+	AuditSeriesReport = audit.SeriesReport
+	// ObsServeOption configures ServeObservability / ServeScheduler.
+	ObsServeOption = obshttp.ServeOption
+)
+
+// NewAuditEngine returns an audit engine; see AuditOption constructors
+// for metrics, tracing, and drift-detector tuning.
+func NewAuditEngine(opts ...AuditOption) *AuditEngine { return audit.New(opts...) }
+
+// WithAuditMetrics publishes the engine's counters and the
+// sched_prediction_error_seconds / nws_forecast_skill /
+// audit_drift_alarms_total families into a shared registry.
+func WithAuditMetrics(m *Metrics) AuditOption { return audit.WithMetrics(m) }
+
+// WithAuditTracer emits one EvAudit trace event per join and per drift
+// alarm.
+func WithAuditTracer(tr Tracer) AuditOption { return audit.WithTracer(tr) }
+
+// WithAuditPageHinkley tunes the drift detector (tolerance delta,
+// alarm threshold lambda, warmup minSamples).
+func WithAuditPageHinkley(delta, lambda float64, minSamples int) AuditOption {
+	return audit.WithPageHinkley(delta, lambda, minSamples)
+}
+
+// Audit wiring into the agent, the NWS, and the observability server.
+var (
+	// WithAudit makes an agent's Run join its winning prediction with
+	// the measured execution time in the audit engine.
+	WithAudit = core.WithAudit
+	// WithAuditTenant labels the agent's joins in the per-tenant
+	// breakdown.
+	WithAuditTenant = core.WithAuditTenant
+	// WithObsAudit mounts /audit and /audit/series on the observability
+	// server and folds the engine's drift state into /healthz.
+	WithObsAudit = obshttp.WithAudit
+	// WithObsComponent adds a named component health check to /healthz.
+	WithObsComponent = obshttp.WithComponent
+)
+
+// WithNWSResiduals streams every sensor sample's forecaster residuals
+// into the audit engine — each ready forecaster's standing one-step
+// prediction scored against the value that actually arrived.
+func WithNWSResiduals(aud *AuditEngine) NWSOption { return nws.WithResiduals(aud) }
+
+// AuditMeasurementStore replays every sensor record in a measurement
+// store through fresh forecaster banks into the audit engine — the
+// offline counterpart of WithNWSResiduals, reproducing exactly the
+// residual stream the live sweep emitted. Returns how many sensor
+// records were audited.
+func AuditMeasurementStore(st *MeasurementStore, aud *AuditEngine) (int, error) {
+	return nws.AuditStore(st, aud, nil)
 }
 
 // NewMetrics returns an empty metrics registry. Hand the same registry

@@ -54,10 +54,17 @@ func main() {
 	listen := flag.String("listen", "", "serve live observability on this address (/metrics, /healthz, /trace/recent, /debug/pprof); keeps serving after the run until interrupted")
 	ringSize := flag.Int("trace-ring", 512, "events retained for /trace/recent when -listen is set")
 	storeDir := flag.String("store", "", "durable measurement store directory: NWS samples are appended, and existing history warm-starts the forecasters (-info nws only)")
+	doAudit := flag.Bool("audit", false, "audit decision quality: join each run's predicted completion time with the measured actual, score every forecaster against the last-value baseline, and watch for drift (adds /audit and /audit/series with -listen; prints the report on exit)")
+	auditStoreDir := flag.String("audit-store", "", "offline audit: replay this measurement store directory through fresh forecaster banks, print per-series forecast skill, and exit")
 	serve := flag.Bool("serve", false, "run as a multi-tenant scheduling daemon (/schedule, /tenants) instead of executing one run")
 	tenants := flag.Int("tenants", 8, "agents registered as tenants t0..tN-1 in -serve mode")
 	queueDepth := flag.Int("queue-depth", 1024, "admission-queue bound in -serve mode (full queue -> 429)")
 	flag.Parse()
+
+	if *auditStoreDir != "" {
+		auditStoreAndExit(*auditStoreDir)
+		return
+	}
 
 	if *serve && *listen == "" {
 		*listen = "127.0.0.1:0"
@@ -87,7 +94,6 @@ func main() {
 		sink = tracer
 	}
 	var stages *apples.StageTimer
-	var server *apples.ObsServer
 	if *listen != "" {
 		ring = apples.NewRingTracer(*ringSize)
 		if sink != nil {
@@ -96,17 +102,39 @@ func main() {
 			sink = ring
 		}
 		stages = apples.NewStageTimer(reg, sink, nil)
+	}
+
+	// The audit engine joins every run's prediction with its measured
+	// actual and scores the forecasters; it must exist before the
+	// observability server binds so /audit and the drift health checks
+	// mount.
+	var aud *apples.AuditEngine
+	if *doAudit {
+		var audOpts []apples.AuditOption
+		if reg != nil {
+			audOpts = append(audOpts, apples.WithAuditMetrics(reg))
+		}
+		if sink != nil {
+			audOpts = append(audOpts, apples.WithAuditTracer(sink))
+		}
+		aud = apples.NewAuditEngine(audOpts...)
+	}
+
+	var server *apples.ObsServer
+	if *listen != "" && !*serve {
 		// In -serve mode the scheduling-service mux (which embeds the
 		// observability endpoints) binds this address instead.
-		if !*serve {
-			var err error
-			server, err = apples.ServeObservability(*listen, reg, ring)
-			if err != nil {
-				fail(err)
-			}
-			defer server.Close()
-			fmt.Printf("observability listening on %s\n", server.URL())
+		var srvOpts []apples.ObsServeOption
+		if aud != nil {
+			srvOpts = append(srvOpts, apples.WithObsAudit(aud))
 		}
+		var err error
+		server, err = apples.ServeObservability(*listen, reg, ring, srvOpts...)
+		if err != nil {
+			fail(err)
+		}
+		defer server.Close()
+		fmt.Printf("observability listening on %s\n", server.URL())
 	}
 
 	eng := apples.NewEngine()
@@ -175,6 +203,9 @@ func main() {
 		}
 		if store != nil {
 			nwsOpts = append(nwsOpts, apples.WithNWSStore(store))
+		}
+		if aud != nil {
+			nwsOpts = append(nwsOpts, apples.WithNWSResiduals(aud))
 		}
 		svc := apples.NewNWS(eng, 10, nwsOpts...)
 		if store != nil {
@@ -249,9 +280,12 @@ func main() {
 	if stages != nil {
 		agentOpts = append(agentOpts, apples.WithStageTiming(stages))
 	}
+	if aud != nil {
+		agentOpts = append(agentOpts, apples.WithAudit(aud), apples.WithAuditTenant("cli"))
+	}
 
 	if *serve {
-		serveDaemon(tp, tpl, spec, source, agentOpts, sink, reg, ring, *listen, *tenants, *queueDepth, *n)
+		serveDaemon(tp, tpl, spec, source, agentOpts, sink, reg, ring, aud, *listen, *tenants, *queueDepth, *n)
 		return
 	}
 
@@ -316,6 +350,10 @@ func main() {
 		}
 		fmt.Printf("decision trace written to %s\n", *traceFile)
 	}
+	if aud != nil {
+		fmt.Println()
+		printAuditReport(aud)
+	}
 	if reg != nil && *metrics {
 		fmt.Println()
 		if _, err := reg.WriteTo(os.Stdout); err != nil {
@@ -335,7 +373,7 @@ func main() {
 // observability endpoints until interrupted.
 func serveDaemon(tp *apples.Topology, tpl *apples.Template, spec *apples.UserSpec, source apples.Information,
 	agentOpts []apples.AgentOption, sink apples.Tracer, reg *apples.Metrics, ring *apples.RingTracer,
-	listen string, nTenants, queueDepth, n int) {
+	aud *apples.AuditEngine, listen string, nTenants, queueDepth, n int) {
 	if nTenants <= 0 {
 		fail(fmt.Errorf("-serve needs a positive -tenants, got %d", nTenants))
 	}
@@ -349,15 +387,25 @@ func serveDaemon(tp *apples.Topology, tpl *apples.Template, spec *apples.UserSpe
 	svc := apples.NewSchedService(svcOpts...)
 	defer svc.Close()
 	for i := 0; i < nTenants; i++ {
-		agent, err := apples.NewAgent(tp, tpl, spec, source, agentOpts...)
+		id := fmt.Sprintf("t%d", i)
+		opts := agentOpts
+		if aud != nil {
+			// Each tenant's joins land in its own audit breakdown row.
+			opts = append(opts[:len(opts):len(opts)], apples.WithAuditTenant(id))
+		}
+		agent, err := apples.NewAgent(tp, tpl, spec, source, opts...)
 		if err != nil {
 			fail(err)
 		}
-		if _, err := svc.Register(fmt.Sprintf("t%d", i), agent); err != nil {
+		if _, err := svc.Register(id, agent); err != nil {
 			fail(err)
 		}
 	}
-	server, err := apples.ServeScheduler(listen, svc, reg, ring)
+	var srvOpts []apples.ObsServeOption
+	if aud != nil {
+		srvOpts = append(srvOpts, apples.WithObsAudit(aud))
+	}
+	server, err := apples.ServeScheduler(listen, svc, reg, ring, srvOpts...)
 	if err != nil {
 		fail(err)
 	}
@@ -367,6 +415,57 @@ func serveDaemon(tp *apples.Topology, tpl *apples.Template, spec *apples.UserSpe
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+}
+
+// auditStoreAndExit replays a measurement store through fresh
+// forecaster banks and prints the per-series forecast-skill table —
+// the offline audit path: no simulation, no sensors, just the durable
+// history and the deterministic forecasters.
+func auditStoreAndExit(dir string) {
+	st, err := apples.OpenMeasurementStore(dir, apples.StoreReadOnly())
+	if err != nil {
+		fail(err)
+	}
+	aud := apples.NewAuditEngine()
+	n, err := apples.AuditMeasurementStore(st, aud)
+	st.Close()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("audited %d sensor records from %s\n", n, dir)
+	printSeriesTable(aud.SeriesSnapshot())
+}
+
+func printSeriesTable(series []apples.AuditSeriesReport) {
+	fmt.Println("  kind       series            samples  naiveMAE  forecaster        skill      mae  selected")
+	for _, s := range series {
+		for i, f := range s.Forecasters {
+			lead := fmt.Sprintf("%-9s  %-16s  %7d  %8.4f", s.Kind, s.Series, s.Samples, s.NaiveMAE)
+			if i > 0 {
+				lead = fmt.Sprintf("%-9s  %-16s  %7s  %8s", "", "", "", "")
+			}
+			fmt.Printf("  %s  %-16s  %+6.3f  %7.4f  %8d\n", lead, f.Name, f.Skill, f.MAE, f.Selected)
+		}
+	}
+}
+
+// printAuditReport renders the run's decision-quality audit: the
+// predicted-vs-actual joins by tenant/selector/host-class, the drift
+// state, and the forecaster skill table.
+func printAuditReport(aud *apples.AuditEngine) {
+	snap := aud.Snapshot()
+	fmt.Printf("audit: %d joined, %d orphaned, %d expired, %d pending, %d drift alarms\n",
+		snap.Joined, snap.Orphaned, snap.Expired, snap.Pending, snap.Alarms)
+	for _, g := range snap.Groups {
+		fmt.Printf("  %s/%s/%s: %d joins, bias %+.2f s, mae %.2f s, mape %.3f\n",
+			g.Tenant, g.Selector, g.HostClass, g.Joins, g.Bias, g.MAE, g.MAPE)
+	}
+	if len(snap.Degraded) > 0 {
+		fmt.Printf("  degraded: %v\n", snap.Degraded)
+	}
+	if series := aud.SeriesSnapshot(); len(series) > 0 {
+		printSeriesTable(series)
+	}
 }
 
 func fail(err error) {

@@ -13,7 +13,9 @@
 // obs-overhead (decision-trace instrumentation cost), tenant-converge
 // (competing agents on one scheduling service: oscillation vs
 // damped convergence), replay (record a sensing run to a durable
-// store, replay it twice, assert identical decision traces), all.
+// store, replay it twice, assert identical decision traces), audit
+// (forecast & decision quality: predicted-vs-actual joins,
+// per-series forecast skill, drift alarms under injected churn), all.
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,selector-gap,nws-scale,obs-overhead,tenant-converge,replay,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,react,nile,a1,a2,a3,a4,adapt,fail,multi,wait,scale,sched,pipeline-sched,selector-gap,nws-scale,obs-overhead,tenant-converge,replay,audit,all")
 	seed := flag.Int64("seed", 11, "base seed for ambient load")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
@@ -377,6 +379,20 @@ func main() {
 			return fmt.Errorf("replay diverged: deterministic=%v matches-live=%v", res.Deterministic, res.MatchesLive)
 		}
 		return nil
+	})
+
+	run("audit", func() error {
+		spec := expt.AuditSpec{Seed: *seed}
+		if *quick {
+			spec = expt.AuditSpec{N: 600, Iterations: 10, Seed: *seed, WarmupSec: 120, Runs: 2}
+		}
+		res, err := expt.AuditFigure(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(expt.FormatAudit(res))
+		h, c := expt.AuditCSV(res)
+		return writeCSV("audit", h, c)
 	})
 
 	run("tenant-converge", func() error {

@@ -362,11 +362,13 @@ func (a *Agent) Run(n int, act Actuator) (*Schedule, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	auditKey := a.coord.auditPrediction(s.PredictedTotal, hostClass(a.tp, s.Hosts))
 	sp := a.coord.actuateSpan()
 	measured, err := act.Actuate(s.Placement)
 	sp.End()
 	if err != nil {
 		return s, 0, fmt.Errorf("core: actuation failed: %w", err)
 	}
+	a.coord.auditActual(auditKey, measured)
 	return s, measured, nil
 }

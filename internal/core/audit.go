@@ -1,0 +1,82 @@
+package core
+
+import (
+	"apples/internal/grid"
+	"apples/internal/obs/audit"
+)
+
+// WithAudit attaches a forecast-quality audit engine to the agent:
+// every Run registers the winning schedule's predicted total with the
+// engine before actuating and joins the measured execution time
+// afterwards, labeled by tenant (WithAuditTenant), selector kind, and
+// the winner's host class. nil leaves auditing off — the default,
+// costing one pointer check per Run and nothing on Schedule/evaluate.
+func WithAudit(a *audit.Engine) AgentOption {
+	return func(c *coordConfig) { c.aud = a }
+}
+
+// WithAuditTenant sets the tenant label on this agent's audited
+// decisions (default ""). The multi-tenant service labels each
+// registered agent with its tenant id.
+func WithAuditTenant(id string) AgentOption {
+	return func(c *coordConfig) { c.audTenant = id }
+}
+
+// auditPrediction registers a decision's predicted total with the
+// audit engine and returns the join key (0 with auditing off).
+func (c *Coordinator) auditPrediction(predicted float64, hostClass string) uint64 {
+	if c.aud == nil {
+		return 0
+	}
+	key := c.aud.NextKey()
+	c.aud.RecordPrediction(audit.Prediction{
+		Key: key,
+		Labels: audit.DecisionLabels{
+			Tenant:    c.audTenant,
+			Selector:  selectorLabel(string(c.selector.normalized().Kind)),
+			HostClass: hostClass,
+		},
+		Predicted: predicted,
+	})
+	return key
+}
+
+// auditActual joins a measured execution time with its prediction.
+func (c *Coordinator) auditActual(key uint64, measured float64) {
+	if c.aud == nil {
+		return
+	}
+	c.aud.RecordActual(key, measured)
+}
+
+// selectorLabel normalizes an empty selector kind to the same "custom"
+// label the per-selector candidate counter uses.
+func selectorLabel(kind string) string {
+	if kind == "" {
+		return "custom"
+	}
+	return kind
+}
+
+// hostClass reduces a winner's host list to one audit label: the
+// architecture family every selected host shares, or "mixed" for a
+// heterogeneous set ("unknown" when no host resolves).
+func hostClass(tp *grid.Topology, hosts []string) string {
+	class := ""
+	for _, name := range hosts {
+		h := tp.Host(name)
+		if h == nil {
+			continue
+		}
+		switch {
+		case class == "":
+			class = h.Arch
+		case class != h.Arch:
+			return "mixed"
+		}
+	}
+	if class == "" {
+		return "unknown"
+	}
+	return class
+}

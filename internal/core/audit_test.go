@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/hat"
+	"apples/internal/jacobi"
+	"apples/internal/obs/audit"
+	"apples/internal/react"
+	"apples/internal/sim"
+	"apples/internal/userspec"
+)
+
+func TestRunJoinsAuditPrediction(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 4, Quiet: true})
+	aud := audit.New()
+	a, err := NewAgent(tp, hat.Jacobi2D(600, 20), &userspec.Spec{}, OracleInformation(tp),
+		WithAudit(aud), WithAuditTenant("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, measured, err := a.Run(600, ActuatorFromJacobi(tp, jacobi.Config{Iterations: 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joined, orphaned, expired, _ := aud.Totals()
+	if joined != 1 || orphaned != 0 || expired != 0 || aud.Pending() != 0 {
+		t.Fatalf("totals = joined %d orphaned %d expired %d pending %d, want 1 0 0 0",
+			joined, orphaned, expired, aud.Pending())
+	}
+	snap := aud.Snapshot()
+	if len(snap.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(snap.Groups))
+	}
+	g := snap.Groups[0]
+	if g.Tenant != "t1" {
+		t.Fatalf("tenant = %q, want t1", g.Tenant)
+	}
+	if g.Selector != "exhaustive" {
+		t.Fatalf("selector = %q, want exhaustive (the default kind)", g.Selector)
+	}
+	wantClass := hostClass(tp, s.Hosts)
+	if g.HostClass != wantClass || wantClass == "" || wantClass == "unknown" {
+		t.Fatalf("host class = %q, want %q from winner %v", g.HostClass, wantClass, s.Hosts)
+	}
+	if got := g.Bias; got != s.PredictedTotal-measured {
+		t.Fatalf("bias = %g, want predicted-actual = %g", got, s.PredictedTotal-measured)
+	}
+}
+
+func TestPipelineRunJoinsAudit(t *testing.T) {
+	tp := grid.CASA(sim.NewEngine())
+	aud := audit.New()
+	a, err := NewPipelineAgent(tp, hat.React3D(40), &userspec.Spec{}, OracleInformation(tp),
+		react.Options{}, WithAudit(aud))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	joined, _, _, _ := aud.Totals()
+	if joined != 1 || aud.Pending() != 0 {
+		t.Fatalf("joined = %d pending = %d, want 1 0", joined, aud.Pending())
+	}
+}
+
+func TestHostClass(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 1, Quiet: true, WithSP2: true})
+	alphas := []string{"alpha1", "alpha2"}
+	if got := hostClass(tp, alphas); got == "" || got == "mixed" || got == "unknown" {
+		t.Fatalf("homogeneous class = %q", got)
+	}
+	if got := hostClass(tp, []string{"alpha1", "sp2a"}); got != "mixed" {
+		t.Fatalf("heterogeneous class = %q, want mixed", got)
+	}
+	if got := hostClass(tp, []string{"ghost"}); got != "unknown" {
+		t.Fatalf("unresolvable class = %q, want unknown", got)
+	}
+}

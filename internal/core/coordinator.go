@@ -9,6 +9,7 @@ import (
 
 	"apples/internal/grid"
 	"apples/internal/obs"
+	"apples/internal/obs/audit"
 )
 
 // This file is the generic half of the AppLeS blueprint (Figure 1): one
@@ -162,6 +163,10 @@ type Coordinator struct {
 	// so derived agents (clone, WaitOrRun's dedicated agent) keep ids
 	// unique within one lineage.
 	rounds *atomic.Uint64
+	// aud, when non-nil, joins each Run's winning prediction with its
+	// measured actual; audTenant labels the decisions. See WithAudit.
+	aud       *audit.Engine
+	audTenant string
 }
 
 // roundMetrics are the Coordinator's metric handles, resolved once by

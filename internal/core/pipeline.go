@@ -304,6 +304,12 @@ func (a *PipelineAgent) Run() (*PipelineSchedule, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	hosts := []string{s.Producer, s.Consumer}
+	if s.SingleSite != "" {
+		hosts = hosts[:0]
+		hosts = append(hosts, s.SingleSite)
+	}
+	auditKey := a.coord.auditPrediction(s.Predicted, hostClass(a.tp, hosts))
 	sp := a.coord.actuateSpan()
 	defer sp.End()
 	if s.SingleSite != "" {
@@ -311,11 +317,13 @@ func (a *PipelineAgent) Run() (*PipelineSchedule, float64, error) {
 		if err != nil {
 			return s, 0, err
 		}
+		a.coord.auditActual(auditKey, res.Time)
 		return s, res.Time, nil
 	}
 	res, err := react.RunPipeline(a.tp, a.tpl, s.Producer, s.Consumer, s.Unit, a.opt)
 	if err != nil {
 		return s, 0, err
 	}
+	a.coord.auditActual(auditKey, res.Time)
 	return s, res.Time, nil
 }

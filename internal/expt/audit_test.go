@@ -1,0 +1,136 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apples/internal/obs/audit"
+)
+
+// goldenAuditSpec keeps the committed store small (12 sensing sweeps)
+// and the scenarios fast: a 600² problem, two back-to-back runs each.
+var goldenAuditSpec = AuditSpec{
+	N: 600, Iterations: 10, Seed: 23, WarmupSec: 120, Runs: 2,
+	StoreDir: filepath.Join("testdata", "audit_store"),
+}
+
+// calibrationJSONL renders the offline series reports one JSON object
+// per line — the committed golden calibration table.
+func calibrationJSONL(t *testing.T, series []audit.SeriesReport) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, s := range series {
+		if err := enc.Encode(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenAuditCalibration pins the offline audit path with committed
+// artifacts: testdata/audit_store is a recorded sensing run, and
+// testdata/golden_audit_calibration.jsonl is the per-series forecast
+// quality table derived from it. Auditing the store on a fresh process
+// must re-derive that exact table, and two audits must agree byte for
+// byte. Regenerate both with `go test -run GoldenAudit -update`.
+func TestGoldenAuditCalibration(t *testing.T) {
+	golden := filepath.Join("testdata", "golden_audit_calibration.jsonl")
+
+	if *updateGolden {
+		if err := os.RemoveAll(goldenAuditSpec.StoreDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := RecordAuditStore(goldenAuditSpec.StoreDir, goldenAuditSpec.Seed, goldenAuditSpec.WarmupSec); err != nil {
+			t.Fatal(err)
+		}
+		series, _, err := AuditOffline(goldenAuditSpec.StoreDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, calibrationJSONL(t, series), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first, n1, err := AuditOffline(goldenAuditSpec.StoreDir)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run GoldenAudit -update` to record the store)", err)
+	}
+	second, n2, err := AuditOffline(goldenAuditSpec.StoreDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 || n1 != n2 {
+		t.Fatalf("audited %d then %d records, want equal and non-zero", n1, n2)
+	}
+	a, b := calibrationJSONL(t, first), calibrationJSONL(t, second)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two audits of the committed store produced different calibration tables")
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run GoldenAudit -update` to create it)", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("offline audit re-derived a different calibration table than the recorded run —\n"+
+			"if the forecaster or scoring change is intended, regenerate with -update\ngot:\n%s\nwant:\n%s", a, want)
+	}
+}
+
+// TestAuditFigureDriftAndStability runs the full figure twice from the
+// committed store and asserts the closing-the-loop contract: identical
+// bytes across runs, drift alarms fire in the churn scenario and stay
+// silent on the stationary baseline, and every scheduled run joined its
+// prediction.
+func TestAuditFigureDriftAndStability(t *testing.T) {
+	r1, err := AuditFigure(goldenAuditSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := AuditFigure(goldenAuditSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, out2 := FormatAudit(r1), FormatAudit(r2)
+	if out1 != out2 {
+		t.Fatalf("figure not bit-stable across two runs:\n%s\n---\n%s", out1, out2)
+	}
+
+	if len(r1.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want 2", len(r1.Scenarios))
+	}
+	byName := map[string]AuditScenarioRow{}
+	for _, row := range r1.Scenarios {
+		byName[row.Name] = row
+	}
+	stat, churn := byName["stationary"], byName["churn"]
+	if stat.Alarms != 0 || len(stat.Degraded) != 0 {
+		t.Fatalf("stationary scenario drifted: alarms=%d degraded=%v", stat.Alarms, stat.Degraded)
+	}
+	if churn.Alarms == 0 || len(churn.Degraded) == 0 {
+		t.Fatalf("churn scenario fired no drift: alarms=%d degraded=%v", churn.Alarms, churn.Degraded)
+	}
+	wantJoins := uint64(goldenAuditSpec.Runs)
+	if stat.Joins != wantJoins || churn.Joins != wantJoins {
+		t.Fatalf("joins = %d/%d, want %d per scenario", stat.Joins, churn.Joins, wantJoins)
+	}
+	for _, row := range r1.Scenarios {
+		if row.MAE < 0 || row.AppLeS <= 0 || row.Strip <= 0 {
+			t.Fatalf("degenerate scenario row: %+v", row)
+		}
+		var mass uint64
+		for _, c := range row.Calibration {
+			mass += c
+		}
+		if mass != row.Joins {
+			t.Fatalf("%s calibration mass = %d, want %d joins", row.Name, mass, row.Joins)
+		}
+	}
+	if r1.StoreRecords == 0 || len(r1.Series) == 0 {
+		t.Fatalf("offline half empty: %d records, %d series", r1.StoreRecords, len(r1.Series))
+	}
+}

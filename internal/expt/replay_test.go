@@ -8,7 +8,7 @@ import (
 	"testing"
 )
 
-var updateReplayGolden = flag.Bool("update", false, "re-record the committed replay store and golden trace under testdata/")
+var updateGolden = flag.Bool("update", false, "re-record the committed stores and golden files under testdata/")
 
 // goldenReplaySpec is deliberately small: 12 sensing sweeps and a 600²
 // problem keep the committed store a few kilobytes and the golden
@@ -40,7 +40,7 @@ func TestGoldenReplayTrace(t *testing.T) {
 	storeDir := filepath.Join("testdata", "replay_store")
 	golden := filepath.Join("testdata", "golden_replay_trace.jsonl")
 
-	if *updateReplayGolden {
+	if *updateGolden {
 		if err := os.RemoveAll(storeDir); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,75 @@
+package nws
+
+import (
+	"fmt"
+
+	"apples/internal/mstore"
+)
+
+// ResidualSink receives forecaster-quality observations from the
+// sensing sweep: one ObserveResidual per ready forecaster per sample
+// (selected flags the bank's current choice), then one ObserveSample
+// for the sample itself. kind is the mstore kind name ("cpu",
+// "bandwidth"). Implemented by audit.Engine; implementations must be
+// safe for concurrent calls when sensing runs on multiple engines.
+type ResidualSink interface {
+	ObserveSample(kind, series string, actual float64)
+	ObserveResidual(kind, series, forecaster string, predicted, actual float64, selected bool)
+}
+
+// WithResiduals streams every sensor sample's forecaster residuals
+// into sink, before the banks absorb the sample — each ready
+// forecaster's standing one-step prediction is scored against the
+// value that actually arrived. nil leaves auditing off; the sweep then
+// pays only a nil check (the audited sweep allocates one closure per
+// sample, a price only paid when someone is watching).
+func WithResiduals(sink ResidualSink) ServiceOption {
+	return func(s *Service) { s.residuals = sink }
+}
+
+// observeResiduals reports every ready forecaster's standing
+// prediction for the sample v that just arrived on kind/name.
+func observeResiduals(sink ResidualSink, kind mstore.Kind, name string, bank *Bank, v float64) {
+	kindName := kind.String()
+	_, by, ok := bank.Forecast()
+	if ok {
+		bank.EachForecast(func(fc string, pred float64) {
+			sink.ObserveResidual(kindName, name, fc, pred, v, fc == by)
+		})
+	}
+	sink.ObserveSample(kindName, name, v)
+}
+
+// AuditStore replays every sensor record in st through fresh forecaster
+// banks (mk, NewBank by default) into sink — the offline counterpart of
+// WithResiduals. The store preserves append order and forecasters are
+// deterministic functions of their input series, so auditing a
+// directory reproduces exactly the residual stream the live sweep would
+// have emitted, long after the process that sensed it exited. Records
+// of non-sensor kinds (e.g. load-trace steps sharing the store) are
+// skipped. Returns how many sensor records were audited.
+func AuditStore(st *mstore.Store, sink ResidualSink, mk func() *Bank) (int, error) {
+	if mk == nil {
+		mk = func() *Bank { return NewBank() }
+	}
+	banks := make(map[string]*Bank)
+	audited := 0
+	for r, err := range st.Records() {
+		if err != nil {
+			return audited, fmt.Errorf("nws: audit store: %w", err)
+		}
+		if r.Kind != mstore.KindCPU && r.Kind != mstore.KindBandwidth {
+			continue
+		}
+		key := r.Kind.String() + "\x00" + r.Series
+		b := banks[key]
+		if b == nil {
+			b = mk()
+			banks[key] = b
+		}
+		observeResiduals(sink, r.Kind, r.Series, b, r.Value)
+		b.Update(r.Value)
+		audited++
+	}
+	return audited, nil
+}

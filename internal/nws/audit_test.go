@@ -1,0 +1,149 @@
+package nws
+
+import (
+	"reflect"
+	"testing"
+
+	"apples/internal/grid"
+	"apples/internal/mstore"
+	"apples/internal/sim"
+)
+
+// auditEvent is one recorded ResidualSink call; Sample distinguishes
+// ObserveSample from ObserveResidual.
+type auditEvent struct {
+	Sample                   bool
+	Kind, Series, Forecaster string
+	Predicted, Actual        float64
+	Selected                 bool
+}
+
+type recSink struct{ events []auditEvent }
+
+func (r *recSink) ObserveSample(kind, series string, actual float64) {
+	r.events = append(r.events, auditEvent{Sample: true, Kind: kind, Series: series, Actual: actual})
+}
+
+func (r *recSink) ObserveResidual(kind, series, forecaster string, predicted, actual float64, selected bool) {
+	r.events = append(r.events, auditEvent{Kind: kind, Series: series, Forecaster: forecaster,
+		Predicted: predicted, Actual: actual, Selected: selected})
+}
+
+func TestWithResidualsStreams(t *testing.T) {
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 11})
+	rec := &recSink{}
+	svc := NewService(eng, 10, WithResiduals(rec))
+	svc.WatchHost(tp.Host("alpha1"))
+	if err := eng.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	svc.Stop()
+
+	samples, residuals, selected := 0, 0, 0
+	for _, ev := range rec.events {
+		if ev.Sample {
+			samples++
+			if ev.Kind != "cpu" || ev.Series != "alpha1" {
+				t.Fatalf("sample on %s/%s, want cpu/alpha1", ev.Kind, ev.Series)
+			}
+			continue
+		}
+		residuals++
+		if ev.Selected {
+			selected++
+		}
+	}
+	if samples != 10 {
+		t.Fatalf("samples = %d, want 10", samples)
+	}
+	// Sweep 1 has no ready forecaster; from sweep 2 on, each sweep
+	// scores at least the last-value predictor and flags exactly one
+	// selected forecaster.
+	if residuals == 0 {
+		t.Fatal("no residuals streamed")
+	}
+	if selected != 9 {
+		t.Fatalf("selected residuals = %d, want one per post-warmup sweep (9)", selected)
+	}
+}
+
+// The offline store audit must reproduce exactly the residual stream
+// the live sweep emitted: same banks, same samples in append order.
+func TestAuditStoreMatchesLive(t *testing.T) {
+	dir := t.TempDir()
+	st, err := mstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	tp := grid.SDSCPCL(eng, grid.TestbedOptions{Seed: 7})
+	live := &recSink{}
+	svc := NewService(eng, 10, WithStore(st), WithResiduals(live))
+	svc.WatchTopology(tp)
+	if err := eng.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	svc.Stop()
+	if err := svc.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := mstore.Open(dir, mstore.ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	offline := &recSink{}
+	audited, err := AuditStore(ro, offline, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := 20 * (len(tp.Hosts()) + len(tp.Links()))
+	if audited != wantRecords {
+		t.Fatalf("audited %d records, want %d", audited, wantRecords)
+	}
+	if len(offline.events) != len(live.events) {
+		t.Fatalf("offline stream %d events, live %d", len(offline.events), len(live.events))
+	}
+	if !reflect.DeepEqual(offline.events, live.events) {
+		for i := range live.events {
+			if offline.events[i] != live.events[i] {
+				t.Fatalf("streams diverge at event %d:\nlive    %+v\noffline %+v",
+					i, live.events[i], offline.events[i])
+			}
+		}
+	}
+}
+
+// EachForecast yields exactly the ready forecasters' standing
+// one-step predictions.
+func TestBankEachForecast(t *testing.T) {
+	b := NewBank()
+	got := map[string]float64{}
+	b.EachForecast(func(name string, pred float64) { got[name] = pred })
+	if len(got) != 0 {
+		t.Fatalf("fresh bank yielded forecasts: %v", got)
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		b.Update(v)
+	}
+	got = map[string]float64{}
+	b.EachForecast(func(name string, pred float64) { got[name] = pred })
+	if len(got) == 0 {
+		t.Fatal("warmed bank yielded no forecasts")
+	}
+	if v, ok := got["last"]; !ok || v != 5 {
+		t.Fatalf("last-value forecast = %v (ok=%v), want 5", v, ok)
+	}
+	want, by, ok := b.Forecast()
+	if !ok {
+		t.Fatal("bank not ready")
+	}
+	if got[by] != want {
+		t.Fatalf("EachForecast[%s] = %g, Forecast() = %g", by, got[by], want)
+	}
+}

@@ -153,6 +153,18 @@ func (b *Bank) Forecast() (value float64, by string, ok bool) {
 	return b.fcs[i].Forecast(), b.fcs[i].Name(), true
 }
 
+// EachForecast calls fn with every ready forecaster's standing
+// one-step prediction, in bank order — the audit hook's view of what
+// each forecaster would say right now, before the next measurement is
+// absorbed.
+func (b *Bank) EachForecast(fn func(name string, predicted float64)) {
+	for _, f := range b.fcs {
+		if f.Ready() {
+			fn(f.Name(), f.Forecast())
+		}
+	}
+}
+
 // ErrorEstimate returns the root-mean-squared error of the currently
 // selected forecaster — the agent's measure of how much to trust the
 // forecast. ok is false until at least one prediction has been scored.

@@ -104,6 +104,9 @@ type Service struct {
 	// record (WithStore); storeErr latches the first append failure.
 	store    *mstore.Store
 	storeErr error
+	// residuals, when non-nil, receives every sample's forecaster
+	// residuals before the bank absorbs it (WithResiduals).
+	residuals ResidualSink
 }
 
 // NewService creates a service sampling every period seconds of virtual
@@ -155,6 +158,9 @@ func (s *Service) addSensor(kind mstore.Kind, name string, bank *Bank, series *r
 	updates := s.metBankUpdates
 	s.batch.Add(func(float64) {
 		v := sample()
+		if s.residuals != nil {
+			observeResiduals(s.residuals, kind, name, bank, v)
+		}
 		bank.Update(v)
 		series.push(v)
 		if updates != nil {

@@ -1,0 +1,139 @@
+package audit
+
+import (
+	"sync"
+	"testing"
+
+	"apples/internal/obs"
+)
+
+// N tenants feed predictions and join actuals while sensors feed
+// residual streams, all concurrently. Run under -race this pins the
+// engine's locking; the bookkeeping assertions pin exact conservation:
+// every issued prediction is joined, expired, or still pending, and
+// every deliberate stray actual is counted orphaned.
+func TestConcurrentIngestionBookkeeping(t *testing.T) {
+	const (
+		tenants      = 8
+		joinsEach    = 200
+		straysEach   = 25
+		abandonEach  = 10 // predictions whose actual never arrives
+		sensorSweeps = 300
+	)
+	m := obs.NewMetrics()
+	ring := obs.NewRingTracer(64)
+	e := New(WithMetrics(m), WithTracer(ring))
+
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			labels := DecisionLabels{Tenant: string(rune('a' + tenant)), Selector: "greedy", HostClass: "alpha"}
+			for j := 0; j < joinsEach; j++ {
+				k := e.NextKey()
+				e.RecordPrediction(Prediction{Key: k, Labels: labels, Predicted: 100})
+				if _, ok := e.RecordActual(k, 90); !ok {
+					t.Errorf("tenant %d: standing prediction %d failed to join", tenant, k)
+					return
+				}
+			}
+			for j := 0; j < abandonEach; j++ {
+				k := e.NextKey()
+				e.RecordPrediction(Prediction{Key: k, Labels: labels, Predicted: 100})
+			}
+			for j := 0; j < straysEach; j++ {
+				// Keys from a range NextKey never issues in this test.
+				if _, ok := e.RecordActual(1_000_000+uint64(tenant*straysEach+j), 90); ok {
+					t.Errorf("tenant %d: stray actual joined", tenant)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 0; s < sensorSweeps; s++ {
+			for _, series := range []string{"h1", "h2", "h3"} {
+				v := float64(s % 7)
+				e.ObserveResidual("cpu", series, "last_value", v, v, true)
+				e.ObserveSample("cpu", series, v)
+			}
+		}
+	}()
+	wg.Wait()
+
+	joined, orphaned, expired, _ := e.Totals()
+	issued := uint64(tenants * (joinsEach + abandonEach))
+	if joined != uint64(tenants*joinsEach) {
+		t.Fatalf("joined = %d, want %d", joined, tenants*joinsEach)
+	}
+	if orphaned != uint64(tenants*straysEach) {
+		t.Fatalf("orphaned = %d, want %d", orphaned, tenants*straysEach)
+	}
+	if joined+uint64(e.Pending())+expired != issued {
+		t.Fatalf("conservation violated: joined %d + pending %d + expired %d != issued %d",
+			joined, e.Pending(), expired, issued)
+	}
+	if expired != 0 {
+		t.Fatalf("expired = %d, want 0 (TTL and cap were never hit)", expired)
+	}
+	if got := m.Counter(obs.MetricAuditJoined).Value(); got != joined {
+		t.Fatalf("audit_joined_total = %d, want %d", got, joined)
+	}
+	if got := m.Counter(obs.MetricAuditOrphaned).Value(); got != orphaned {
+		t.Fatalf("audit_orphaned_total = %d, want %d", got, orphaned)
+	}
+	reps := e.SeriesSnapshot()
+	if len(reps) != 3 {
+		t.Fatalf("series = %d, want 3", len(reps))
+	}
+	for _, r := range reps {
+		if r.Samples != sensorSweeps-1 {
+			t.Fatalf("series %s samples = %d, want %d", r.Series, r.Samples, sensorSweeps-1)
+		}
+	}
+}
+
+// Snapshot readers racing with writers must see consistent state — run
+// under -race this is the test that catches a forgotten lock.
+func TestConcurrentSnapshotReads(t *testing.T) {
+	e := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		labels := DecisionLabels{Tenant: "w", Selector: "greedy", HostClass: "alpha"}
+		for i := 0; i < 2_000; i++ {
+			k := e.NextKey()
+			e.RecordPrediction(Prediction{Key: k, Labels: labels, Predicted: 10})
+			e.RecordActual(k, 9)
+			e.ObserveResidual("cpu", "h", "f", 1, 1, true)
+			e.ObserveSample("cpu", "h", 1)
+		}
+		close(stop)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := e.Snapshot()
+				if snap.Joined > 2_000 {
+					t.Errorf("impossible joined count %d", snap.Joined)
+					return
+				}
+				e.SeriesSnapshot()
+				e.Health()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,279 @@
+package audit
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"apples/internal/obs"
+)
+
+func TestJoinBookkeeping(t *testing.T) {
+	e := New()
+	labels := DecisionLabels{Tenant: "t1", Selector: "greedy", HostClass: "alpha"}
+
+	k1 := e.NextKey()
+	k2 := e.NextKey()
+	if k1 == k2 || k1 == 0 {
+		t.Fatalf("keys not unique/non-zero: %d %d", k1, k2)
+	}
+	e.RecordPrediction(Prediction{Key: k1, Labels: labels, Predicted: 100})
+	e.RecordPrediction(Prediction{Key: k2, Labels: labels, Predicted: 50})
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+
+	j, ok := e.RecordActual(k1, 80)
+	if !ok {
+		t.Fatal("join of a standing prediction reported !ok")
+	}
+	if j.Err != 20 || j.Predicted != 100 || j.Actual != 80 {
+		t.Fatalf("join = %+v, want err=20", j)
+	}
+	if _, ok := e.RecordActual(k1, 80); ok {
+		t.Fatal("double join of the same key succeeded")
+	}
+	if _, ok := e.RecordActual(999, 10); ok {
+		t.Fatal("join of an unknown key succeeded")
+	}
+
+	joined, orphaned, expired, _ := e.Totals()
+	if joined != 1 || orphaned != 2 || expired != 0 {
+		t.Fatalf("totals = joined %d orphaned %d expired %d, want 1 2 0", joined, orphaned, expired)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}
+
+func TestPendingTTLAndCap(t *testing.T) {
+	now := 0.0
+	e := New(WithClock(func() float64 { return now }), WithPendingTTL(10), WithMaxPending(3))
+
+	keys := make([]uint64, 5)
+	for i := range keys {
+		keys[i] = e.NextKey()
+		e.RecordPrediction(Prediction{Key: keys[i], Predicted: 1})
+	}
+	// Cap 3: the two oldest were evicted as expired.
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3 (cap)", got)
+	}
+	if _, ok := e.RecordActual(keys[0], 1); ok {
+		t.Fatal("evicted prediction still joinable")
+	}
+
+	now = 11 // past the TTL of everything outstanding
+	k := e.NextKey()
+	e.RecordPrediction(Prediction{Key: k, Predicted: 1})
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after TTL sweep, want 1", got)
+	}
+	_, _, expired, _ := e.Totals()
+	if expired != 5 {
+		t.Fatalf("expired = %d, want 5 (2 cap evictions + 3 TTL)", expired)
+	}
+}
+
+func TestGroupStatsAndCalibration(t *testing.T) {
+	e := New()
+	labels := DecisionLabels{Tenant: "t1", Selector: "exhaustive", HostClass: "sp2"}
+	// predicted, actual pairs: errors +10, -10, +30.
+	for _, pa := range [][2]float64{{110, 100}, {90, 100}, {130, 100}} {
+		k := e.NextKey()
+		e.RecordPrediction(Prediction{Key: k, Labels: labels, Predicted: pa[0]})
+		e.RecordActual(k, pa[1])
+	}
+	snap := e.Snapshot()
+	if len(snap.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(snap.Groups))
+	}
+	g := snap.Groups[0]
+	if g.Joins != 3 {
+		t.Fatalf("joins = %d, want 3", g.Joins)
+	}
+	if !close3(g.Bias, 10) || !close3(g.MAE, 50.0/3) || !close3(g.MAPE, 0.5/3) {
+		t.Fatalf("bias=%g mae=%g mape=%g, want 10, 16.67, 0.167", g.Bias, g.MAE, g.MAPE)
+	}
+	var total uint64
+	for _, c := range g.Calibration {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("calibration mass = %d, want 3", total)
+	}
+	// Ratios 1.1, 0.9, 1.3 land in distinct buckets.
+	if g.Calibration[calBucket(1.1)] != 1 || g.Calibration[calBucket(0.9)] != 1 || g.Calibration[calBucket(1.3)] != 1 {
+		t.Fatalf("calibration histogram misplaced: %v", g.Calibration)
+	}
+}
+
+func TestNilEngineIsInert(t *testing.T) {
+	var e *Engine
+	if k := e.NextKey(); k != 0 {
+		t.Fatalf("nil NextKey = %d", k)
+	}
+	e.RecordPrediction(Prediction{Key: 1})
+	if _, ok := e.RecordActual(1, 1); ok {
+		t.Fatal("nil RecordActual ok")
+	}
+	e.ObserveSample("cpu", "h1", 1)
+	e.ObserveResidual("cpu", "h1", "ar1", 1, 1, true)
+	if e.Pending() != 0 || e.SeriesSnapshot() != nil || len(e.Degraded()) != 0 {
+		t.Fatal("nil engine leaked state")
+	}
+	if st, _ := e.Health(); st != "ok" {
+		t.Fatalf("nil Health = %q", st)
+	}
+}
+
+func TestForecasterScoring(t *testing.T) {
+	e := New()
+	// Series alternates 0 and 2: the naive last-value predictor is always
+	// off by 2; a perfect forecaster has MAE 0 (skill 1), a worse-than-
+	// naive one has negative skill.
+	v := 0.0
+	for i := 0; i < 40; i++ {
+		next := 2 - v
+		e.ObserveResidual("cpu", "h1", "perfect", next, next, true)
+		e.ObserveResidual("cpu", "h1", "bad", v-3, next, false)
+		e.ObserveSample("cpu", "h1", next)
+		v = next
+	}
+	reps := e.SeriesSnapshot()
+	if len(reps) != 1 {
+		t.Fatalf("series = %d, want 1", len(reps))
+	}
+	r := reps[0]
+	if r.Kind != "cpu" || r.Series != "h1" || r.Samples != 39 {
+		t.Fatalf("report header = %+v", r)
+	}
+	if !close3(r.NaiveMAE, 2) {
+		t.Fatalf("naive MAE = %g, want 2", r.NaiveMAE)
+	}
+	byName := map[string]ForecasterReport{}
+	for _, f := range r.Forecasters {
+		byName[f.Name] = f
+	}
+	if s := byName["perfect"].Skill; !close3(s, 1) {
+		t.Fatalf("perfect skill = %g, want 1", s)
+	}
+	if s := byName["bad"].Skill; s >= 0 {
+		t.Fatalf("bad skill = %g, want negative", s)
+	}
+	if byName["perfect"].Selected != 40 || byName["bad"].Selected != 0 {
+		t.Fatalf("selected counts = %d/%d, want 40/0", byName["perfect"].Selected, byName["bad"].Selected)
+	}
+}
+
+func TestSeriesDriftFlagsDegraded(t *testing.T) {
+	m := obs.NewMetrics()
+	var events []obs.Event
+	e := New(WithMetrics(m), WithTracer(obs.TracerFunc(func(ev obs.Event) { events = append(events, ev) })))
+
+	// Selected forecaster tracks the series well, then the series goes
+	// somewhere the forecaster keeps missing badly.
+	for i := 0; i < 100; i++ {
+		e.ObserveResidual("cpu", "h1", "ar1", 1.0, 1.01, true)
+		e.ObserveSample("cpu", "h1", 1.01)
+	}
+	for i := 0; i < 200; i++ {
+		e.ObserveResidual("cpu", "h1", "ar1", 1.0, 3.0, true)
+		e.ObserveSample("cpu", "h1", 3.0)
+	}
+	if _, _, _, alarms := e.Totals(); alarms == 0 {
+		t.Fatal("no drift alarm on a persistent forecast-error shift")
+	}
+	if st, detail := e.Health(); st != "degraded" || len(detail) == 0 {
+		t.Fatalf("Health = %q %v, want degraded", st, detail)
+	}
+	if got := e.Degraded(); len(got) != 1 || got[0] != "series/cpu/h1" {
+		t.Fatalf("Degraded = %v", got)
+	}
+	if m.Counter(obs.MetricDriftAlarms).Value() == 0 {
+		t.Fatal("audit_drift_alarms_total not incremented")
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Type == obs.EvAudit && ev.Verdict == "drift" && ev.Reason == "series/cpu/h1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no EvAudit drift event emitted")
+	}
+}
+
+func TestMetricsAndTraceOnJoin(t *testing.T) {
+	m := obs.NewMetrics()
+	var events []obs.Event
+	e := New(WithMetrics(m), WithTracer(obs.TracerFunc(func(ev obs.Event) { events = append(events, ev) })))
+	labels := DecisionLabels{Tenant: "t9", Selector: "beam", HostClass: "mixed"}
+	k := e.NextKey()
+	e.RecordPrediction(Prediction{Key: k, Labels: labels, Predicted: 120})
+	e.RecordActual(k, 100)
+
+	if m.Counter(obs.MetricAuditJoined).Value() != 1 {
+		t.Fatal("audit_joined_total != 1")
+	}
+	h := m.Histogram(obs.MetricPredictionError, obs.PredictionErrorBuckets)
+	if h.Count() != 1 || !close3(h.Sum(), 20) {
+		t.Fatalf("prediction-error histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Type != obs.EvAudit || ev.Verdict != "join" || ev.Tenant != "t9" ||
+		ev.Predicted != 120 || ev.Actual != 100 || ev.Reason != "beam/mixed" {
+		t.Fatalf("join event = %+v", ev)
+	}
+}
+
+// Snapshots of equal engine states must serialize to equal bytes — the
+// property the golden expt figure depends on.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func() *Engine {
+		e := New()
+		for _, tenant := range []string{"b", "a", "c"} {
+			for i := 0; i < 3; i++ {
+				k := e.NextKey()
+				e.RecordPrediction(Prediction{Key: k,
+					Labels:    DecisionLabels{Tenant: tenant, Selector: "greedy", HostClass: "alpha"},
+					Predicted: float64(100 + i)})
+				e.RecordActual(k, 100)
+			}
+		}
+		e.ObserveResidual("cpu", "h2", "z", 1, 1, true)
+		e.ObserveResidual("cpu", "h2", "a", 1, 1, false)
+		e.ObserveSample("cpu", "h2", 1)
+		e.ObserveSample("cpu", "h1", 1)
+		return e
+	}
+	enc := func(e *Engine) string {
+		var sb strings.Builder
+		je := json.NewEncoder(&sb)
+		if err := je.Encode(e.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if err := je.Encode(e.SeriesSnapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := enc(build()), enc(build())
+	if a != b {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, `"tenant":"a"`) {
+		t.Fatalf("snapshot missing group content:\n%s", a)
+	}
+}
+
+func close3(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-3
+}

@@ -1,0 +1,69 @@
+package audit
+
+// PageHinkley is the classic Page-Hinkley test for an upward shift in
+// the mean of a stream — here, of a forecast-error stream: a forecaster
+// whose errors were small and become persistently larger is drifting.
+//
+// The detector maintains the cumulative deviation of each observation
+// from the running mean (minus a tolerance delta) and alarms when that
+// cumulation rises more than lambda above its historical minimum. Small
+// delta makes it sensitive; large lambda makes it patient. minSamples
+// suppresses alarms while the running mean is still settling.
+//
+// PageHinkley is a plain value with no internal locking; the Engine
+// serializes access. The zero value is unusable — construct with
+// newPageHinkley.
+type PageHinkley struct {
+	delta      float64
+	lambda     float64
+	minSamples int
+
+	n    int
+	sum  float64
+	mt   float64 // cumulative deviation Σ(x_i - mean_i - delta)
+	minM float64 // historical minimum of mt
+}
+
+// Default Page-Hinkley parameters, tuned for relative forecast-error
+// streams (|predicted-actual| / actual, clipped): ambient-load noise on
+// the simulated testbed keeps relative errors around a stable mean, so
+// the cumulation only escapes lambda when the error level genuinely
+// shifts — e.g. a load regime the forecasters were not trained on.
+const (
+	DefaultPHDelta      = 0.02
+	DefaultPHLambda     = 5.0
+	DefaultPHMinSamples = 30
+)
+
+func newPageHinkley(delta, lambda float64, minSamples int) *PageHinkley {
+	return &PageHinkley{delta: delta, lambda: lambda, minSamples: minSamples}
+}
+
+// Update absorbs one observation and reports whether the detector
+// alarms on it. After an alarm the detector resets its cumulative
+// state, so a persistent shift raises a bounded series of discrete
+// alarms rather than one alarm per subsequent sample.
+func (ph *PageHinkley) Update(x float64) (alarm bool) {
+	ph.n++
+	ph.sum += x
+	mean := ph.sum / float64(ph.n)
+	ph.mt += x - mean - ph.delta
+	if ph.mt < ph.minM {
+		ph.minM = ph.mt
+	}
+	if ph.n >= ph.minSamples && ph.mt-ph.minM > ph.lambda {
+		ph.reset()
+		return true
+	}
+	return false
+}
+
+// reset clears the cumulative state after an alarm. The sample count
+// restarts too: post-drift observations define a new baseline mean.
+func (ph *PageHinkley) reset() {
+	ph.n, ph.sum, ph.mt, ph.minM = 0, 0, 0, 0
+}
+
+// Samples reports how many observations the detector has absorbed
+// since construction or its last alarm.
+func (ph *PageHinkley) Samples() int { return ph.n }

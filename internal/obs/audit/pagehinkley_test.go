@@ -1,0 +1,70 @@
+package audit
+
+import (
+	"math"
+	"testing"
+)
+
+// A stationary stream must never alarm: the running mean absorbs the
+// noise and the delta tolerance eats the residual wander.
+func TestPageHinkleyStationarySilent(t *testing.T) {
+	ph := newPageHinkley(DefaultPHDelta, DefaultPHLambda, DefaultPHMinSamples)
+	for i := 0; i < 10_000; i++ {
+		// Deterministic bounded noise around 0.1.
+		x := 0.1 + 0.05*math.Sin(float64(i)*0.7)
+		if ph.Update(x) {
+			t.Fatalf("alarm on stationary stream at sample %d", i)
+		}
+	}
+	if ph.Samples() != 10_000 {
+		t.Fatalf("Samples = %d, want 10000", ph.Samples())
+	}
+}
+
+// A level shift must alarm, and only after the shift.
+func TestPageHinkleyDetectsShift(t *testing.T) {
+	ph := newPageHinkley(DefaultPHDelta, DefaultPHLambda, DefaultPHMinSamples)
+	const shiftAt = 200
+	for i := 0; i < shiftAt; i++ {
+		if ph.Update(0.1) {
+			t.Fatalf("alarm before the shift at sample %d", i)
+		}
+	}
+	alarmAt := -1
+	for i := 0; i < 200; i++ {
+		if ph.Update(1.1) {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("no alarm within 200 post-shift samples")
+	}
+	// The reset must restart the baseline: staying at the new level is
+	// the new normal, so it cannot keep alarming forever.
+	alarms := 0
+	for i := 0; i < 5_000; i++ {
+		if ph.Update(1.1) {
+			alarms++
+		}
+	}
+	if alarms > 2 {
+		t.Fatalf("%d alarms while holding the post-shift level, want a bounded burst", alarms)
+	}
+}
+
+// Alarms are suppressed until minSamples even for egregious shifts.
+func TestPageHinkleyMinSamples(t *testing.T) {
+	ph := newPageHinkley(0.0, 0.1, 50)
+	for i := 0; i < 49; i++ {
+		if ph.Update(float64(i)) {
+			t.Fatalf("alarm at sample %d, before minSamples=50", i+1)
+		}
+	}
+	if !ph.Update(1000) {
+		t.Fatal("no alarm at minSamples on a divergent stream")
+	}
+	if ph.Samples() != 0 {
+		t.Fatalf("Samples = %d after alarm, want 0 (reset)", ph.Samples())
+	}
+}

@@ -1,0 +1,149 @@
+package audit
+
+import (
+	"apples/internal/obs"
+)
+
+// seriesAgg scores one measurement series (kind/name): the naive
+// last-value baseline every forecaster must beat, per-forecaster
+// residual sums, and the drift detector fed by the bank's currently
+// selected forecaster.
+type seriesAgg struct {
+	kind, name string
+
+	haveLast bool
+	last     float64
+
+	naiveN      int
+	naiveAbsErr float64
+
+	fc map[string]*fcAgg
+
+	ph       *PageHinkley
+	gauges   bool // per-series skill gauges installed (under the cap)
+	degraded bool
+}
+
+// fcAgg accumulates one forecaster's residuals on one series.
+type fcAgg struct {
+	n        int
+	absErr   float64
+	sqErr    float64
+	selected int // samples where the bank had selected this forecaster
+	gauge    *obs.Gauge
+}
+
+// ObserveSample ingests one sensor sample for a series: it scores the
+// naive last-value baseline against the sample and then carries the
+// sample forward as the next naive prediction. Call it once per sweep,
+// after the ObserveResidual calls for the same sample.
+func (e *Engine) ObserveSample(kind, series string, actual float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	s := e.seriesLocked(kind, series)
+	if s.haveLast {
+		s.naiveN++
+		s.naiveAbsErr += abs(s.last - actual)
+	}
+	s.haveLast = true
+	s.last = actual
+	e.mu.Unlock()
+}
+
+// ObserveResidual scores one forecaster's standing one-step prediction
+// against the sample that just arrived. selected flags the bank's
+// currently chosen forecaster; its relative error stream drives the
+// series' drift detector.
+func (e *Engine) ObserveResidual(kind, series, forecaster string, predicted, actual float64, selected bool) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	s := e.seriesLocked(kind, series)
+	f := s.fc[forecaster]
+	if f == nil {
+		f = &fcAgg{}
+		if s.gauges {
+			f.gauge = e.reg.Gauge(obs.NameWithLabels(obs.MetricForecastSkill,
+				"kind", kind, "series", series, "forecaster", forecaster))
+		}
+		s.fc[forecaster] = f
+	}
+	err := predicted - actual
+	f.n++
+	f.absErr += abs(err)
+	f.sqErr += err * err
+	var drift bool
+	if selected {
+		f.selected++
+		denom := abs(actual)
+		if denom > 0 && s.ph.Update(clipRel(abs(err)/denom)) {
+			drift = true
+			s.degraded = true
+			e.alarms++
+			e.degraded["series/"+kind+"/"+series] = "forecast drift (selected " + forecaster + ")"
+		}
+	}
+	var skill float64
+	var haveSkill bool
+	if f.gauge != nil && s.naiveN > 0 && f.n > 0 {
+		skill = skillScore(f.absErr/float64(f.n), s.naiveAbsErr/float64(s.naiveN))
+		haveSkill = true
+	}
+	e.mu.Unlock()
+
+	if haveSkill {
+		f.gauge.Set(skill)
+	}
+	if drift {
+		if e.metAlarms != nil {
+			e.metAlarms.Inc()
+		}
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Event{Type: obs.EvAudit, Verdict: "drift",
+				Reason: "series/" + kind + "/" + series, Tenant: forecaster})
+		}
+	}
+}
+
+// seriesLocked returns the aggregate for kind/series, creating it (and
+// its skill gauges, while under the cardinality cap) on first sight.
+func (e *Engine) seriesLocked(kind, series string) *seriesAgg {
+	key := kind + "/" + series
+	s := e.series[key]
+	if s == nil {
+		s = &seriesAgg{
+			kind: kind,
+			name: series,
+			fc:   make(map[string]*fcAgg),
+			ph:   newPageHinkley(e.phDelta, e.phLambda, e.phMin),
+		}
+		s.gauges = e.reg != nil && len(e.seriesKeys) < e.skillGaugeLimit
+		e.series[key] = s
+		e.seriesKeys = append(e.seriesKeys, key)
+	}
+	return s
+}
+
+// skillScore is 1 - MAE_forecaster/MAE_naive: 1 perfect, 0 no better
+// than carrying the last value forward, negative worse. A zero-MAE
+// naive baseline (constant series) makes any non-zero forecaster error
+// maximally unskilled.
+func skillScore(maeForecaster, maeNaive float64) float64 {
+	if maeNaive == 0 {
+		if maeForecaster == 0 {
+			return 1
+		}
+		return -1
+	}
+	return 1 - maeForecaster/maeNaive
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

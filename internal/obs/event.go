@@ -62,6 +62,12 @@ const (
 	// carried forward unchanged. Hosts/Predicted/Score describe the
 	// winner, as in EvWinner.
 	EvDeltaRound EventType = "delta_round"
+	// EvAudit: the audit engine joined a decision's prediction with its
+	// observed actual (Verdict "join": Tenant, Predicted, Actual, and
+	// Reason carrying "selector/host-class"), or a drift detector
+	// alarmed (Verdict "drift": Reason names the degraded entity, e.g.
+	// "tenant/t1" or "series/cpu/alpha1").
+	EvAudit EventType = "audit"
 )
 
 // Event is one structured record in a decision trace. It is a flat
@@ -115,7 +121,11 @@ type Event struct {
 	Stage   string  `json:"stage,omitempty"`
 	Seconds float64 `json:"seconds,omitempty"`
 
-	// Verdict fields (reschedule / wait-or-run).
+	// Actual is the observed execution time joined against Predicted
+	// (EvAudit only).
+	Actual float64 `json:"actual,omitempty"`
+
+	// Verdict fields (reschedule / wait-or-run / audit).
 	Verdict   string  `json:"verdict,omitempty"`
 	Reason    string  `json:"reason,omitempty"`
 	Current   float64 `json:"current,omitempty"`

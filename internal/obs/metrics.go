@@ -66,6 +66,31 @@ const (
 	MetricStoreAppendSeconds = "mstore_append_seconds"
 	// Simulation (sim.Engine).
 	MetricSimEvents = "sim_events_total"
+	// Forecast & decision audit (audit.Engine).
+	// MetricPredictionError is the |predicted-actual| distribution of
+	// joined scheduling decisions, in seconds.
+	MetricPredictionError = "sched_prediction_error_seconds"
+	// MetricForecastSkill is a per-series label family: concrete gauges
+	// carry kind/series/forecaster labels in the registry key, e.g.
+	// `nws_forecast_skill{kind="cpu",series="alpha1",forecaster="ar1"}`,
+	// holding 1 - MAE/MAE_naive against the last-value baseline.
+	MetricForecastSkill = "nws_forecast_skill"
+	// MetricDriftAlarms counts Page-Hinkley alarms across every decision
+	// and forecaster drift detector.
+	MetricDriftAlarms = "audit_drift_alarms_total"
+	// Join bookkeeping: predictions joined with an actual, actuals that
+	// found no standing prediction, predictions whose actual never came
+	// inside the TTL, and the current outstanding-prediction count.
+	MetricAuditJoined   = "audit_joined_total"
+	MetricAuditOrphaned = "audit_orphaned_total"
+	MetricAuditExpired  = "audit_expired_total"
+	MetricAuditPending  = "audit_pending"
+	// Serving-process self-description (see EnableRuntime).
+	MetricGoroutines    = "go_goroutines"
+	MetricHeapBytes     = "go_heap_alloc_bytes"
+	MetricGCPauseTotal  = "go_gc_pause_seconds_total"
+	MetricGCCycles      = "go_gc_cycles_total"
+	MetricProcessUptime = "process_uptime_seconds"
 )
 
 // DefaultLatencyBuckets are the upper bounds (seconds) used for the
@@ -76,6 +101,12 @@ var DefaultLatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 // buffered append is sub-microsecond, a rotation pays an fsync, so the
 // decades run from 100ns to 100ms.
 var StoreAppendBuckets = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// PredictionErrorBuckets are the bounds for the
+// sched_prediction_error_seconds histogram. Decision errors live on
+// the scale of application runtimes (seconds to hours), not scheduler
+// latencies, so the edges run from 100ms to an hour.
+var PredictionErrorBuckets = []float64{0.1, 1, 10, 60, 300, 1800, 3600}
 
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Uint64 }
@@ -201,6 +232,10 @@ type Metrics struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	// rt, when non-nil, refreshes the serving-process gauges before
+	// each exposition (see EnableRuntime).
+	rt atomic.Pointer[runtimeCollector]
 }
 
 // NewMetrics returns an empty registry.
@@ -264,6 +299,7 @@ func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
 // Quantile); WritePrometheus exposes the same registry in Prometheus
 // text format instead.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.collectRuntime()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sb strings.Builder

@@ -1,13 +1,15 @@
 // Package obshttp serves the obs layer over HTTP: live Prometheus
-// metrics, a recent-events trace window, pprof, and a health probe —
-// the "operable while serving" counterpart of the post-mortem trace
-// file and exit-time metrics dump.
+// metrics, a recent-events trace window, pprof, audit reports, and a
+// component-health probe — the "operable while serving" counterpart of
+// the post-mortem trace file and exit-time metrics dump.
 //
 // Endpoints:
 //
 //	/metrics       Prometheus text exposition of a Metrics registry
 //	/trace/recent  last events of a RingTracer as a JSON array (?n=K)
-//	/healthz       liveness probe ("ok")
+//	/healthz       component health as JSON (status "ok"/"degraded")
+//	/audit         decision-audit snapshot (with WithAudit)
+//	/audit/series  per-series forecast audit (with WithAudit)
 //	/debug/pprof/  the standard Go profiling handlers
 package obshttp
 
@@ -17,20 +19,110 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 
 	"apples/internal/obs"
+	"apples/internal/obs/audit"
 )
+
+// ComponentCheck probes one component for /healthz: status is "ok" or
+// "degraded" (anything else is reported verbatim and counts as not
+// ok); detail carries human-readable specifics. Checks run on every
+// probe, so they must be cheap and safe for concurrent use.
+type ComponentCheck func() (status string, detail []string)
+
+// ServeOption extends the observability mux beyond the core endpoints.
+type ServeOption func(*serveConfig)
+
+// WithComponent registers a named component on /healthz; the probe
+// aggregates every registered check into the overall status.
+func WithComponent(name string, check ComponentCheck) ServeOption {
+	return func(c *serveConfig) {
+		if check == nil {
+			return
+		}
+		c.components = append(c.components, component{name: name, check: check})
+	}
+}
+
+// WithAudit mounts the audit engine: /audit serves the decision-audit
+// snapshot, /audit/series the per-series forecast audit, and the
+// engine's drift state joins /healthz as the "audit" component.
+func WithAudit(a *audit.Engine) ServeOption {
+	return func(c *serveConfig) {
+		if a == nil {
+			return
+		}
+		c.aud = a
+		c.components = append(c.components, component{name: "audit", check: a.Health})
+	}
+}
+
+type component struct {
+	name  string
+	check ComponentCheck
+}
+
+type serveConfig struct {
+	components []component
+	aud        *audit.Engine
+}
+
+// componentHealth is one component's row in the /healthz document.
+type componentHealth struct {
+	Status string   `json:"status"`
+	Detail []string `json:"detail,omitempty"`
+}
+
+// healthResponse is the /healthz JSON schema. Status is "ok" only when
+// every component is; liveness probes that grep for the substring "ok"
+// keep working, and orchestration that parses JSON gets the breakdown.
+type healthResponse struct {
+	Status        string                     `json:"status"`
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Components    map[string]componentHealth `json:"components,omitempty"`
+}
 
 // Handler builds the observability mux over a metrics registry and a
 // ring of recent trace events. Either may be nil; the corresponding
 // endpoint then reports 404 with a hint instead of serving empty data.
-func Handler(m *obs.Metrics, ring *obs.RingTracer) http.Handler {
+// A non-nil registry gains the serving-process runtime gauges (a
+// /metrics endpoint describes a live process by definition). Options
+// mount the audit endpoints and extend /healthz with component checks.
+func Handler(m *obs.Metrics, ring *obs.RingTracer, opts ...ServeOption) http.Handler {
+	var cfg serveConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	if m != nil {
+		m.EnableRuntime()
+	}
+	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		resp := healthResponse{
+			Status:        "ok",
+			UptimeSeconds: time.Since(start).Seconds(),
+		}
+		if len(cfg.components) > 0 {
+			resp.Components = make(map[string]componentHealth, len(cfg.components))
+			for _, c := range cfg.components {
+				st, detail := c.check()
+				sort.Strings(detail)
+				resp.Components[c.name] = componentHealth{Status: st, Detail: detail}
+				if st != "ok" {
+					resp.Status = "degraded"
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(resp)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		if m == nil {
@@ -62,6 +154,26 @@ func Handler(m *obs.Metrics, ring *obs.RingTracer) http.Handler {
 		enc.SetIndent("", " ")
 		_ = enc.Encode(ring.Recent(n))
 	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.aud == nil {
+			http.Error(w, "no audit engine attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(cfg.aud.Snapshot())
+	})
+	mux.HandleFunc("/audit/series", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.aud == nil {
+			http.Error(w, "no audit engine attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(cfg.aud.SeriesSnapshot())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -78,7 +190,7 @@ type Server struct {
 
 // Serve binds addr (":0" or "host:0" picks an ephemeral port) and
 // serves the observability mux on a background goroutine until Close.
-func Serve(addr string, m *obs.Metrics, ring *obs.RingTracer) (*Server, error) {
+func Serve(addr string, m *obs.Metrics, ring *obs.RingTracer, opts ...ServeOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
@@ -86,7 +198,7 @@ func Serve(addr string, m *obs.Metrics, ring *obs.RingTracer) (*Server, error) {
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           Handler(m, ring),
+			Handler:           Handler(m, ring, opts...),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}

@@ -34,8 +34,18 @@ func TestHandlerEndpoints(t *testing.T) {
 	h := Handler(m, ring)
 
 	res, body := get(t, h, "/healthz")
-	if res.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+	if res.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz = %d %q", res.StatusCode, body)
+	}
+	var health struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("/healthz status = %q, want ok", health.Status)
 	}
 
 	res, body = get(t, h, "/metrics")

@@ -39,10 +39,11 @@ type ScheduleResponse struct {
 //	                            shared-snapshot ratio, and fairness in
 //	                            the surrounding object.
 //
-// The metrics registry and ring behave as in Handler and may be nil.
-func ServiceHandler(svc *core.SchedService, m *obs.Metrics, ring *obs.RingTracer) http.Handler {
+// The metrics registry and ring behave as in Handler and may be nil;
+// options (audit endpoints, health components) pass through to it.
+func ServiceHandler(svc *core.SchedService, m *obs.Metrics, ring *obs.RingTracer, opts ...ServeOption) http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/", Handler(m, ring))
+	mux.Handle("/", Handler(m, ring, opts...))
 	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("tenant")
 		if id == "" {
@@ -117,7 +118,7 @@ func ServiceHandler(svc *core.SchedService, m *obs.Metrics, ring *obs.RingTracer
 // ServeService binds addr and serves the scheduling service mux (the
 // observability endpoints plus /schedule and /tenants) on a background
 // goroutine until Close.
-func ServeService(addr string, svc *core.SchedService, m *obs.Metrics, ring *obs.RingTracer) (*Server, error) {
+func ServeService(addr string, svc *core.SchedService, m *obs.Metrics, ring *obs.RingTracer, opts ...ServeOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
@@ -125,7 +126,7 @@ func ServeService(addr string, svc *core.SchedService, m *obs.Metrics, ring *obs
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           ServiceHandler(svc, m, ring),
+			Handler:           ServiceHandler(svc, m, ring, opts...),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}

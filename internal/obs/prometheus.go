@@ -21,6 +21,18 @@ var helpFor = map[string]string{
 	MetricBankUpdates:          "Forecaster-bank absorptions (one per watched resource per sweep).",
 	MetricSensorSweeps:         "NWS batch sensor sweeps completed.",
 	MetricSimEvents:            "Discrete-event simulator events dispatched.",
+	MetricPredictionError:      "Absolute error of joined scheduling predictions in seconds.",
+	MetricForecastSkill:        "Forecast skill 1 - MAE/MAE_naive vs the last-value baseline.",
+	MetricDriftAlarms:          "Page-Hinkley drift alarms across decision and forecaster detectors.",
+	MetricAuditJoined:          "Predictions joined with an observed actual.",
+	MetricAuditOrphaned:        "Actuals that found no standing prediction.",
+	MetricAuditExpired:         "Predictions whose actual never arrived inside the TTL.",
+	MetricAuditPending:         "Outstanding predictions awaiting their actual.",
+	MetricGoroutines:           "Live goroutines in the serving process.",
+	MetricHeapBytes:            "Heap bytes currently allocated and in use.",
+	MetricGCPauseTotal:         "Cumulative stop-the-world GC pause seconds.",
+	MetricGCCycles:             "Completed GC cycles.",
+	MetricProcessUptime:        "Seconds since the metrics registry enabled runtime collection.",
 }
 
 // escapeLabelValue applies Prometheus label-value escaping: backslash,
@@ -105,6 +117,7 @@ type family struct {
 // disjoint, and such series are emitted under separate TYPE headers
 // anyway.
 func (m *Metrics) WritePrometheus(w io.Writer) (int64, error) {
+	m.collectRuntime()
 	m.mu.Lock()
 	fams := map[string]*family{}
 	add := func(key, typ string, s series) {
